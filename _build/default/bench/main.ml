@@ -1,0 +1,202 @@
+(* Benchmark harness.
+
+   One Bechamel test per paper artefact (the analysis that regenerates
+   each table/figure over the shared quick world), one per substrate
+   hot path, and the DESIGN.md ablation benches.  After timing, the
+   harness prints every artefact itself so bench output doubles as a
+   compact reproduction report. *)
+
+open Bechamel
+open Toolkit
+
+module Pipeline = Tangled_core.Pipeline
+module Report = Tangled_core.Report
+module BP = Tangled_pki.Blueprint
+module PD = Tangled_pki.Paper_data
+module Rs = Tangled_store.Root_store
+module C = Tangled_x509.Certificate
+module Authority = Tangled_x509.Authority
+module Chain = Tangled_validation.Chain
+module Notary = Tangled_notary.Notary
+module Rsa = Tangled_crypto.Rsa
+module Dk = Tangled_hash.Digest_kind
+module Prng = Tangled_util.Prng
+module Ts = Tangled_util.Timestamp
+
+let world = lazy (Lazy.force Pipeline.quick)
+
+(* --- artefact benches: one per table and figure ---------------------- *)
+
+let artefact_tests () =
+  let w = Lazy.force world in
+  List.map
+    (fun name ->
+      Test.make ~name (Staged.stage (fun () -> ignore (Report.render_one w name))))
+    (Report.artefact_names @ Report.extension_names)
+
+(* --- substrate micro-benches ------------------------------------------ *)
+
+let substrate_tests () =
+  let w = Lazy.force world in
+  let u = w.Pipeline.universe in
+  let rng = Prng.create 77 in
+  let key = Rsa.generate ~mr_rounds:6 rng ~bits:384 in
+  let root =
+    Authority.self_signed ~bits:384 ~digest:Dk.SHA1 rng (Tangled_x509.Dn.make "Bench Root")
+  in
+  let inter =
+    Authority.issue_intermediate ~bits:384 ~digest:Dk.SHA1 rng ~parent:root
+      (Tangled_x509.Dn.make "Bench Inter")
+  in
+  let leaf =
+    Authority.issue_leaf ~bits:384 ~digest:Dk.SHA1 rng ~parent:inter
+      ~dns_names:[ "bench.example" ] (Tangled_x509.Dn.make "bench.example")
+  in
+  let chain = [ leaf; inter.Authority.certificate ] in
+  let store = Rs.of_certs "bench" Rs.Aosp [ root.Authority.certificate ] in
+  let der = C.encode leaf in
+  let msg = String.make 512 'm' in
+  let signature = Rsa.sign key ~digest:Dk.SHA1 msg in
+  let device_store =
+    w.Pipeline.population.Tangled_device.Population.handsets.(0)
+      .Tangled_device.Population.store
+  in
+  let now = Ts.paper_epoch in
+  [
+    Test.make ~name:"sha256_512B"
+      (Staged.stage (fun () -> ignore (Tangled_hash.Sha256.digest msg)));
+    Test.make ~name:"sha1_512B"
+      (Staged.stage (fun () -> ignore (Tangled_hash.Sha1.digest msg)));
+    Test.make ~name:"md5_512B"
+      (Staged.stage (fun () -> ignore (Tangled_hash.Md5.digest msg)));
+    Test.make ~name:"rsa384_sign"
+      (Staged.stage (fun () -> ignore (Rsa.sign key ~digest:Dk.SHA1 msg)));
+    Test.make ~name:"rsa384_verify"
+      (Staged.stage (fun () ->
+           ignore (Rsa.verify key.Rsa.pub ~digest:Dk.SHA1 ~msg ~signature)));
+    Test.make ~name:"x509_decode" (Staged.stage (fun () -> ignore (C.decode der)));
+    Test.make ~name:"chain_validate"
+      (Staged.stage (fun () -> ignore (Chain.validate ~now ~store chain)));
+    Test.make ~name:"store_diff"
+      (Staged.stage (fun () -> ignore (Rs.diff device_store (u.BP.aosp PD.V4_4))));
+    Test.make ~name:"notary_validated_by_store"
+      (Staged.stage (fun () ->
+           ignore (Notary.validated_by_store w.Pipeline.notary (u.BP.aosp PD.V4_4))));
+  ]
+
+(* --- scaling benches: substrate cost vs input size ----------------------- *)
+
+let scaling_tests () =
+  let rng = Prng.create 177 in
+  let keys =
+    List.map (fun bits -> (bits, Rsa.generate ~mr_rounds:6 rng ~bits)) [ 384; 512; 768 ]
+  in
+  let msg = "scaling" in
+  let sign_tests =
+    List.map
+      (fun (bits, key) ->
+        Test.make ~name:(Printf.sprintf "rsa%d_sign" bits)
+          (Staged.stage (fun () -> ignore (Rsa.sign key ~digest:Dk.SHA1 msg))))
+      keys
+  in
+  let hash_tests =
+    List.map
+      (fun size ->
+        let payload = String.make size 'h' in
+        Test.make ~name:(Printf.sprintf "sha256_%dB" size)
+          (Staged.stage (fun () -> ignore (Tangled_hash.Sha256.digest payload))))
+      [ 64; 1024; 16384 ]
+  in
+  let modpow_tests =
+    List.map
+      (fun bits ->
+        let module B = Tangled_numeric.Bigint in
+        let m = Tangled_numeric.Prime.generate ~rounds:6 rng ~bits in
+        let base = B.random_below rng m in
+        let e = B.random_below rng m in
+        Test.make ~name:(Printf.sprintf "modpow_%dbit" bits)
+          (Staged.stage (fun () -> ignore (B.modpow base e m))))
+      [ 256; 512; 1024 ]
+  in
+  sign_tests @ hash_tests @ modpow_tests
+
+(* --- ablation benches (DESIGN.md §5) ------------------------------------ *)
+
+let ablation_tests () =
+  let w = Lazy.force world in
+  let u = w.Pipeline.universe in
+  let now = Ts.paper_epoch in
+  let certs44 = Rs.certs (u.BP.aosp PD.V4_4) in
+  let some_chain =
+    let c = w.Pipeline.notary.Notary.chains.(0) in
+    c.Notary.leaf :: c.Notary.intermediates
+  in
+  let anchor = w.Pipeline.notary.Notary.chains.(0).Notary.anchor in
+  let store = u.BP.aosp PD.V4_4 in
+  (* identity definition: (subject, modulus) equivalence vs full-DER *)
+  let dedup keyf certs =
+    let tbl = Hashtbl.create 256 in
+    List.iter (fun c -> Hashtbl.replace tbl (keyf c) ()) certs;
+    Hashtbl.length tbl
+  in
+  let mixed = certs44 @ Rs.certs u.BP.mozilla in
+  (* store lookup: hash-keyed map vs linear scan *)
+  let target = List.nth certs44 (List.length certs44 - 1) in
+  let linear_mem cert =
+    List.exists (fun c -> C.equivalence_key c = C.equivalence_key cert) certs44
+  in
+  [
+    Test.make ~name:"ablation_identity_equivalence"
+      (Staged.stage (fun () -> ignore (dedup C.equivalence_key mixed)));
+    Test.make ~name:"ablation_identity_bytes"
+      (Staged.stage (fun () -> ignore (dedup C.byte_identity mixed)));
+    Test.make ~name:"ablation_store_lookup_hash"
+      (Staged.stage (fun () -> ignore (Rs.mem store target)));
+    Test.make ~name:"ablation_store_lookup_linear"
+      (Staged.stage (fun () -> ignore (linear_mem target)));
+    Test.make ~name:"ablation_sig_check_full"
+      (Staged.stage (fun () -> ignore (Chain.validate ~now ~store some_chain)));
+    Test.make ~name:"ablation_sig_check_membership"
+      (Staged.stage (fun () ->
+           ignore (match anchor with Some k -> Rs.mem_key store k | None -> false)));
+  ]
+
+(* --- harness -------------------------------------------------------------- *)
+
+let run_group label tests =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  Printf.printf "--- %s %s\n%!" label
+    (String.make (Stdlib.max 1 (60 - String.length label)) '-');
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] ->
+              let pretty =
+                if ns >= 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+                else if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+                else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+                else Printf.sprintf "%8.2f ns" ns
+              in
+              Printf.printf "  %-38s %s/run\n%!" name pretty
+          | _ -> Printf.printf "  %-38s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "building the shared world (quick config)...\n%!";
+  ignore (Lazy.force world);
+  Printf.printf "world ready in %.1fs\n\n%!" (Unix.gettimeofday () -. t0);
+  run_group "paper artefacts (Tables 1-6, Figures 1-3) + extensions" (artefact_tests ());
+  run_group "substrates" (substrate_tests ());
+  run_group "substrate scaling" (scaling_tests ());
+  run_group "ablations" (ablation_tests ());
+  (* the artefacts themselves, so bench output records the reproduction *)
+  print_newline ();
+  print_string (Report.run_all (Lazy.force world))

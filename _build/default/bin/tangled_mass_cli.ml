@@ -1,0 +1,364 @@
+(* tangled-mass — command-line front end for the reproduction.
+
+   Subcommands:
+     tables    render one or all of the paper's tables
+     figures   render one of the paper's figures
+     report    run the full study and print every artefact
+     stores    inspect the synthetic official root stores
+     intercept run the §7 interception case study
+*)
+
+open Cmdliner
+
+module Pipeline = Tangled_core.Pipeline
+module Report = Tangled_core.Report
+
+let setup_logs style_renderer level =
+  Fmt_tty.setup_std_outputs ?style_renderer ();
+  Logs.set_level level;
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let logs_term =
+  Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+let seed_arg =
+  let doc = "Seed for the deterministic world generation." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let sessions_arg =
+  let doc = "Number of Netalyzr sessions to simulate (paper: 15970)." in
+  Arg.(value & opt int Pipeline.default_config.Pipeline.sessions
+       & info [ "sessions" ] ~docv:"N" ~doc)
+
+let leaves_arg =
+  let doc =
+    "Number of unexpired Notary leaf certificates (paper scale ~1000000; \
+     the default trades absolute counts for runtime — fractions are \
+     scale-invariant)."
+  in
+  Arg.(value & opt int Pipeline.default_config.Pipeline.notary_leaves
+       & info [ "leaves" ] ~docv:"N" ~doc)
+
+let key_bits_arg =
+  let doc = "RSA modulus size for every generated key." in
+  Arg.(value & opt int 384 & info [ "key-bits" ] ~docv:"BITS" ~doc)
+
+let csv_dir_arg =
+  let doc = "Also dump each artefact's data as CSV into this directory." in
+  Arg.(value & opt (some string) None & info [ "csv-dir" ] ~docv:"DIR" ~doc)
+
+let config_of seed sessions leaves key_bits =
+  {
+    Pipeline.default_config with
+    Pipeline.seed;
+    sessions;
+    notary_leaves = leaves;
+    key_bits;
+  }
+
+let build_world seed sessions leaves key_bits =
+  Logs.app (fun m -> m "building world (seed %d, %d sessions, %d leaves, %d-bit keys)..."
+               seed sessions leaves key_bits);
+  let t0 = Unix.gettimeofday () in
+  let world = Pipeline.run ~config:(config_of seed sessions leaves key_bits) () in
+  Logs.app (fun m -> m "world ready in %.1fs" (Unix.gettimeofday () -. t0));
+  world
+
+(* --- tables / figures ------------------------------------------------ *)
+
+let render_artefacts world names csv_dir =
+  List.iter
+    (fun name ->
+      print_endline (Report.render_one world name);
+      print_newline ();
+      match csv_dir with
+      | Some dir ->
+          let header, rows = Report.csv_one world name in
+          Tangled_util.Csv.write_file (Filename.concat dir (name ^ ".csv")) ~header rows
+      | None -> ())
+    names
+
+let tables_cmd =
+  let which =
+    let doc = "Table number to render (1-6); defaults to all." in
+    Arg.(value & opt (some int) None & info [ "t"; "table" ] ~docv:"N" ~doc)
+  in
+  let run () seed sessions leaves key_bits which csv_dir =
+    let world = build_world seed sessions leaves key_bits in
+    let names =
+      match which with
+      | Some n when n >= 1 && n <= 6 -> [ Printf.sprintf "table%d" n ]
+      | Some n -> invalid_arg (Printf.sprintf "no table %d in the paper" n)
+      | None -> [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6" ]
+    in
+    render_artefacts world names csv_dir
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the paper's tables")
+    Term.(const run $ logs_term $ seed_arg $ sessions_arg $ leaves_arg
+          $ key_bits_arg $ which $ csv_dir_arg)
+
+let figures_cmd =
+  let which =
+    let doc = "Figure number to render (1-3); defaults to all." in
+    Arg.(value & opt (some int) None & info [ "f"; "figure" ] ~docv:"N" ~doc)
+  in
+  let run () seed sessions leaves key_bits which csv_dir =
+    let world = build_world seed sessions leaves key_bits in
+    let names =
+      match which with
+      | Some n when n >= 1 && n <= 3 -> [ Printf.sprintf "figure%d" n ]
+      | Some n -> invalid_arg (Printf.sprintf "no figure %d in the paper" n)
+      | None -> [ "figure1"; "figure2"; "figure3" ]
+    in
+    render_artefacts world names csv_dir
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's figures")
+    Term.(const run $ logs_term $ seed_arg $ sessions_arg $ leaves_arg
+          $ key_bits_arg $ which $ csv_dir_arg)
+
+let report_cmd =
+  let run () seed sessions leaves key_bits csv_dir =
+    let world = build_world seed sessions leaves key_bits in
+    print_string (Report.run_all ?csv_dir world)
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Run the whole study: every table and figure")
+    Term.(const run $ logs_term $ seed_arg $ sessions_arg $ leaves_arg
+          $ key_bits_arg $ csv_dir_arg)
+
+(* --- stores ----------------------------------------------------------- *)
+
+let stores_cmd =
+  let store_arg =
+    let doc = "Which store to show: aosp41, aosp42, aosp43, aosp44, mozilla, ios7." in
+    Arg.(value & opt string "aosp44" & info [ "store" ] ~docv:"NAME" ~doc)
+  in
+  let pem_arg =
+    let doc = "Dump the store as concatenated PEM on stdout." in
+    Arg.(value & flag & info [ "pem" ] ~doc)
+  in
+  let cacerts_arg =
+    let doc =
+      "Write the store as an Android cacerts directory (one <hash>.N PEM file \
+       per root, like /system/etc/security/cacerts)."
+    in
+    Arg.(value & opt (some string) None & info [ "cacerts-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run () seed key_bits store pem cacerts_dir =
+    let module BP = Tangled_pki.Blueprint in
+    let module PD = Tangled_pki.Paper_data in
+    let module Rs = Tangled_store.Root_store in
+    let universe = BP.build ~key_bits ~seed () in
+    let target =
+      match store with
+      | "aosp41" -> universe.BP.aosp PD.V4_1
+      | "aosp42" -> universe.BP.aosp PD.V4_2
+      | "aosp43" -> universe.BP.aosp PD.V4_3
+      | "aosp44" -> universe.BP.aosp PD.V4_4
+      | "mozilla" -> universe.BP.mozilla
+      | "ios7" -> universe.BP.ios7
+      | other -> invalid_arg ("unknown store " ^ other)
+    in
+    match cacerts_dir with
+    | Some dir -> (
+        match Tangled_store.Cacerts_dir.write target dir with
+        | Ok n -> Printf.printf "wrote %d certificates to %s\n" n dir
+        | Error m ->
+            prerr_endline ("stores: " ^ m);
+            exit 1)
+    | None ->
+        if pem then print_string (Rs.to_pem target)
+        else begin
+          Printf.printf "%s: %d certificates\n" (Rs.name target) (Rs.cardinal target);
+          List.iter
+            (fun c ->
+              Printf.printf "  %s  %s\n"
+                (Tangled_x509.Certificate.subject_hash32 c)
+                (Tangled_x509.Dn.to_string c.Tangled_x509.Certificate.subject))
+            (Rs.certs target)
+        end
+  in
+  Cmd.v
+    (Cmd.info "stores" ~doc:"Inspect the synthetic official root stores")
+    Term.(const run $ logs_term $ seed_arg $ key_bits_arg $ store_arg $ pem_arg
+          $ cacerts_arg)
+
+(* --- analyze (extension analyses) -------------------------------------- *)
+
+let analyze_cmd =
+  let which =
+    let doc =
+      "Which analysis to run: minimization (§5.3), scoping (§8), pinning (§7); \
+       defaults to all."
+    in
+    Arg.(value & opt (some string) None & info [ "a"; "analysis" ] ~docv:"NAME" ~doc)
+  in
+  let run () seed sessions leaves key_bits which csv_dir =
+    let world = build_world seed sessions leaves key_bits in
+    let names =
+      match which with
+      | Some n when List.mem n Report.extension_names -> [ n ]
+      | Some n ->
+          invalid_arg
+            (Printf.sprintf "unknown analysis %S (expected: %s)" n
+               (String.concat ", " Report.extension_names))
+      | None -> Report.extension_names
+    in
+    render_artefacts world names csv_dir
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the extension analyses (store minimization, trust scoping, pinning)")
+    Term.(const run $ logs_term $ seed_arg $ sessions_arg $ leaves_arg
+          $ key_bits_arg $ which $ csv_dir_arg)
+
+(* --- export ------------------------------------------------------------- *)
+
+let export_cmd =
+  let what_arg =
+    let doc = "What to export: sessions, notary, or stores." in
+    Arg.(value & opt string "sessions" & info [ "what" ] ~docv:"KIND" ~doc)
+  in
+  let out_arg =
+    let doc = "Output file (defaults to <kind>.json in the working directory)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let limit_arg =
+    let doc = "Truncate record lists to the first N entries." in
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let run () seed sessions leaves key_bits what out limit =
+    let world = build_world seed sessions leaves key_bits in
+    let json =
+      match what with
+      | "sessions" -> Tangled_core.Export.sessions_json ?limit world
+      | "notary" -> Tangled_core.Export.notary_json ?limit world
+      | "stores" -> Tangled_core.Export.stores_json world
+      | other -> invalid_arg ("unknown export kind " ^ other)
+    in
+    let path = Option.value ~default:(what ^ ".json") out in
+    Tangled_core.Export.write_file path json;
+    Logs.app (fun m -> m "wrote %s" path)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export the datasets as JSON (session log, notary DB, stores)")
+    Term.(const run $ logs_term $ seed_arg $ sessions_arg $ leaves_arg
+          $ key_bits_arg $ what_arg $ out_arg $ limit_arg)
+
+(* --- sensitivity ---------------------------------------------------------- *)
+
+let sensitivity_cmd =
+  let runs_arg =
+    let doc = "Number of additional seeds to re-run (beyond the base seed)." in
+    Arg.(value & opt int 3 & info [ "runs" ] ~docv:"N" ~doc)
+  in
+  let run () seed sessions leaves key_bits runs =
+    let world = build_world seed sessions leaves key_bits in
+    let seeds = List.init runs (fun i -> seed + 1000 + i) in
+    Logs.app (fun m -> m "re-running %d extra worlds..." runs);
+    print_endline
+      (Tangled_core.Sensitivity.render (Tangled_core.Sensitivity.compute ~seeds world))
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Re-run the pipeline across seeds and report headline-statistic spread")
+    Term.(const run $ logs_term $ seed_arg $ sessions_arg $ leaves_arg
+          $ key_bits_arg $ runs_arg)
+
+(* --- audit -------------------------------------------------------------- *)
+
+let audit_cmd =
+  let pem_file =
+    let doc =
+      "Device root store to audit: either a PEM file (concatenated CERTIFICATE \
+       blocks) or an Android cacerts directory (<hash>.N files)."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"STORE" ~doc)
+  in
+  let baseline_arg =
+    let doc = "AOSP baseline to diff against: aosp41, aosp42, aosp43, aosp44." in
+    Arg.(value & opt string "aosp44" & info [ "baseline" ] ~docv:"NAME" ~doc)
+  in
+  let run () seed key_bits pem_file baseline =
+    let module BP = Tangled_pki.Blueprint in
+    let module PD = Tangled_pki.Paper_data in
+    let module Rs = Tangled_store.Root_store in
+    let module C = Tangled_x509.Certificate in
+    let module Pem = Tangled_x509.Pem in
+    let universe = BP.build ~key_bits ~seed () in
+    let baseline_store =
+      match baseline with
+      | "aosp41" -> universe.BP.aosp PD.V4_1
+      | "aosp42" -> universe.BP.aosp PD.V4_2
+      | "aosp43" -> universe.BP.aosp PD.V4_3
+      | "aosp44" -> universe.BP.aosp PD.V4_4
+      | other -> invalid_arg ("unknown baseline " ^ other)
+    in
+    let load_store () =
+      if Sys.is_directory pem_file then
+        Tangled_store.Cacerts_dir.read ~name:"audited" pem_file
+      else begin
+        let contents =
+          let ic = open_in_bin pem_file in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match Pem.decode_all contents with
+        | Error _ as e -> e
+        | Ok blocks ->
+            let certs =
+              List.filter_map
+                (fun (label, der) ->
+                  if label <> "CERTIFICATE" then None
+                  else match C.decode der with Ok c -> Some c | Error _ -> None)
+                blocks
+            in
+            Ok (Rs.of_certs "audited" Rs.User certs)
+      end
+    in
+    match load_store () with
+    | Error m -> prerr_endline ("audit: " ^ m); exit 1
+    | Ok device ->
+        let additions, missing = Rs.diff device baseline_store in
+        Printf.printf "store: %d certificates (%s baseline: %d)\n" (Rs.cardinal device)
+          (Rs.name baseline_store) (Rs.cardinal baseline_store);
+        Printf.printf "additions beyond baseline: %d\n" (List.length additions);
+        List.iter
+          (fun c ->
+            Printf.printf "  + %s  %s\n" (C.subject_hash32 c)
+              (Tangled_x509.Dn.to_string c.C.subject))
+          additions;
+        Printf.printf "baseline certificates missing: %d\n" (List.length missing);
+        List.iter
+          (fun c ->
+            Printf.printf "  - %s  %s\n" (C.subject_hash32 c)
+              (Tangled_x509.Dn.to_string c.C.subject))
+          missing
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Diff a PEM root-store dump against an AOSP baseline (the Netalyzr measurement, offline)")
+    Term.(const run $ logs_term $ seed_arg $ key_bits_arg $ pem_file $ baseline_arg)
+
+(* --- intercept --------------------------------------------------------- *)
+
+let intercept_cmd =
+  let run () seed sessions leaves key_bits =
+    let world = build_world seed sessions leaves key_bits in
+    print_endline (Report.render_one world "table6")
+  in
+  Cmd.v
+    (Cmd.info "intercept" ~doc:"Run the TLS-interception case study (§7)")
+    Term.(const run $ logs_term $ seed_arg $ sessions_arg $ leaves_arg $ key_bits_arg)
+
+let main_cmd =
+  let doc = "Reproduction of 'A Tangled Mass: The Android Root Certificate Stores'" in
+  Cmd.group
+    (Cmd.info "tangled-mass" ~version:"1.0.0" ~doc)
+    [ tables_cmd; figures_cmd; report_cmd; analyze_cmd; audit_cmd; export_cmd;
+      sensitivity_cmd; stores_cmd; intercept_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/ca_compromise.ml: Array Format Lazy Seq Tangled_hash Tangled_pki Tangled_store Tangled_util Tangled_validation Tangled_x509

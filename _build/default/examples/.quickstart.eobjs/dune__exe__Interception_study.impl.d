@@ -1,0 +1,1 @@
+examples/interception_study.ml: Format Lazy List Printf Tangled_pki Tangled_tls Tangled_util Tangled_validation Tangled_x509

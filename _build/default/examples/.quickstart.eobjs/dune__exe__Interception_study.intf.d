@@ -1,0 +1,1 @@
+examples/interception_study.mli:

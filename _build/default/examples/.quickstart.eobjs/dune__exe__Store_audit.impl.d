@@ -1,0 +1,1 @@
+examples/store_audit.ml: Format Hashtbl Lazy List Tangled_device Tangled_pki Tangled_store Tangled_util Tangled_x509

@@ -1,0 +1,92 @@
+(* CA compromise scenario (§2): the paper recalls that root-store CAs
+   such as Comodo and Turktrust have been compromised, and that
+   Android 4.4 added detection of fraudulently issued Google
+   certificates.  This example plays out both platform responses on the
+   synthetic world: an attacker holding a trusted CA's key mints a
+   gmail certificate; the key blocklist and the issuer pin each stop it.
+
+   Run with: dune exec examples/ca_compromise.exe *)
+
+module BP = Tangled_pki.Blueprint
+module PD = Tangled_pki.Paper_data
+module Rs = Tangled_store.Root_store
+module C = Tangled_x509.Certificate
+module Dn = Tangled_x509.Dn
+module Authority = Tangled_x509.Authority
+module Chain = Tangled_validation.Chain
+module Blocklist = Tangled_validation.Blocklist
+module Ts = Tangled_util.Timestamp
+
+let show label = function
+  | Ok anchor -> Format.printf "%-34s trusted (anchor %a)@." label Dn.pp anchor.C.subject
+  | Error (`Chain f) -> Format.printf "%-34s rejected: %s@." label (Chain.failure_to_string f)
+  | Error (`Screen r) ->
+      Format.printf "%-34s rejected: %s@." label (Blocklist.rejection_to_string r)
+
+let () =
+  Format.printf "building the PKI universe (one-time, ~10s)...@.";
+  let universe = Lazy.force BP.default in
+  let store = universe.BP.aosp PD.V4_4 in
+  let now = Ts.paper_epoch in
+  let rng = Tangled_util.Prng.create 31337 in
+
+  (* the attacker controls one of the 150 trusted AOSP roots *)
+  let victim_root = universe.BP.roots.(3) in
+  Format.printf "compromised CA: %s@.@." victim_root.BP.display_name;
+  let fraudulent =
+    Authority.issue_leaf ~bits:universe.BP.key_bits
+      ~digest:Tangled_hash.Digest_kind.SHA1 rng
+      ~parent:victim_root.BP.authority ~dns_names:[ "gmail.com" ]
+      (Dn.make "gmail.com")
+  in
+
+  (* 1. a pre-4.4 Android accepts it without question *)
+  let plain = Blocklist.empty in
+  show "stock platform:" (Blocklist.validate plain ~now ~store [ fraudulent ]);
+
+  (* 2. the DigiNotar treatment: blocklist the CA's key.  Equivalent
+     renewed certificates of the same CA stay blocked. *)
+  let blocked =
+    Blocklist.block_key Blocklist.empty victim_root.BP.authority.Authority.certificate
+  in
+  show "after key blocklist:" (Blocklist.validate blocked ~now ~store [ fraudulent ]);
+  let renewed = Authority.renew victim_root.BP.authority in
+  let store_with_renewed =
+    Rs.merge store (Rs.of_certs "renewed" Rs.Aosp [ renewed.Authority.certificate ])
+  in
+  show "renewed CA, still blocked:"
+    (Blocklist.validate blocked ~now ~store:store_with_renewed [ fraudulent ]);
+
+  (* 3. the Android 4.4 rule: pin google properties to their real CA,
+     leave everything else untouched *)
+  let genuine_issuer =
+    (* whichever root actually serves gmail.com in this world *)
+    match
+      Array.to_seq universe.BP.roots
+      |> Seq.find (fun (r : BP.root) ->
+             r.BP.traffic_weight > 0.0 && r.BP.in_mozilla && r.BP.in_aosp <> [])
+    with
+    | Some r -> r
+    | None -> failwith "no core root"
+  in
+  let pinned =
+    Blocklist.pin_issuer Blocklist.empty ~subject_cn:"gmail.com"
+      genuine_issuer.BP.authority.Authority.certificate
+  in
+  show "after 4.4-style issuer pin:" (Blocklist.validate pinned ~now ~store [ fraudulent ]);
+  let genuine =
+    Authority.issue_leaf ~bits:universe.BP.key_bits
+      ~digest:Tangled_hash.Digest_kind.SHA1 rng
+      ~parent:genuine_issuer.BP.authority ~dns_names:[ "gmail.com" ]
+      (Dn.make "gmail.com")
+  in
+  show "genuine chain, same pin:" (Blocklist.validate pinned ~now ~store [ genuine ]);
+
+  (* 4. unrelated domains are unaffected by the pin *)
+  let other =
+    Authority.issue_leaf ~bits:universe.BP.key_bits
+      ~digest:Tangled_hash.Digest_kind.SHA1 rng
+      ~parent:victim_root.BP.authority ~dns_names:[ "example.org" ]
+      (Dn.make "example.org")
+  in
+  show "unpinned domain, any CA:" (Blocklist.validate pinned ~now ~store [ other ])

@@ -1,0 +1,53 @@
+(* TLS interception study (§7): a participant device tunnels through a
+   marketing company's HTTPS proxy.  The proxy re-signs certificates
+   on the fly for most domains but whitelists pinning-protected ones.
+   Netalyzr-style probes detect the substitution per domain.
+
+   Run with: dune exec examples/interception_study.exe *)
+
+module BP = Tangled_pki.Blueprint
+module PD = Tangled_pki.Paper_data
+module C = Tangled_x509.Certificate
+module Endpoint = Tangled_tls.Endpoint
+module Proxy = Tangled_tls.Proxy
+module Handshake = Tangled_tls.Handshake
+module Chain = Tangled_validation.Chain
+module Ts = Tangled_util.Timestamp
+
+let () =
+  Format.printf "building the PKI universe (one-time, ~10s)...@.";
+  let universe = Lazy.force BP.default in
+  let world = Endpoint.build_world ~seed:5 universe in
+  let proxy = Proxy.create ~seed:5 ~interceptor:universe.BP.interceptor universe in
+  let store = universe.BP.aosp PD.V4_4 in
+  let now = Ts.paper_epoch in
+  Format.printf "device tunnels through %s@.@." (Proxy.proxy_host proxy);
+  let direct = Handshake.Direct world in
+  let proxied = Handshake.Proxied (world, proxy) in
+  Format.printf "%-30s %-12s %-12s %s@." "domain" "direct" "proxied" "intercepted?";
+  List.iter
+    (fun (host, port) ->
+      let show t =
+        match Handshake.connect t ~store ~now ~host ~port with
+        | Some o ->
+            ( (match o.Handshake.verdict with
+              | Ok _ -> "trusted"
+              | Error _ -> "UNTRUSTED"),
+              o.Handshake.intercepted )
+        | None -> ("unreachable", false)
+      in
+      let d, _ = show direct in
+      let p, intercepted = show proxied in
+      Format.printf "%-30s %-12s %-12s %s@."
+        (Printf.sprintf "%s:%d" host port)
+        d p
+        (if intercepted then "YES" else "-"))
+    (Endpoint.probe_targets world);
+  (* what the forged chains look like *)
+  match Endpoint.lookup world ~host:"gmail.com" ~port:443 with
+  | Some e -> (
+      match Proxy.terminate proxy e with
+      | forged :: _ ->
+          Format.printf "@.forged gmail.com leaf:@.%a@." C.pp_details forged
+      | [] -> ())
+  | None -> ()

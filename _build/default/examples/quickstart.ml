@@ -1,0 +1,53 @@
+(* Quickstart: build a tiny PKI, assemble a root store, issue a server
+   chain, and validate it — the library's core loop in ~40 lines.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Dn = Tangled_x509.Dn
+module Authority = Tangled_x509.Authority
+module C = Tangled_x509.Certificate
+module Rs = Tangled_store.Root_store
+module Chain = Tangled_validation.Chain
+module Ts = Tangled_util.Timestamp
+
+let () =
+  let rng = Tangled_util.Prng.create 2024 in
+  (* 1. a certificate authority hierarchy *)
+  let root =
+    Authority.self_signed rng (Dn.make ~o:"Example Trust" ~c:"US" "Example Root CA")
+  in
+  let intermediate =
+    Authority.issue_intermediate rng ~parent:root
+      (Dn.make ~o:"Example Trust" "Example Issuing CA")
+  in
+  let leaf =
+    Authority.issue_leaf rng ~parent:intermediate ~dns_names:[ "shop.example.com" ]
+      (Dn.make "shop.example.com")
+  in
+  Format.printf "Issued chain:@.%a@." C.pp_details leaf;
+
+  (* 2. an Android-style system root store trusting that root *)
+  let store = Rs.of_certs "device" Rs.Aosp [ root.Authority.certificate ] in
+  let now = Ts.paper_epoch in
+
+  (* 3. validation: server presents leaf + intermediate *)
+  let chain = [ leaf; intermediate.Authority.certificate ] in
+  (match (Chain.validate ~now ~store chain).Chain.verdict with
+  | Ok anchor ->
+      Format.printf "validated, anchored at: %a@." Dn.pp anchor.C.subject
+  | Error f -> Format.printf "validation failed: %s@." (Chain.failure_to_string f));
+
+  (* 4. remove the root (privileged actor) and watch validation fail *)
+  let store' =
+    match Rs.remove store (Rs.Privileged_app "cleaner") root.Authority.certificate with
+    | Ok s -> s
+    | Error e -> failwith (Rs.error_to_string e)
+  in
+  (match (Chain.validate ~now ~store:store' chain).Chain.verdict with
+  | Ok _ -> Format.printf "unexpectedly validated@."
+  | Error f -> Format.printf "after root removal: %s@." (Chain.failure_to_string f));
+
+  (* 5. an unprivileged app cannot touch the store at all *)
+  match Rs.add store (Rs.Unprivileged_app "game") Rs.User leaf with
+  | Ok _ -> Format.printf "unexpectedly allowed@."
+  | Error e -> Format.printf "store protection: %s@." (Rs.error_to_string e)

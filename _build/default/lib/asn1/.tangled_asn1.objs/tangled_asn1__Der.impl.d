@@ -1,0 +1,1 @@
+lib/asn1/der.ml: Buffer Char Format List Oid Printf Stdlib String Tangled_numeric Tangled_util

@@ -1,0 +1,1 @@
+lib/asn1/der.mli: Format Oid Tangled_numeric Tangled_util

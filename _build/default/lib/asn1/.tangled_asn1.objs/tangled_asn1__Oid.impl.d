@@ -1,0 +1,1 @@
+lib/asn1/oid.ml: Array Buffer Char Format List Printf Stdlib String

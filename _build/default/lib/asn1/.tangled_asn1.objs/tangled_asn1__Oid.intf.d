@@ -1,0 +1,1 @@
+lib/asn1/oid.mli: Format

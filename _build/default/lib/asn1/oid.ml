@@ -1,0 +1,96 @@
+type t = int array
+
+let validate arcs =
+  match arcs with
+  | a :: b :: _ ->
+      if a < 0 || a > 2 then invalid_arg "Oid: first arc must be 0, 1 or 2";
+      if a < 2 && b >= 40 then invalid_arg "Oid: second arc must be below 40";
+      if List.exists (fun x -> x < 0) arcs then invalid_arg "Oid: negative arc"
+  | _ -> invalid_arg "Oid: need at least two arcs"
+
+let of_arcs arcs =
+  validate arcs;
+  Array.of_list arcs
+
+let of_string s =
+  let parts = String.split_on_char '.' s in
+  let arcs =
+    List.map
+      (fun p ->
+        match int_of_string_opt p with
+        | Some v -> v
+        | None -> invalid_arg (Printf.sprintf "Oid.of_string: bad arc %S" p))
+      parts
+  in
+  of_arcs arcs
+
+let to_string t = String.concat "." (List.map string_of_int (Array.to_list t))
+let arcs t = Array.to_list t
+let equal a b = a = b
+let compare = Stdlib.compare
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let encode_base128 buf v =
+  (* big-endian base-128, high bit set on all but the last septet *)
+  let rec septets v acc = if v = 0 then acc else septets (v lsr 7) ((v land 0x7f) :: acc) in
+  let parts = match septets v [] with [] -> [ 0 ] | l -> l in
+  let n = List.length parts in
+  List.iteri
+    (fun i p ->
+      let byte = if i = n - 1 then p else p lor 0x80 in
+      Buffer.add_char buf (Char.chr byte))
+    parts
+
+let to_der_content t =
+  let buf = Buffer.create 12 in
+  encode_base128 buf ((t.(0) * 40) + t.(1));
+  for i = 2 to Array.length t - 1 do
+    encode_base128 buf t.(i)
+  done;
+  Buffer.contents buf
+
+let of_der_content s =
+  let n = String.length s in
+  if n = 0 then None
+  else begin
+    let rec read i acc arcs =
+      if i >= n then if acc = 0 then Some (List.rev arcs) else None
+      else begin
+        let b = Char.code s.[i] in
+        let acc = (acc lsl 7) lor (b land 0x7f) in
+        if b land 0x80 <> 0 then read (i + 1) acc arcs
+        else read (i + 1) 0 (acc :: arcs)
+      end
+    in
+    match read 0 0 [] with
+    | None | Some [] -> None
+    | Some (first :: rest) ->
+        let a, b = if first < 40 then (0, first) else if first < 80 then (1, first - 40) else (2, first - 80) in
+        (try Some (of_arcs (a :: b :: rest)) with Invalid_argument _ -> None)
+  end
+
+let rsa_encryption = of_string "1.2.840.113549.1.1.1"
+let md5_with_rsa = of_string "1.2.840.113549.1.1.4"
+let sha1_with_rsa = of_string "1.2.840.113549.1.1.5"
+let sha256_with_rsa = of_string "1.2.840.113549.1.1.11"
+
+let at_common_name = of_string "2.5.4.3"
+let at_country = of_string "2.5.4.6"
+let at_organization = of_string "2.5.4.10"
+let at_organizational_unit = of_string "2.5.4.11"
+let at_locality = of_string "2.5.4.7"
+let at_state = of_string "2.5.4.8"
+let at_email = of_string "1.2.840.113549.1.9.1"
+
+let ext_subject_key_id = of_string "2.5.29.14"
+let ext_authority_key_id = of_string "2.5.29.35"
+let ext_key_usage = of_string "2.5.29.15"
+let ext_basic_constraints = of_string "2.5.29.19"
+let ext_ext_key_usage = of_string "2.5.29.37"
+let ext_subject_alt_name = of_string "2.5.29.17"
+
+let kp_server_auth = of_string "1.3.6.1.5.5.7.3.1"
+let kp_client_auth = of_string "1.3.6.1.5.5.7.3.2"
+let kp_code_signing = of_string "1.3.6.1.5.5.7.3.3"
+let kp_email_protection = of_string "1.3.6.1.5.5.7.3.4"
+let kp_time_stamping = of_string "1.3.6.1.5.5.7.3.8"

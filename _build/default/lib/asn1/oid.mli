@@ -1,0 +1,51 @@
+(** ASN.1 object identifiers. *)
+
+type t
+
+val of_arcs : int list -> t
+(** @raise Invalid_argument unless there are at least two arcs, the
+    first is 0–2, and (for first arc 0 or 1) the second is below 40. *)
+
+val of_string : string -> t
+(** Dotted-decimal parsing, e.g. ["1.2.840.113549.1.1.11"].
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+val arcs : t -> int list
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val to_der_content : t -> string
+(** Content octets of the DER encoding (no tag/length). *)
+
+val of_der_content : string -> t option
+(** Inverse of {!to_der_content}; [None] on malformed input. *)
+
+(** Well-known OIDs used by the X.509 layer. *)
+
+val rsa_encryption : t
+val md5_with_rsa : t
+val sha1_with_rsa : t
+val sha256_with_rsa : t
+
+val at_common_name : t
+val at_country : t
+val at_organization : t
+val at_organizational_unit : t
+val at_locality : t
+val at_state : t
+val at_email : t
+
+val ext_subject_key_id : t
+val ext_authority_key_id : t
+val ext_key_usage : t
+val ext_basic_constraints : t
+val ext_ext_key_usage : t
+val ext_subject_alt_name : t
+
+val kp_server_auth : t
+val kp_client_auth : t
+val kp_code_signing : t
+val kp_email_protection : t
+val kp_time_stamping : t

@@ -1,0 +1,1 @@
+lib/core/export.ml: Array Fun List Pipeline String Tangled_hash Tangled_netalyzr Tangled_notary Tangled_pki Tangled_store Tangled_tls Tangled_util Tangled_validation Tangled_x509

@@ -1,0 +1,1 @@
+lib/core/figure1.ml: Array Buffer Hashtbl List Option Pipeline Printf Stdlib Tangled_netalyzr Tangled_pki Tangled_util

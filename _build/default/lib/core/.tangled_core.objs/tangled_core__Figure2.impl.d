@@ -1,0 +1,1 @@
+lib/core/figure2.ml: Array Buffer Hashtbl List Option Pipeline Printf Stdlib String Tangled_netalyzr Tangled_notary Tangled_pki Tangled_util Tangled_x509

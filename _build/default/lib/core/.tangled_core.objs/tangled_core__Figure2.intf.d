@@ -1,0 +1,1 @@
+lib/core/figure2.mli: Pipeline Tangled_pki

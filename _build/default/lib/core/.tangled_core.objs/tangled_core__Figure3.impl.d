@@ -1,0 +1,1 @@
+lib/core/figure3.ml: Array Buffer List Pipeline Printf Tangled_notary Tangled_pki Tangled_util

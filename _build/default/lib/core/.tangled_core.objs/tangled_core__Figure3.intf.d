@@ -1,0 +1,1 @@
+lib/core/figure3.mli: Pipeline Tangled_util

@@ -1,0 +1,1 @@
+lib/core/minimization.ml: Hashtbl List Option Pipeline Printf Stdlib Tangled_notary Tangled_pki Tangled_store Tangled_util Tangled_x509

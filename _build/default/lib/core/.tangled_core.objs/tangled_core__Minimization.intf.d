@@ -1,0 +1,1 @@
+lib/core/minimization.mli: Pipeline Tangled_store

@@ -1,0 +1,1 @@
+lib/core/pinning_study.ml: List Option Pipeline Printf Stdlib Tangled_netalyzr Tangled_pki Tangled_tls Tangled_util

@@ -1,0 +1,1 @@
+lib/core/pinning_study.mli: Pipeline

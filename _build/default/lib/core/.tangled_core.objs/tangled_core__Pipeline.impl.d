@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Lazy Tangled_device Tangled_netalyzr Tangled_notary Tangled_pki

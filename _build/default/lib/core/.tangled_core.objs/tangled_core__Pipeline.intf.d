@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Lazy Tangled_device Tangled_netalyzr Tangled_notary Tangled_pki

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Figure1 Figure2 Figure3 Filename List Minimization Pinning_study Scoping Table1 Table2 Table3 Table4 Table5 Table6 Tangled_util

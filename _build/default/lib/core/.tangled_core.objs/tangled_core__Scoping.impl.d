@@ -1,0 +1,1 @@
+lib/core/scoping.ml: Array Hashtbl List Pipeline Printf Stdlib Tangled_netalyzr Tangled_notary Tangled_pki Tangled_store Tangled_util Tangled_x509

@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Array List Option Pipeline Printf Stdlib String Tangled_netalyzr Tangled_notary Tangled_pki Tangled_util

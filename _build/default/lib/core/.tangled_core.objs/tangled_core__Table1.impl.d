@@ -1,0 +1,1 @@
+lib/core/table1.ml: List Pipeline Tangled_pki Tangled_store Tangled_util

@@ -1,0 +1,1 @@
+lib/core/table2.ml: List Pipeline Stdlib Tangled_device Tangled_util

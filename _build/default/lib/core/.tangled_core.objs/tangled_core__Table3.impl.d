@@ -1,0 +1,1 @@
+lib/core/table3.ml: List Pipeline Printf Stdlib Tangled_notary Tangled_pki Tangled_util

@@ -1,0 +1,1 @@
+lib/core/table4.ml: Array List Pipeline Printf Tangled_notary Tangled_pki Tangled_util

@@ -1,0 +1,1 @@
+lib/core/table4.mli: Pipeline

@@ -1,0 +1,1 @@
+lib/core/table5.ml: Array Hashtbl List Option Pipeline Printf Stdlib Tangled_netalyzr Tangled_pki Tangled_util Tangled_x509

@@ -1,0 +1,1 @@
+lib/core/table6.ml: List Option Pipeline Printf Stdlib Tangled_netalyzr Tangled_pki Tangled_tls Tangled_util Tangled_x509

@@ -1,0 +1,140 @@
+module PD = Tangled_pki.Paper_data
+module BP = Tangled_pki.Blueprint
+module Rs = Tangled_store.Root_store
+module C = Tangled_x509.Certificate
+module Dn = Tangled_x509.Dn
+module Net = Tangled_netalyzr.Netalyzr
+module Notary = Tangled_notary.Notary
+module Handshake = Tangled_tls.Handshake
+module J = Tangled_util.Json
+module Ts = Tangled_util.Timestamp
+module Hex = Tangled_util.Hex
+
+let take limit l =
+  match limit with
+  | None -> l
+  | Some n -> List.filteri (fun i _ -> i < n) l
+
+let probe_json (o : Handshake.outcome) =
+  J.Obj
+    [
+      ("host", J.String o.Handshake.host);
+      ("port", J.Int o.Handshake.port);
+      ( "verdict",
+        J.String
+          (match o.Handshake.verdict with
+          | Ok anchor -> "trusted:" ^ Dn.to_string anchor.C.subject
+          | Error f -> "untrusted:" ^ Tangled_validation.Chain.failure_to_string f) );
+      ("intercepted", J.Bool o.Handshake.intercepted);
+      ("chain_length", J.Int (List.length o.Handshake.presented));
+    ]
+
+let session_json (s : Net.session) =
+  J.Obj
+    [
+      ("session_id", J.Int s.Net.session_id);
+      ("handset_id", J.Int s.Net.handset_id);
+      ("network", J.String s.Net.identity.Net.network);
+      ("public_ip", J.String s.Net.identity.Net.public_ip);
+      ("model", J.String s.Net.identity.Net.model);
+      ("os_version", J.String (PD.version_to_string s.Net.identity.Net.os_version));
+      ("manufacturer", J.String s.Net.manufacturer);
+      ("operator", J.String s.Net.operator);
+      ("rooted", J.Bool s.Net.rooted);
+      ("store_size", J.Int (List.length s.Net.store_keys));
+      ("aosp_present", J.Int s.Net.aosp_present);
+      ("additional", J.Int s.Net.additional);
+      ("missing", J.Int s.Net.missing);
+      ("additional_ids", J.List (List.map (fun id -> J.String id) s.Net.additional_ids));
+      ("app_added", J.List (List.map (fun n -> J.String n) s.Net.app_added));
+      ("probes", J.List (List.map probe_json s.Net.probes));
+    ]
+
+let sessions_json ?limit (w : Pipeline.t) =
+  let d = w.Pipeline.dataset in
+  J.Obj
+    [
+      ("tool", J.String "netalyzr-for-android (synthetic)");
+      ("seed", J.Int w.Pipeline.config.Pipeline.seed);
+      ("collected_at", J.String (Ts.to_utc_string Ts.paper_epoch));
+      ("total_sessions", J.Int (Net.total_sessions d));
+      ("estimated_handsets", J.Int (Net.estimated_handsets d));
+      ("unique_roots", J.Int (Net.unique_root_keys d));
+      ( "sessions",
+        J.List (take limit (Array.to_list d.Net.sessions) |> List.map session_json) );
+    ]
+
+let chain_json (c : Notary.chain) =
+  J.Obj
+    [
+      ("subject", J.String (Dn.to_string c.Notary.leaf.C.subject));
+      ("issuer", J.String (Dn.to_string c.Notary.leaf.C.issuer));
+      ("not_before", J.String (Ts.to_utc_string c.Notary.leaf.C.not_before));
+      ("not_after", J.String (Ts.to_utc_string c.Notary.leaf.C.not_after));
+      ("expired", J.Bool c.Notary.expired);
+      ("via_intermediate", J.Bool (c.Notary.intermediates <> []));
+      ( "anchor",
+        match c.Notary.anchor with
+        | Some k -> J.String (Hex.encode (String.sub (Tangled_hash.Sha256.digest k) 0 8))
+        | None -> J.Null );
+    ]
+
+let notary_json ?limit (w : Pipeline.t) =
+  let n = w.Pipeline.notary in
+  let u = w.Pipeline.universe in
+  let store_counts =
+    List.map
+      (fun v ->
+        ( "aosp_" ^ PD.version_to_string v,
+          J.Int (Notary.validated_by_store n (u.BP.aosp v)) ))
+      PD.android_versions
+    @ [
+        ("mozilla", J.Int (Notary.validated_by_store n u.BP.mozilla));
+        ("ios7", J.Int (Notary.validated_by_store n u.BP.ios7));
+      ]
+  in
+  J.Obj
+    [
+      ("source", J.String "icsi-certificate-notary (synthetic)");
+      ("unexpired", J.Int (Notary.unexpired n));
+      ("total", J.Int (Notary.total n));
+      ("scale_vs_paper", J.Float n.Notary.scale);
+      ("validated_by_store", J.Obj store_counts);
+      ( "chains",
+        J.List (take limit (Array.to_list n.Notary.chains) |> List.map chain_json) );
+    ]
+
+let cert_json cert =
+  J.Obj
+    [
+      ("subject", J.String (Dn.to_string cert.C.subject));
+      ("hash_id", J.String (C.subject_hash32 cert));
+      ("fingerprint_sha256", J.String (Hex.encode (C.fingerprint cert)));
+      ("not_after", J.String (Ts.to_utc_string cert.C.not_after));
+    ]
+
+let stores_json (w : Pipeline.t) =
+  let u = w.Pipeline.universe in
+  let store_json store =
+    J.Obj
+      [
+        ("name", J.String (Rs.name store));
+        ("size", J.Int (Rs.cardinal store));
+        ("certificates", J.List (List.map cert_json (Rs.certs store)));
+      ]
+  in
+  J.Obj
+    [
+      ( "stores",
+        J.List
+          (List.map (fun v -> store_json (u.BP.aosp v)) PD.android_versions
+          @ [ store_json u.BP.mozilla; store_json u.BP.ios7 ]) );
+    ]
+
+let write_file path json =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string ~pretty:true json);
+      output_char oc '\n')

@@ -1,0 +1,18 @@
+(** Machine-readable dataset exports: the Netalyzr session log and the
+    Notary certificate database, in the shapes a downstream analysis
+    (outside this library) would consume. *)
+
+val sessions_json : ?limit:int -> Pipeline.t -> Tangled_util.Json.t
+(** The Netalyzr dataset as a JSON document: collection metadata plus
+    one record per session (identity tuple, store summary, probe
+    results).  [limit] truncates to the first N sessions. *)
+
+val notary_json : ?limit:int -> Pipeline.t -> Tangled_util.Json.t
+(** The Notary database: per-chain records (leaf subject, issuer,
+    validity, anchor) plus the aggregate per-store counts. *)
+
+val stores_json : Pipeline.t -> Tangled_util.Json.t
+(** The official stores: per store, the list of certificate subjects
+    with their hash ids and fingerprints. *)
+
+val write_file : string -> Tangled_util.Json.t -> unit

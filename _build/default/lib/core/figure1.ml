@@ -1,0 +1,124 @@
+module PD = Tangled_pki.Paper_data
+module Net = Tangled_netalyzr.Netalyzr
+module T = Tangled_util.Text_table
+
+type point = {
+  manufacturer : string;
+  os_version : PD.android_version;
+  aosp_present : int;
+  additional : int;
+  sessions : int;
+}
+
+type t = {
+  points : point list;
+  extended_fraction : float;
+  handsets_missing : int;
+  heavy_fraction : (string * PD.android_version * float) list;
+}
+
+let compute (w : Pipeline.t) =
+  let d = w.Pipeline.dataset in
+  let tbl = Hashtbl.create 256 in
+  Array.iter
+    (fun (s : Net.session) ->
+      let key = (s.Net.manufacturer, s.Net.identity.Net.os_version, s.Net.aosp_present, s.Net.additional) in
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    d.Net.sessions;
+  let points =
+    Hashtbl.fold
+      (fun (manufacturer, os_version, aosp_present, additional) sessions acc ->
+        { manufacturer; os_version; aosp_present; additional; sessions } :: acc)
+      tbl []
+    |> List.sort (fun a b -> Stdlib.compare b.sessions a.sessions)
+  in
+  let missing_handsets = Hashtbl.create 16 in
+  Array.iter
+    (fun (s : Net.session) ->
+      if s.Net.missing > 0 then Hashtbl.replace missing_handsets s.Net.handset_id ())
+    d.Net.sessions;
+  let heavy_fraction =
+    List.concat_map
+      (fun (m, versions) ->
+        List.map
+          (fun v ->
+            let of_row =
+              Array.to_list d.Net.sessions
+              |> List.filter (fun (s : Net.session) ->
+                     s.Net.manufacturer = m && s.Net.identity.Net.os_version = v)
+            in
+            let heavy =
+              List.filter (fun (s : Net.session) -> s.Net.additional > 40) of_row
+            in
+            let frac =
+              if of_row = [] then 0.0
+              else float_of_int (List.length heavy) /. float_of_int (List.length of_row)
+            in
+            (m, v, frac))
+          versions)
+      PD.heavy_extenders
+  in
+  {
+    points;
+    extended_fraction = Net.extended_fraction d;
+    handsets_missing = Hashtbl.length missing_handsets;
+    heavy_fraction;
+  }
+
+let glyph_of_manufacturer = function
+  | "SAMSUNG" -> 'S'
+  | "HTC" -> 'H'
+  | "LG" -> 'L'
+  | "MOTOROLA" -> 'M'
+  | "ASUS" -> 'A'
+  | "SONY" -> 'Y'
+  | _ -> 'o'
+
+let render t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "Figure 1: AOSP certificates (x) vs additional certificates (y)\n";
+  List.iter
+    (fun v ->
+      let pts =
+        t.points
+        |> List.filter (fun p -> p.os_version = v)
+        |> List.map (fun p ->
+               ( float_of_int p.aosp_present,
+                 sqrt (float_of_int p.additional),
+                 glyph_of_manufacturer p.manufacturer ))
+        |> Array.of_list
+      in
+      if Array.length pts > 0 then begin
+        Buffer.add_string b
+          (Tangled_util.Text_plot.scatter ~width:60 ~height:12
+             ~title:(Printf.sprintf "-- Android %s --" (PD.version_to_string v))
+             ~xlabel:"AOSP certs" ~ylabel:"sqrt(additional certs)" pts);
+        Buffer.add_char b '\n'
+      end)
+    PD.android_versions;
+  Buffer.add_string b
+    (Printf.sprintf "Sessions with extended stores: %s (paper: 39%%)\n"
+       (T.fmt_pct t.extended_fraction));
+  Buffer.add_string b
+    (Printf.sprintf "Handsets missing AOSP certificates: %d (paper: 5)\n"
+       t.handsets_missing);
+  Buffer.add_string b "Heavy extender rows (fraction of sessions with >40 additions):\n";
+  List.iter
+    (fun (m, v, f) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-10s %s: %s\n" m (PD.version_to_string v) (T.fmt_pct f)))
+    t.heavy_fraction;
+  Buffer.contents b
+
+let csv t =
+  ( [ "manufacturer"; "os_version"; "aosp_certs"; "additional_certs"; "sessions" ],
+    List.map
+      (fun p ->
+        [
+          p.manufacturer;
+          PD.version_to_string p.os_version;
+          string_of_int p.aosp_present;
+          string_of_int p.additional;
+          string_of_int p.sessions;
+        ])
+      t.points )

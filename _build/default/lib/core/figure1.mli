@@ -1,0 +1,27 @@
+(** Figure 1 — scatter of AOSP-baseline certificate count (x) against
+    additional-certificate count (y) per manufacturer and OS version,
+    weighted by session count. *)
+
+type point = {
+  manufacturer : string;
+  os_version : Tangled_pki.Paper_data.android_version;
+  aosp_present : int;
+  additional : int;
+  sessions : int;
+}
+
+type t = {
+  points : point list;
+  extended_fraction : float;          (** paper: 0.39 *)
+  handsets_missing : int;             (** paper: 5 *)
+  heavy_fraction : (string * Tangled_pki.Paper_data.android_version * float) list;
+      (** per heavy-extender row: fraction of its sessions gaining more
+          than 40 certificates *)
+}
+
+val compute : Pipeline.t -> t
+val render : t -> string
+(** An ASCII preview of the scatter, one panel per OS version, plus the
+    headline statistics. *)
+
+val csv : t -> string list * string list list

@@ -1,0 +1,66 @@
+module PD = Tangled_pki.Paper_data
+module BP = Tangled_pki.Blueprint
+module Notary = Tangled_notary.Notary
+module Ecdf = Tangled_util.Stats.Ecdf
+module T = Tangled_util.Text_table
+
+type series = {
+  category : string;
+  ecdf : Ecdf.t;
+  zero_offset : float;
+}
+
+(* The categories Figure 3 plots (a subset of Table 4's, plus the
+   aggregated-Android curve). *)
+let categories =
+  [
+    "AOSP 4.1 certs";
+    "AOSP 4.4 certs";
+    "AOSP 4.4 and Mozilla root certs";
+    "Mozilla root store certs";
+    "iOS 7 root store certs";
+    "Aggregated Android root certs";
+    "Non AOSP and Non Mozilla root certs";
+    "Non AOSP root certs found on Mozilla's";
+  ]
+
+let compute (w : Pipeline.t) =
+  let notary = w.Pipeline.notary in
+  List.map
+    (fun category ->
+      let certs = BP.store_of_category w.Pipeline.universe category in
+      let counts = Notary.counts_for_certs notary certs in
+      let ecdf = Ecdf.of_values counts in
+      { category; ecdf; zero_offset = Ecdf.value_at_zero ecdf })
+    categories
+
+let glyphs = [| 'a'; 'b'; 'c'; 'd'; 'e'; 'f'; 'g'; 'h' |]
+
+let render series =
+  let b = Buffer.create 4096 in
+  let plot_series =
+    List.mapi
+      (fun i s ->
+        (s.category, glyphs.(i mod Array.length glyphs), Ecdf.support s.ecdf))
+      series
+  in
+  Buffer.add_string b
+    (Tangled_util.Text_plot.ecdf_lines ~width:70 ~height:18 ~log_x:true
+       ~title:"Figure 3: ECDF of Notary certificates validated per root certificate"
+       plot_series);
+  Buffer.add_string b "\nY-axis offsets (fraction of roots validating nothing):\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-45s %s\n" s.category (T.fmt_pct s.zero_offset)))
+    series;
+  Buffer.contents b
+
+let csv series =
+  ( [ "category"; "validated_count"; "cumulative_probability" ],
+    List.concat_map
+      (fun s ->
+        Ecdf.support s.ecdf |> Array.to_list
+        |> List.map (fun (x, p) ->
+               [ s.category; Printf.sprintf "%.0f" x; Printf.sprintf "%.6f" p ]))
+      series )

@@ -1,0 +1,16 @@
+(** Figure 3 — ECDF of the number of Notary certificates each root
+    certificate validates, per root-store category.  The y-intercept of
+    each curve is the fraction of roots validating nothing (Table 4). *)
+
+type series = {
+  category : string;
+  ecdf : Tangled_util.Stats.Ecdf.t;
+  zero_offset : float;
+}
+
+val compute : Pipeline.t -> series list
+val render : series list -> string
+(** Log-x ASCII plot plus the per-category y-offsets. *)
+
+val csv : series list -> string list * string list list
+(** Long-form step data: category, x, cumulative probability. *)

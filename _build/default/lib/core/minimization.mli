@@ -1,0 +1,26 @@
+(** Store minimization (§5.3).
+
+    The paper observes that 23% of AOSP 4.4 roots validate none of the
+    Notary's certificates and that "one could seemingly disable these
+    certificates with little negative effect" (confirming Perl et al.).
+    This analysis performs the experiment: disable every zero-validation
+    root and re-measure coverage. *)
+
+type row = {
+  store : string;
+  total : int;
+  removable : int;            (** roots validating no Notary certificate *)
+  coverage_before : float;    (** validated fraction of unexpired chains *)
+  coverage_after : float;     (** same, with removable roots disabled *)
+}
+
+val compute : Pipeline.t -> row list
+(** One row per official store. *)
+
+val minimized_store :
+  Pipeline.t -> Tangled_store.Root_store.t -> Tangled_store.Root_store.t
+(** The store with every zero-validation root disabled through the
+    Settings UI — exactly what a cautious user could do by hand (§2). *)
+
+val render : row list -> string
+val csv : row list -> string list * string list list

@@ -1,0 +1,28 @@
+(** The whitelist rationale (§7): what would happen if the proxy did
+    NOT whitelist the pinning-protected domains?
+
+    For every probe target, this analysis connects through a
+    no-whitelist variant of the interception proxy and evaluates the
+    era's pinning apps against the forged chains — measuring that each
+    whitelisted domain belongs to an app whose pins the proxy cannot
+    satisfy, while the intercepted domains have no pinning protection. *)
+
+type row = {
+  host : string;
+  port : int;
+  whitelisted : bool;     (** by the real proxy (Table 6) *)
+  pinned_app : string option;  (** the app that pins this endpoint *)
+  would_break : bool;
+      (** interception of this endpoint trips a pin violation *)
+}
+
+type t = {
+  rows : row list;
+  consistent : bool;
+      (** every whitelisted endpoint is pin-protected and every
+          intercepted one is not — the paper's observed behaviour *)
+}
+
+val compute : Pipeline.t -> t
+val render : t -> string
+val csv : t -> string list * string list list

@@ -1,0 +1,56 @@
+module BP = Tangled_pki.Blueprint
+module Pop = Tangled_device.Population
+module Net = Tangled_netalyzr.Netalyzr
+module Notary = Tangled_notary.Notary
+module PD = Tangled_pki.Paper_data
+
+type config = {
+  seed : int;
+  sessions : int;
+  notary_leaves : int;
+  expired_fraction : float;
+  key_bits : int;
+  probe_sample : float;
+}
+
+let default_config =
+  {
+    seed = 1;
+    sessions = PD.total_sessions;
+    notary_leaves = 10_000;
+    expired_fraction = 0.10;
+    key_bits = 384;
+    probe_sample = 0.05;
+  }
+
+let quick_config =
+  { default_config with sessions = 2_000; notary_leaves = 2_000 }
+
+type t = {
+  config : config;
+  universe : BP.t;
+  population : Pop.t;
+  dataset : Net.dataset;
+  notary : Notary.t;
+}
+
+let run ?(config = default_config) ?universe () =
+  let universe =
+    match universe with
+    | Some u -> u
+    | None -> BP.build ~key_bits:config.key_bits ~seed:config.seed ()
+  in
+  let population =
+    Pop.generate ~target_sessions:config.sessions ~seed:(config.seed + 1) universe
+  in
+  let dataset =
+    Net.collect ~probe_sample:config.probe_sample ~seed:(config.seed + 2) population
+  in
+  let notary =
+    Notary.generate ~leaves:config.notary_leaves
+      ~expired_fraction:config.expired_fraction ~seed:(config.seed + 3) universe
+  in
+  { config; universe; population; dataset; notary }
+
+let quick =
+  lazy (run ~config:quick_config ~universe:(Lazy.force BP.default) ())

@@ -1,0 +1,38 @@
+(** End-to-end assembly of the study: build the PKI universe, simulate
+    the device population, run the Netalyzr collection and the Notary
+    observation — everything the per-table analyses consume. *)
+
+type config = {
+  seed : int;
+  sessions : int;      (** Netalyzr session target (paper: 15,970) *)
+  notary_leaves : int; (** unexpired Notary leaves (paper: ~1 M) *)
+  expired_fraction : float;
+  key_bits : int;
+  probe_sample : float;
+}
+
+val default_config : config
+(** seed 1, 15,970 sessions, 10,000 leaves, 10% expired, 384-bit keys,
+    5% probe sample. *)
+
+val quick_config : config
+(** A small world for tests and examples: 2,000 sessions, 2,000
+    leaves. *)
+
+type t = {
+  config : config;
+  universe : Tangled_pki.Blueprint.t;
+  population : Tangled_device.Population.t;
+  dataset : Tangled_netalyzr.Netalyzr.dataset;
+  notary : Tangled_notary.Notary.t;
+}
+
+val run : ?config:config -> ?universe:Tangled_pki.Blueprint.t -> unit -> t
+(** Fully deterministic in the config.  Pass [universe] to reuse an
+    already-built PKI (it embeds its own seed and key size; the
+    config's [key_bits] is then ignored). *)
+
+val quick : t Lazy.t
+(** A process-wide world built from {!quick_config} over
+    {!Tangled_pki.Blueprint.default}, shared by tests, examples and
+    benches. *)

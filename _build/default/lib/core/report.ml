@@ -1,0 +1,59 @@
+let artefact_names =
+  [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6";
+    "figure1"; "figure2"; "figure3" ]
+
+(* The extension analyses beyond the paper's own artefacts: §5.3 store
+   minimization, the §8 scoped-trust counterfactual and the §7 pinning
+   counterfactual. *)
+let extension_names = [ "minimization"; "scoping"; "pinning" ]
+
+let render_one world = function
+  | "table1" -> Table1.render (Table1.compute world)
+  | "table2" -> Table2.render (Table2.compute world)
+  | "table3" -> Table3.render (Table3.compute world)
+  | "table4" -> Table4.render (Table4.compute world)
+  | "table5" -> Table5.render (Table5.compute world)
+  | "table6" -> Table6.render (Table6.compute world)
+  | "figure1" -> Figure1.render (Figure1.compute world)
+  | "figure2" -> Figure2.render (Figure2.compute world)
+  | "figure3" -> Figure3.render (Figure3.compute world)
+  | "minimization" -> Minimization.render (Minimization.compute world)
+  | "scoping" -> Scoping.render (Scoping.compute world)
+  | "pinning" -> Pinning_study.render (Pinning_study.compute world)
+  | other -> invalid_arg ("Report.render_one: unknown artefact " ^ other)
+
+let csv_one world = function
+  | "table1" -> Table1.csv (Table1.compute world)
+  | "table2" -> Table2.csv (Table2.compute world)
+  | "table3" -> Table3.csv (Table3.compute world)
+  | "table4" -> Table4.csv (Table4.compute world)
+  | "table5" -> Table5.csv (Table5.compute world)
+  | "table6" -> Table6.csv (Table6.compute world)
+  | "figure1" -> Figure1.csv (Figure1.compute world)
+  | "figure2" -> Figure2.csv (Figure2.compute world)
+  | "figure3" -> Figure3.csv (Figure3.compute world)
+  | "minimization" -> Minimization.csv (Minimization.compute world)
+  | "scoping" -> Scoping.csv (Scoping.compute world)
+  | "pinning" -> Pinning_study.csv (Pinning_study.compute world)
+  | other -> invalid_arg ("Report.csv_one: unknown artefact " ^ other)
+
+let run_all ?csv_dir ?(extensions = true) world =
+  let b = Buffer.create 16_384 in
+  let emit name =
+    Buffer.add_string b (render_one world name);
+    Buffer.add_string b "\n\n";
+    match csv_dir with
+    | Some dir ->
+        let header, rows = csv_one world name in
+        Tangled_util.Csv.write_file (Filename.concat dir (name ^ ".csv")) ~header rows
+    | None -> ()
+  in
+  Buffer.add_string b
+    "=== A Tangled Mass: reproduction report ===================================\n\n";
+  List.iter emit artefact_names;
+  if extensions then begin
+    Buffer.add_string b
+      "=== Extension analyses ====================================================\n\n";
+    List.iter emit extension_names
+  end;
+  Buffer.contents b

@@ -1,0 +1,23 @@
+(** The full study in one call: every table and figure rendered, and
+    (optionally) each artefact's data dumped as CSV. *)
+
+val run_all : ?csv_dir:string -> ?extensions:bool -> Pipeline.t -> string
+(** Render Tables 1–6, Figures 1–3 and (unless [extensions:false]) the
+    extension analyses into one report.  With [csv_dir] each artefact
+    also writes [table1.csv] … [pinning.csv] there (the directory must
+    exist). *)
+
+val artefact_names : string list
+(** ["table1"; ...; "figure3"] — the paper's own artefacts. *)
+
+val extension_names : string list
+(** ["minimization"; "scoping"; "pinning"] — the §5.3/§8/§7 extension
+    analyses; also accepted by {!render_one}/{!csv_one}. *)
+
+val render_one : Pipeline.t -> string -> string
+(** Render a single artefact by id.
+    @raise Invalid_argument on an unknown id. *)
+
+val csv_one : Pipeline.t -> string -> string list * string list list
+(** CSV header and rows for a single artefact by id.
+    @raise Invalid_argument on an unknown id. *)

@@ -1,0 +1,27 @@
+(** The §8 counterfactual: what would scoped trust buy?
+
+    Android treats every store certificate as a TLS trust anchor.  This
+    analysis applies Mozilla-style scope restriction
+    ({!Tangled_store.Trust_scope}) to each official store and to the
+    observed device population, and reports the shrink in the TLS attack
+    surface next to the (unchanged) TLS coverage. *)
+
+type row = {
+  store : string;
+  anchors_android : int;
+      (** TLS-usable anchors under Android's everything-counts model *)
+  anchors_scoped : int;  (** anchors remaining after scope restriction *)
+  coverage_android : float;
+  coverage_scoped : float;  (** fraction of Notary chains still validated *)
+}
+
+type t = {
+  rows : row list;
+  device_extra_reduction : float;
+      (** share of device-store extras (across extended sessions) that
+          scoping would exclude from TLS use *)
+}
+
+val compute : Pipeline.t -> t
+val render : t -> string
+val csv : t -> string list * string list list

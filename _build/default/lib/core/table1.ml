@@ -1,0 +1,39 @@
+module PD = Tangled_pki.Paper_data
+module Rs = Tangled_store.Root_store
+module BP = Tangled_pki.Blueprint
+module T = Tangled_util.Text_table
+
+type row = { store : string; certificates : int; paper : int }
+
+let compute (w : Pipeline.t) =
+  let u = w.Pipeline.universe in
+  List.map
+    (fun v ->
+      {
+        store = "Android " ^ PD.version_to_string v;
+        certificates = Rs.cardinal (u.BP.aosp v);
+        paper = PD.aosp_store_size v;
+      })
+    PD.android_versions
+  @ [
+      { store = "iOS7"; certificates = Rs.cardinal u.BP.ios7; paper = PD.ios7_store_size };
+      {
+        store = "Mozilla";
+        certificates = Rs.cardinal u.BP.mozilla;
+        paper = PD.mozilla_store_size;
+      };
+    ]
+
+let render rows =
+  T.render ~title:"Table 1: Number of certificates in different root stores"
+    ~aligns:[ T.Left; T.Right; T.Right ]
+    ~header:[ "Operating system"; "No. certificates"; "paper" ]
+    (List.map
+       (fun r -> [ r.store; string_of_int r.certificates; string_of_int r.paper ])
+       rows)
+
+let csv rows =
+  ( [ "store"; "certificates"; "paper" ],
+    List.map
+      (fun r -> [ r.store; string_of_int r.certificates; string_of_int r.paper ])
+      rows )

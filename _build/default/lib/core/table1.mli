@@ -1,0 +1,7 @@
+(** Table 1 — number of certificates in each root store. *)
+
+type row = { store : string; certificates : int; paper : int }
+
+val compute : Pipeline.t -> row list
+val render : row list -> string
+val csv : row list -> string list * string list list

@@ -1,0 +1,73 @@
+module PD = Tangled_pki.Paper_data
+module BP = Tangled_pki.Blueprint
+module Notary = Tangled_notary.Notary
+module T = Tangled_util.Text_table
+
+type row = {
+  store : string;
+  validated : int;
+  fraction : float;
+  paper_fraction : float;
+}
+
+type t = { rows : row list; unexpired : int }
+
+let compute (w : Pipeline.t) =
+  let u = w.Pipeline.universe in
+  let notary = w.Pipeline.notary in
+  let unexpired = Notary.unexpired notary in
+  let stores =
+    [
+      ("Mozilla", u.BP.mozilla);
+      ("iOS 7", u.BP.ios7);
+      ("AOSP 4.1", u.BP.aosp PD.V4_1);
+      ("AOSP 4.2", u.BP.aosp PD.V4_2);
+      ("AOSP 4.3", u.BP.aosp PD.V4_3);
+      ("AOSP 4.4", u.BP.aosp PD.V4_4);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, store) ->
+        let validated = Notary.validated_by_store notary store in
+        let paper_count = List.assoc name PD.table3_validated in
+        {
+          store = name;
+          validated;
+          fraction = float_of_int validated /. float_of_int (Stdlib.max 1 unexpired);
+          paper_fraction =
+            float_of_int paper_count /. float_of_int PD.notary_unexpired_certs;
+        })
+      stores
+  in
+  { rows; unexpired }
+
+let render t =
+  T.render
+    ~title:
+      (Printf.sprintf
+         "Table 3: Notary certificates validated per root store (of %s unexpired)"
+         (T.fmt_int t.unexpired))
+    ~aligns:[ T.Left; T.Right; T.Right; T.Right ]
+    ~header:[ "Root store"; "No. validated"; "fraction"; "paper fraction" ]
+    (List.map
+       (fun r ->
+         [
+           r.store;
+           T.fmt_int r.validated;
+           T.fmt_pct r.fraction;
+           T.fmt_pct r.paper_fraction;
+         ])
+       t.rows)
+
+let csv t =
+  ( [ "store"; "validated"; "fraction"; "paper_fraction" ],
+    List.map
+      (fun r ->
+        [
+          r.store;
+          string_of_int r.validated;
+          Printf.sprintf "%.6f" r.fraction;
+          Printf.sprintf "%.6f" r.paper_fraction;
+        ])
+      t.rows )

@@ -1,0 +1,17 @@
+(** Table 3 — number of Notary certificates each root store validates.
+
+    Measured counts are scaled-world absolutes; the comparison column
+    converts the paper's counts (of ~1M unexpired) to the local scale. *)
+
+type row = {
+  store : string;
+  validated : int;
+  fraction : float;       (** of unexpired chains *)
+  paper_fraction : float; (** paper count / 1M *)
+}
+
+type t = { rows : row list; unexpired : int }
+
+val compute : Pipeline.t -> t
+val render : t -> string
+val csv : t -> string list * string list list

@@ -1,0 +1,57 @@
+module PD = Tangled_pki.Paper_data
+module BP = Tangled_pki.Blueprint
+module Notary = Tangled_notary.Notary
+module T = Tangled_util.Text_table
+
+type row = {
+  category : string;
+  total : int;
+  zero_fraction : float;
+  paper_total : int;
+  paper_zero_fraction : float;
+}
+
+let compute (w : Pipeline.t) =
+  let notary = w.Pipeline.notary in
+  List.map
+    (fun (label, paper_total, paper_zero) ->
+      let certs = BP.store_of_category w.Pipeline.universe label in
+      let counts = Notary.counts_for_certs notary certs in
+      {
+        category = label;
+        total = Array.length counts;
+        zero_fraction = Tangled_util.Stats.fraction (fun c -> c = 0.0) counts;
+        paper_total;
+        paper_zero_fraction = paper_zero;
+      })
+    PD.table4_rows
+
+let render rows =
+  T.render
+    ~title:
+      "Table 4: Root certificates per category, and the share validating no Notary certs"
+    ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Right ]
+    ~header:[ "Root store category"; "Total"; "Validate none"; "paper total"; "paper" ]
+    (List.map
+       (fun r ->
+         [
+           r.category;
+           string_of_int r.total;
+           T.fmt_pct r.zero_fraction;
+           string_of_int r.paper_total;
+           T.fmt_pct r.paper_zero_fraction;
+         ])
+       rows)
+
+let csv rows =
+  ( [ "category"; "total"; "zero_fraction"; "paper_total"; "paper_zero_fraction" ],
+    List.map
+      (fun r ->
+        [
+          r.category;
+          string_of_int r.total;
+          Printf.sprintf "%.4f" r.zero_fraction;
+          string_of_int r.paper_total;
+          Printf.sprintf "%.4f" r.paper_zero_fraction;
+        ])
+      rows )

@@ -1,0 +1,14 @@
+(** Table 4 — per root-certificate category: population size and the
+    fraction of roots that validate none of the Notary's certificates. *)
+
+type row = {
+  category : string;
+  total : int;
+  zero_fraction : float;
+  paper_total : int;
+  paper_zero_fraction : float;
+}
+
+val compute : Pipeline.t -> row list
+val render : row list -> string
+val csv : row list -> string list * string list list

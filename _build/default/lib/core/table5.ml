@@ -1,0 +1,72 @@
+module PD = Tangled_pki.Paper_data
+module BP = Tangled_pki.Blueprint
+module Net = Tangled_netalyzr.Netalyzr
+module C = Tangled_x509.Certificate
+module Authority = Tangled_x509.Authority
+module T = Tangled_util.Text_table
+
+type row = { ca : string; devices : int; paper_devices : int }
+
+type t = {
+  rows : row list;
+  rooted_session_fraction : float;
+  exclusive_session_fraction : float;
+}
+
+let compute (w : Pipeline.t) =
+  let d = w.Pipeline.dataset in
+  let universe = w.Pipeline.universe in
+  (* identify, per rooted-device CA, the distinct handsets carrying it *)
+  let devices_of key =
+    let seen = Hashtbl.create 64 in
+    Array.iter
+      (fun (s : Net.session) ->
+        if List.mem key s.Net.store_keys then Hashtbl.replace seen s.Net.handset_id ())
+      d.Net.sessions;
+    Hashtbl.length seen
+  in
+  let rows =
+    Array.to_list universe.BP.rooted_authorities
+    |> List.map (fun (name, authority) ->
+           let key = C.equivalence_key authority.Authority.certificate in
+           {
+             ca = name;
+             devices = devices_of key;
+             paper_devices = Option.value ~default:0 (List.assoc_opt name PD.rooted_cas);
+           })
+    |> List.sort (fun a b -> Stdlib.compare b.devices a.devices)
+  in
+  let rooted_sessions =
+    Array.to_list d.Net.sessions |> List.filter (fun (s : Net.session) -> s.Net.rooted)
+  in
+  let exclusive =
+    rooted_sessions |> List.filter (fun (s : Net.session) -> s.Net.app_added <> [])
+  in
+  {
+    rows;
+    rooted_session_fraction = Net.rooted_fraction d;
+    exclusive_session_fraction =
+      (if rooted_sessions = [] then 0.0
+       else float_of_int (List.length exclusive) /. float_of_int (List.length rooted_sessions));
+  }
+
+let render t =
+  let table =
+    T.render ~title:"Table 5: CAs found more frequently on rooted devices"
+      ~aligns:[ T.Left; T.Right; T.Right ]
+      ~header:[ "Certificate authority"; "Total devices"; "paper" ]
+      (List.map
+         (fun r -> [ r.ca; string_of_int r.devices; string_of_int r.paper_devices ])
+         t.rows)
+  in
+  table
+  ^ Printf.sprintf "\nRooted sessions: %s (paper: 24%%)\n"
+      (T.fmt_pct t.rooted_session_fraction)
+  ^ Printf.sprintf "Rooted sessions with exclusive certificates: %s (paper: 6%%)\n"
+      (T.fmt_pct t.exclusive_session_fraction)
+
+let csv t =
+  ( [ "ca"; "devices"; "paper_devices" ],
+    List.map
+      (fun r -> [ r.ca; string_of_int r.devices; string_of_int r.paper_devices ])
+      t.rows )

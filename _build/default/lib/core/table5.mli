@@ -1,0 +1,17 @@
+(** Table 5 — certificate authorities found more frequently on rooted
+    than non-rooted handsets (§6), with the rooted-population headline
+    numbers. *)
+
+type row = { ca : string; devices : int; paper_devices : int }
+
+type t = {
+  rows : row list;
+  rooted_session_fraction : float;         (** paper: 0.24 *)
+  exclusive_session_fraction : float;
+      (** of rooted sessions, those carrying rooted-exclusive certs
+          (paper: 0.06) *)
+}
+
+val compute : Pipeline.t -> t
+val render : t -> string
+val csv : t -> string list * string list list

@@ -1,0 +1,88 @@
+module PD = Tangled_pki.Paper_data
+module Net = Tangled_netalyzr.Netalyzr
+module Handshake = Tangled_tls.Handshake
+module C = Tangled_x509.Certificate
+module Dn = Tangled_x509.Dn
+module T = Tangled_util.Text_table
+
+type row = {
+  host : string;
+  port : int;
+  intercepted : bool;
+  trusted_by_device : bool;
+  anchor : string option;
+}
+
+type t = {
+  rows : row list;
+  proxy_host : string;
+  proxied_sessions : int;
+}
+
+let compute (w : Pipeline.t) =
+  let d = w.Pipeline.dataset in
+  let intercepted = Net.intercepted_sessions d in
+  let rows =
+    match intercepted with
+    | [] -> []
+    | (s : Net.session) :: _ ->
+        s.Net.probes
+        |> List.map (fun (o : Handshake.outcome) ->
+               {
+                 host = o.Handshake.host;
+                 port = o.Handshake.port;
+                 intercepted = o.Handshake.intercepted;
+                 trusted_by_device =
+                   (match o.Handshake.verdict with Ok _ -> true | Error _ -> false);
+                 anchor =
+                   (match o.Handshake.verdict with
+                   | Ok root -> Some (Dn.to_string root.C.subject)
+                   | Error _ -> (
+                       (* report who signed the presented chain anyway *)
+                       match o.Handshake.presented with
+                       | leaf :: _ -> Some (Dn.to_string leaf.C.issuer)
+                       | [] -> None));
+               })
+        |> List.sort (fun a b -> Stdlib.compare (a.intercepted, a.host) (b.intercepted, b.host))
+  in
+  {
+    rows;
+    proxy_host = PD.interceptor_proxy_host;
+    proxied_sessions = List.length intercepted;
+  }
+
+let render t =
+  let fmt_rows pred =
+    t.rows
+    |> List.filter pred
+    |> List.map (fun r -> Printf.sprintf "%s:%d" r.host r.port)
+  in
+  let intercepted = fmt_rows (fun r -> r.intercepted) in
+  let whitelisted = fmt_rows (fun r -> not r.intercepted) in
+  let n = Stdlib.max (List.length intercepted) (List.length whitelisted) in
+  let nth l i = if i < List.length l then List.nth l i else "" in
+  let body =
+    List.init n (fun i -> [ nth intercepted i; nth whitelisted i ])
+  in
+  T.render
+    ~title:
+      (Printf.sprintf
+         "Table 6: Domains intercepted and whitelisted by the %s proxy (%d proxied sessions)"
+         t.proxy_host t.proxied_sessions)
+    ~header:[ "Intercepted domains"; "Whitelisted domains" ]
+    body
+  ^ "\nEvery intercepted chain failed device-store validation (untrusted proxy root);\n"
+  ^ "whitelisted chains validated normally.\n"
+
+let csv t =
+  ( [ "host"; "port"; "intercepted"; "trusted_by_device"; "anchor" ],
+    List.map
+      (fun r ->
+        [
+          r.host;
+          string_of_int r.port;
+          string_of_bool r.intercepted;
+          string_of_bool r.trusted_by_device;
+          Option.value ~default:"" r.anchor;
+        ])
+      t.rows )

@@ -1,0 +1,23 @@
+(** Table 6 — domains intercepted versus whitelisted by the HTTPS
+    proxy, as observed from the proxied device's trust-chain probes. *)
+
+type row = {
+  host : string;
+  port : int;
+  intercepted : bool;
+  trusted_by_device : bool;
+      (** whether the presented chain validated against the device's
+          (unmodified) store — false for the proxy's re-signed chains,
+          which is exactly the detection signal *)
+  anchor : string option;  (** subject of the anchoring root, if any *)
+}
+
+type t = {
+  rows : row list;
+  proxy_host : string;
+  proxied_sessions : int;
+}
+
+val compute : Pipeline.t -> t
+val render : t -> string
+val csv : t -> string list * string list list

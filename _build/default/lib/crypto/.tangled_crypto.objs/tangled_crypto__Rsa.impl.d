@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Option String Tangled_hash Tangled_numeric Tangled_util

@@ -1,0 +1,1 @@
+lib/crypto/rsa.mli: Tangled_hash Tangled_numeric Tangled_util

@@ -1,0 +1,55 @@
+(** RSA key generation and PKCS#1 v1.5 signatures.
+
+    The simulation signs every certificate for real: chains only verify
+    when the issuer's private key actually produced the signature.  Key
+    sizes are configurable; the default used across the project is
+    512 bits — small enough that a pure-OCaml bignum signs tens of
+    thousands of leaves per second, and irrelevant to the paper's
+    analysis, which never attacks the keys. *)
+
+type public = {
+  n : Tangled_numeric.Bigint.t;  (** modulus *)
+  e : Tangled_numeric.Bigint.t;  (** public exponent *)
+}
+
+type private_key = {
+  pub : public;
+  d : Tangled_numeric.Bigint.t;  (** private exponent *)
+  p : Tangled_numeric.Bigint.t;
+  q : Tangled_numeric.Bigint.t;
+  dp : Tangled_numeric.Bigint.t;   (** d mod (p-1), for CRT signing *)
+  dq : Tangled_numeric.Bigint.t;   (** d mod (q-1) *)
+  qinv : Tangled_numeric.Bigint.t; (** q^-1 mod p *)
+}
+
+type keypair = private_key
+
+val generate : ?mr_rounds:int -> Tangled_util.Prng.t -> bits:int -> keypair
+(** [generate rng ~bits] makes a fresh keypair with a [bits]-bit
+    modulus and public exponent 65537.  [mr_rounds] tunes the
+    Miller–Rabin confidence of the prime search (default 20); bulk
+    generators trade it down.
+    @raise Invalid_argument when [bits < 64]. *)
+
+val key_size_bytes : public -> int
+(** Modulus size in bytes, the signature length. *)
+
+val modulus_bytes : public -> string
+(** Big-endian modulus — the paper's "RSA key modulus" identity
+    component (§4.1). *)
+
+val sign : private_key -> digest:Tangled_hash.Digest_kind.t -> string -> string
+(** [sign key ~digest msg] is the PKCS#1 v1.5 signature over [msg]:
+    EMSA-PKCS1-v1_5 encoding of DigestInfo(digest, H(msg)) followed by
+    the private-key operation.
+    @raise Invalid_argument when the key is too small for the digest. *)
+
+val verify : public -> digest:Tangled_hash.Digest_kind.t -> msg:string -> signature:string -> bool
+(** Full encode-then-compare verification; returns [false] on any
+    malformation rather than raising. *)
+
+val encrypt_raw : public -> string -> string
+(** Textbook RSA of a byte string interpreted big-endian; used by the
+    tests to cross-check [d] against [e], never by the pipeline. *)
+
+val decrypt_raw : private_key -> string -> string

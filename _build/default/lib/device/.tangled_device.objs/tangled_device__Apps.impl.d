@@ -1,0 +1,1 @@
+lib/device/apps.ml: Array List Seq Tangled_pki Tangled_store Tangled_x509

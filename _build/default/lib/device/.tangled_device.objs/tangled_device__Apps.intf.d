@@ -1,0 +1,1 @@
+lib/device/apps.mli: Tangled_pki Tangled_store Tangled_x509

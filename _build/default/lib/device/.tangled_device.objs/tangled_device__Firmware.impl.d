@@ -1,0 +1,1 @@
+lib/device/firmware.ml: Hashtbl List Option Stdlib Tangled_pki Tangled_store Tangled_util Tangled_x509

@@ -1,0 +1,1 @@
+lib/device/firmware.mli: Hashtbl Tangled_pki Tangled_store Tangled_util

@@ -1,0 +1,1 @@
+lib/device/population.ml: Apps Array Char Firmware Hashtbl List Option Printf Seq Stdlib String Tangled_hash Tangled_pki Tangled_store Tangled_util Tangled_x509

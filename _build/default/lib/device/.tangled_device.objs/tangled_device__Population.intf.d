@@ -1,0 +1,1 @@
+lib/device/population.mli: Hashtbl Tangled_pki Tangled_store

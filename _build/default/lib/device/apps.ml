@@ -1,0 +1,47 @@
+module PD = Tangled_pki.Paper_data
+module BP = Tangled_pki.Blueprint
+module Rs = Tangled_store.Root_store
+module Authority = Tangled_x509.Authority
+
+type outcome =
+  | Installed of Rs.t
+  | Refused of Rs.error
+
+type t = {
+  app_name : string;
+  requires_root : bool;
+  ca : Tangled_x509.Certificate.t;
+}
+
+let authority_cert (universe : BP.t) name =
+  match
+    Array.to_seq universe.BP.rooted_authorities
+    |> Seq.find (fun (n, _) -> n = name)
+  with
+  | Some (_, authority) -> authority.Authority.certificate
+  | None -> invalid_arg ("Apps: unknown rooted CA " ^ name)
+
+let freedom universe =
+  {
+    app_name = "Freedom";
+    requires_root = true;
+    ca = authority_cert universe PD.freedom_app_ca;
+  }
+
+let singleton_apps universe =
+  PD.rooted_cas
+  |> List.filter (fun (name, _) -> name <> PD.freedom_app_ca)
+  |> List.map (fun (name, _) ->
+         {
+           app_name = "app-for-" ^ name;
+           requires_root = true;
+           ca = authority_cert universe name;
+         })
+
+let run app ~rooted store =
+  let actor =
+    if rooted then Rs.Privileged_app app.app_name else Rs.Unprivileged_app app.app_name
+  in
+  match Rs.add store actor (Rs.App app.app_name) app.ca with
+  | Ok store -> Installed store
+  | Error e -> Refused e

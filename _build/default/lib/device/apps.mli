@@ -1,0 +1,31 @@
+(** Applications that touch the root store (§6).
+
+    The paper's central §6 finding: a root-privileged app can silently
+    mutate the supposedly read-only store.  The Freedom-style app here
+    does exactly that; on a non-rooted handset the same attempt is
+    refused by the permission model. *)
+
+type outcome =
+  | Installed of Tangled_store.Root_store.t
+      (** store after the app's mutation *)
+  | Refused of Tangled_store.Root_store.error
+      (** the platform blocked it (non-rooted handset) *)
+
+type t = {
+  app_name : string;
+  requires_root : bool;
+  ca : Tangled_x509.Certificate.t;  (** what it tries to install *)
+}
+
+val freedom : Tangled_pki.Blueprint.t -> t
+(** The in-app-purchase-cracking app that installs the CRAZY HOUSE
+    certificate on rooted handsets (70 devices in the dataset). *)
+
+val singleton_apps : Tangled_pki.Blueprint.t -> t list
+(** The remaining Table 5 cases (MIND OVERFLOW, USER_X, CDA, CIRRUS),
+    each observed on one device. *)
+
+val run : t -> rooted:bool -> Tangled_store.Root_store.t -> outcome
+(** Attempt the installation.  On a rooted handset the app acts as a
+    privileged actor and succeeds; otherwise it is an unprivileged app
+    and the store API refuses. *)

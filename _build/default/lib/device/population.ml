@@ -1,0 +1,252 @@
+module PD = Tangled_pki.Paper_data
+module BP = Tangled_pki.Blueprint
+module Prng = Tangled_util.Prng
+module Rs = Tangled_store.Root_store
+module Authority = Tangled_x509.Authority
+module Dn = Tangled_x509.Dn
+
+type handset = {
+  id : int;
+  model : string;
+  manufacturer : string;
+  os_version : PD.android_version;
+  operator : string;
+  country : string;
+  rooted : bool;
+  proxied : bool;
+  sessions : int;
+  store : Rs.t;
+  apps : string list;
+  user_added : int;
+}
+
+type t = {
+  handsets : handset array;
+  universe : BP.t;
+  generic : (string, (string * PD.android_version) list) Hashtbl.t;
+}
+
+(* OS-version shares circa the collection window (Nov 2013 – Apr 2014). *)
+let version_shares =
+  [| (PD.V4_1, 0.35); (PD.V4_2, 0.30); (PD.V4_3, 0.15); (PD.V4_4, 0.20) |]
+
+(* Mean sessions per handset: 15,970 / 3,835. *)
+let mean_sessions = 4.16
+
+(* Share of non-Nexus handsets running vendor/operator-customised
+   firmware.  Nexus devices ship Google's stock image; tuning this to
+   ~0.49 lands the extended-session share at Figure 1's 39%. *)
+let customized_probability = 0.49
+
+let is_stock_model model =
+  String.length model >= 5 && String.sub model 0 5 = "Nexus"
+
+let draw_sessions rng =
+  (* 1 + geometric keeps the mean near the paper's ratio with a long
+     tail of frequent testers *)
+  1 + Prng.geometric rng (1.0 /. mean_sessions)
+
+let other_manufacturer_sessions target_sessions =
+  let named = List.fold_left (fun acc (_, n) -> acc + n) 0 PD.manufacturer_sessions in
+  Stdlib.max 0 (target_sessions * (PD.total_sessions - named) / PD.total_sessions)
+
+let pick_operator rng =
+  let ops = Array.of_list PD.operators in
+  ops.(Prng.int rng (Array.length ops))
+
+let pick_version rng manufacturer =
+  (* Figure 2 rows exist for specific vendor/version pairs; Sony
+     appears only at 4.3 in the dataset *)
+  if manufacturer = "SONY" then PD.V4_3
+  else Prng.choose_weighted rng version_shares
+
+(* Model name pools: the five named Table 2 models keep their exact
+   manufacturers; the rest of the 435 models are synthesised per
+   manufacturer. *)
+let model_for rng manufacturer =
+  let synth () =
+    Printf.sprintf "%s-%c%d" manufacturer
+      (Char.chr (Char.code 'A' + Prng.int rng 26))
+      (100 + Prng.int rng 80)
+  in
+  synth ()
+
+let generate ?(target_sessions = PD.total_sessions) ~seed universe =
+  let scale = float_of_int target_sessions /. float_of_int PD.total_sessions in
+  let master = Prng.create seed in
+  let rng_pop = Prng.split master "population" in
+  let rng_fw = Prng.split master "firmware" in
+  let rng_mut = Prng.split master "mutations" in
+  let generic = Firmware.generic_assignment universe in
+  let next_id = ref 0 in
+  let handsets = ref [] in
+  let emit ?model ?version ?(proxied = false) ?(rooted = None) ~manufacturer ~sessions () =
+    let id = !next_id in
+    incr next_id;
+    let os_version = match version with Some v -> v | None -> pick_version rng_pop manufacturer in
+    let operator, country = pick_operator rng_pop in
+    let model = match model with Some m -> m | None -> model_for rng_pop manufacturer in
+    let rooted =
+      match rooted with
+      | Some r -> r
+      | None -> Prng.bernoulli rng_pop PD.fraction_sessions_rooted
+    in
+    let customized =
+      (not (is_stock_model model)) && Prng.bernoulli rng_pop customized_probability
+    in
+    let store =
+      if customized then
+        Firmware.assemble rng_fw universe generic
+          { Firmware.manufacturer; os_version; operator }
+      else universe.BP.aosp os_version
+    in
+    handsets :=
+      {
+        id; model; manufacturer; os_version; operator; country; rooted; proxied;
+        sessions; store; apps = []; user_added = 0;
+      }
+      :: !handsets
+  in
+  (* 1. the five named models, with their exact (scaled) session loads *)
+  List.iter
+    (fun (model, manufacturer, sessions) ->
+      let budget = int_of_float (float_of_int sessions *. scale) in
+      let remaining = ref budget in
+      while !remaining > 0 do
+        let s = Stdlib.min !remaining (draw_sessions rng_pop) in
+        emit ~model ~manufacturer ~sessions:s ();
+        remaining := !remaining - s
+      done)
+    PD.top_models;
+  (* 2. the rest of each named manufacturer's sessions over synthetic models *)
+  List.iter
+    (fun (manufacturer, sessions) ->
+      let named_model_sessions =
+        PD.top_models
+        |> List.filter (fun (_, m, _) -> m = manufacturer)
+        |> List.fold_left (fun acc (_, _, n) -> acc + n) 0
+      in
+      let budget =
+        int_of_float (float_of_int (sessions - named_model_sessions) *. scale)
+      in
+      let remaining = ref budget in
+      while !remaining > 0 do
+        let s = Stdlib.min !remaining (draw_sessions rng_pop) in
+        emit ~manufacturer ~sessions:s ();
+        remaining := !remaining - s
+      done)
+    PD.manufacturer_sessions;
+  (* 3. the long tail of other manufacturers *)
+  let tail_budget = other_manufacturer_sessions target_sessions in
+  let tail = Array.of_list PD.other_manufacturers in
+  let remaining = ref tail_budget in
+  while !remaining > 0 do
+    let manufacturer = tail.(Prng.int rng_pop (Array.length tail)) in
+    let s = Stdlib.min !remaining (draw_sessions rng_pop) in
+    emit ~manufacturer ~sessions:s ();
+    remaining := !remaining - s
+  done;
+  let handsets = Array.of_list (List.rev !handsets) in
+  (* 4. post-factory mutations ---------------------------------------- *)
+  (* user-added VPN certificates on a few handsets (§5.2) *)
+  let rng_user = Prng.split master "user-certs" in
+  let user_count = ref 0 in
+  Array.iteri
+    (fun i h ->
+      if Prng.bernoulli rng_mut 0.02 then begin
+        incr user_count;
+        let cn = Tangled_pki.Ca_names.user_vpn_ca rng_user !user_count in
+        let authority =
+          Authority.self_signed ~bits:universe.BP.key_bits
+            ~digest:Tangled_hash.Digest_kind.SHA1 ~version:1 rng_user (Dn.make cn)
+        in
+        match
+          Rs.add h.store Rs.Settings_ui Rs.User authority.Authority.certificate
+        with
+        | Ok store -> handsets.(i) <- { h with store; user_added = h.user_added + 1 }
+        | Error _ -> ()
+      end)
+    handsets;
+  (* the Table 5 rooted-device installs: Freedom on [freedom_app_devices]
+     rooted handsets, each singleton app on one more *)
+  let rooted_idx =
+    handsets
+    |> Array.to_seqi
+    |> Seq.filter_map (fun (i, h) -> if h.rooted then Some i else None)
+    |> Array.of_seq
+  in
+  let freedom = Apps.freedom universe in
+  let freedom_targets =
+    Stdlib.min (Array.length rooted_idx)
+      (int_of_float (float_of_int PD.freedom_app_devices *. scale) |> Stdlib.max 1)
+  in
+  let shuffled = Array.copy rooted_idx in
+  Prng.shuffle rng_mut shuffled;
+  let apply_app idx (app : Apps.t) =
+    let h = handsets.(idx) in
+    match Apps.run app ~rooted:h.rooted h.store with
+    | Apps.Installed store ->
+        handsets.(idx) <- { h with store; apps = app.Apps.app_name :: h.apps }
+    | Apps.Refused _ -> ()
+  in
+  Array.iteri (fun k idx -> if k < freedom_targets then apply_app idx freedom) shuffled;
+  List.iteri
+    (fun k app ->
+      let pos = freedom_targets + k in
+      if pos < Array.length shuffled then apply_app shuffled.(pos) app)
+    (Apps.singleton_apps universe);
+  (* exactly five handsets missing AOSP certificates (Figure 1):
+     rooted users deleting entries via privileged tools *)
+  let missing_targets = Stdlib.min PD.handsets_missing_certs (Array.length shuffled) in
+  for k = 0 to missing_targets - 1 do
+    let idx = shuffled.(Array.length shuffled - 1 - k) in
+    let h = handsets.(idx) in
+    match Rs.certs h.store with
+    | first :: _ -> (
+        match Rs.remove h.store (Rs.Privileged_app "cleaner") first with
+        | Ok store -> handsets.(idx) <- { h with store }
+        | Error _ -> ())
+    | [] -> ()
+  done;
+  (* the single proxied Nexus 7 (§7): running Android 4.4 on WiFi *)
+  (match
+     handsets
+     |> Array.to_seqi
+     |> Seq.find (fun (_, h) -> h.model = "Nexus 7" && not h.rooted)
+   with
+  | Some (i, h) ->
+      (* participants run stock 4.4; interception happens in transit *)
+      handsets.(i) <-
+        { h with proxied = true; os_version = PD.V4_4; store = universe.BP.aosp PD.V4_4 }
+  | None -> ());
+  { handsets; universe; generic }
+
+let total_sessions t =
+  Array.fold_left (fun acc h -> acc + h.sessions) 0 t.handsets
+
+let rooted_session_fraction t =
+  let rooted =
+    Array.fold_left (fun acc h -> if h.rooted then acc + h.sessions else acc) 0 t.handsets
+  in
+  float_of_int rooted /. float_of_int (Stdlib.max 1 (total_sessions t))
+
+let sessions_by_manufacturer t =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun h ->
+      Hashtbl.replace tbl h.manufacturer
+        (h.sessions + Option.value ~default:0 (Hashtbl.find_opt tbl h.manufacturer)))
+    t.handsets;
+  Hashtbl.fold (fun m n acc -> (m, n) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> Stdlib.compare b a)
+
+let sessions_by_model t =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun h ->
+      let key = (h.model, h.manufacturer) in
+      Hashtbl.replace tbl key
+        (h.sessions + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    t.handsets;
+  Hashtbl.fold (fun (m, mf) n acc -> (m, mf, n) :: acc) tbl []
+  |> List.sort (fun (_, _, a) (_, _, b) -> Stdlib.compare b a)

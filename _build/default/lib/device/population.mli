@@ -1,0 +1,42 @@
+(** The handset population behind the Netalyzr dataset (§4.1, Table 2).
+
+    Handsets are generated so the marginal distributions match the
+    paper: ~3,835 handsets over 435 models, manufacturer session shares
+    from Table 2, a 24% rooted session share, exactly five handsets
+    missing AOSP certificates, the Table 5 rooted-device certificate
+    installs, and one HTTPS-proxied Nexus 7 (§7). *)
+
+type handset = {
+  id : int;
+  model : string;
+  manufacturer : string;
+  os_version : Tangled_pki.Paper_data.android_version;
+  operator : string;
+  country : string;
+  rooted : bool;
+  proxied : bool;  (** the single Reality Mine participant *)
+  sessions : int;  (** Netalyzr runs recorded from this handset *)
+  store : Tangled_store.Root_store.t;  (** current root store *)
+  apps : string list;  (** store-touching apps present *)
+  user_added : int;  (** user-installed (VPN) certificates *)
+}
+
+type t = {
+  handsets : handset array;
+  universe : Tangled_pki.Blueprint.t;
+  generic : (string, (string * Tangled_pki.Paper_data.android_version) list) Hashtbl.t;
+}
+
+val generate : ?target_sessions:int -> seed:int -> Tangled_pki.Blueprint.t -> t
+(** Deterministic in [seed] (independent of the universe seed).
+    [target_sessions] scales the whole population (default the paper's
+    15,970); handset counts scale proportionally. *)
+
+val total_sessions : t -> int
+val rooted_session_fraction : t -> float
+
+val sessions_by_manufacturer : t -> (string * int) list
+(** Descending by session count. *)
+
+val sessions_by_model : t -> (string * string * int) list
+(** [(model, manufacturer, sessions)], descending. *)

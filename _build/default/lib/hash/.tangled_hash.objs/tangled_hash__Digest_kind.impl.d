@@ -1,0 +1,1 @@
+lib/hash/digest_kind.ml: Format Md5 Sha1 Sha256

@@ -1,0 +1,1 @@
+lib/hash/digest_kind.mli: Format

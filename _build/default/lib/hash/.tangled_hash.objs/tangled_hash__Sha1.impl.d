@@ -1,0 +1,1 @@
+lib/hash/sha1.ml: Array Buffer Bytes Char Int32 Int64 List String Tangled_util

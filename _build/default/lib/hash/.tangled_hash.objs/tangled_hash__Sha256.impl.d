@@ -1,0 +1,1 @@
+lib/hash/sha256.ml: Array Buffer Bytes Char Int32 Int64 String Tangled_util

@@ -1,0 +1,18 @@
+type t = MD5 | SHA1 | SHA256
+
+let all = [ MD5; SHA1; SHA256 ]
+
+let name = function MD5 -> "md5" | SHA1 -> "sha1" | SHA256 -> "sha256"
+
+let of_name = function
+  | "md5" -> Some MD5
+  | "sha1" -> Some SHA1
+  | "sha256" -> Some SHA256
+  | _ -> None
+
+let size = function MD5 -> 16 | SHA1 -> 20 | SHA256 -> 32
+
+let digest = function MD5 -> Md5.digest | SHA1 -> Sha1.digest | SHA256 -> Sha256.digest
+let hex = function MD5 -> Md5.hex | SHA1 -> Sha1.hex | SHA256 -> Sha256.hex
+
+let pp fmt t = Format.pp_print_string fmt (name t)

@@ -1,0 +1,18 @@
+(** Uniform access to the available digest algorithms. *)
+
+type t = MD5 | SHA1 | SHA256
+
+val all : t list
+
+val name : t -> string
+(** ["md5"], ["sha1"], ["sha256"]. *)
+
+val of_name : string -> t option
+
+val size : t -> int
+(** Output size in bytes. *)
+
+val digest : t -> string -> string
+val hex : t -> string -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+(* RFC 1321 MD5 over Int32 words (little-endian message layout).
+   The sine-derived constant table is computed at load time from the
+   spec's defining formula rather than transcribed. *)
+
+let k =
+  Array.init 64 (fun i ->
+      let v = Float.floor (abs_float (sin (float_of_int (i + 1))) *. 4294967296.0) in
+      Int64.to_int32 (Int64.of_float v))
+
+let s =
+  [| 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22;
+     5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20;
+     4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23;
+     6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21 |]
+
+let rotl x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+let ( ^^ ) = Int32.logxor
+let ( &&& ) = Int32.logand
+let ( ||| ) = Int32.logor
+let ( +% ) = Int32.add
+let lnot32 = Int32.lognot
+
+let pad msg =
+  let len = String.length msg in
+  let bitlen = Int64.of_int (len * 8) in
+  let padlen =
+    let r = (len + 1) mod 64 in
+    if r <= 56 then 56 - r else 120 - r
+  in
+  let b = Buffer.create (len + padlen + 9) in
+  Buffer.add_string b msg;
+  Buffer.add_char b '\x80';
+  Buffer.add_string b (String.make padlen '\x00');
+  (* MD5 appends the length little-endian, unlike the SHA family *)
+  for i = 0 to 7 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen (8 * i)) 0xFFL)))
+  done;
+  Buffer.contents b
+
+let word_le data off =
+  let byte i = Int32.of_int (Char.code data.[off + i]) in
+  Int32.logor (byte 0)
+    (Int32.logor (Int32.shift_left (byte 1) 8)
+       (Int32.logor (Int32.shift_left (byte 2) 16) (Int32.shift_left (byte 3) 24)))
+
+let digest msg =
+  let data = pad msg in
+  let a0 = ref 0x67452301l and b0 = ref 0xefcdab89l in
+  let c0 = ref 0x98badcfel and d0 = ref 0x10325476l in
+  let m = Array.make 16 0l in
+  let nblocks = String.length data / 64 in
+  for block = 0 to nblocks - 1 do
+    let off = block * 64 in
+    for i = 0 to 15 do
+      m.(i) <- word_le data (off + (4 * i))
+    done;
+    let a = ref !a0 and b = ref !b0 and c = ref !c0 and d = ref !d0 in
+    for i = 0 to 63 do
+      let f, g =
+        if i < 16 then ((!b &&& !c) ||| (lnot32 !b &&& !d), i)
+        else if i < 32 then ((!d &&& !b) ||| (lnot32 !d &&& !c), ((5 * i) + 1) mod 16)
+        else if i < 48 then (!b ^^ !c ^^ !d, ((3 * i) + 5) mod 16)
+        else (!c ^^ (!b ||| lnot32 !d), (7 * i) mod 16)
+      in
+      let f = f +% !a +% k.(i) +% m.(g) in
+      a := !d;
+      d := !c;
+      c := !b;
+      b := !b +% rotl f s.(i)
+    done;
+    a0 := !a0 +% !a;
+    b0 := !b0 +% !b;
+    c0 := !c0 +% !c;
+    d0 := !d0 +% !d
+  done;
+  let out = Bytes.create 16 in
+  List.iteri
+    (fun i hi ->
+      for j = 0 to 3 do
+        Bytes.set out ((4 * i) + j)
+          (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical hi (8 * j)) 0xFFl)))
+      done)
+    [ !a0; !b0; !c0; !d0 ];
+  Bytes.unsafe_to_string out
+
+let hex msg = Tangled_util.Hex.encode (digest msg)

@@ -1,0 +1,9 @@
+(** MD5 (RFC 1321).  Present because pre-4.x Android root stores and
+    legacy certificates still carry MD5-based identifiers; used only for
+    fingerprint variety, never for signatures. *)
+
+val digest : string -> string
+(** [digest msg] is the 16-byte MD5 of [msg]. *)
+
+val hex : string -> string
+(** [hex msg] is the digest rendered in lowercase hexadecimal. *)

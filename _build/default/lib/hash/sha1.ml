@@ -1,0 +1,79 @@
+(* FIPS 180-4 SHA-1 over Int32 words. *)
+
+let rotl x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+let ( ^^ ) = Int32.logxor
+let ( &&& ) = Int32.logand
+let ( ||| ) = Int32.logor
+let ( +% ) = Int32.add
+let lnot32 = Int32.lognot
+
+let pad msg =
+  let len = String.length msg in
+  let bitlen = Int64.of_int (len * 8) in
+  let padlen =
+    let r = (len + 1) mod 64 in
+    if r <= 56 then 56 - r else 120 - r
+  in
+  let b = Buffer.create (len + padlen + 9) in
+  Buffer.add_string b msg;
+  Buffer.add_char b '\x80';
+  Buffer.add_string b (String.make padlen '\x00');
+  for i = 7 downto 0 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen (8 * i)) 0xFFL)))
+  done;
+  Buffer.contents b
+
+let word data off =
+  let byte i = Int32.of_int (Char.code data.[off + i]) in
+  Int32.logor
+    (Int32.shift_left (byte 0) 24)
+    (Int32.logor (Int32.shift_left (byte 1) 16)
+       (Int32.logor (Int32.shift_left (byte 2) 8) (byte 3)))
+
+let digest msg =
+  let data = pad msg in
+  let h0 = ref 0x67452301l and h1 = ref 0xEFCDAB89l and h2 = ref 0x98BADCFEl in
+  let h3 = ref 0x10325476l and h4 = ref 0xC3D2E1F0l in
+  let w = Array.make 80 0l in
+  let nblocks = String.length data / 64 in
+  for block = 0 to nblocks - 1 do
+    let off = block * 64 in
+    for t = 0 to 15 do
+      w.(t) <- word data (off + (4 * t))
+    done;
+    for t = 16 to 79 do
+      w.(t) <- rotl (w.(t - 3) ^^ w.(t - 8) ^^ w.(t - 14) ^^ w.(t - 16)) 1
+    done;
+    let a = ref !h0 and b = ref !h1 and c = ref !h2 and d = ref !h3 and e = ref !h4 in
+    for t = 0 to 79 do
+      let f, kk =
+        if t < 20 then ((!b &&& !c) ||| (lnot32 !b &&& !d), 0x5A827999l)
+        else if t < 40 then (!b ^^ !c ^^ !d, 0x6ED9EBA1l)
+        else if t < 60 then ((!b &&& !c) ||| (!b &&& !d) ||| (!c &&& !d), 0x8F1BBCDCl)
+        else (!b ^^ !c ^^ !d, 0xCA62C1D6l)
+      in
+      let temp = rotl !a 5 +% f +% !e +% kk +% w.(t) in
+      e := !d;
+      d := !c;
+      c := rotl !b 30;
+      b := !a;
+      a := temp
+    done;
+    h0 := !h0 +% !a;
+    h1 := !h1 +% !b;
+    h2 := !h2 +% !c;
+    h3 := !h3 +% !d;
+    h4 := !h4 +% !e
+  done;
+  let out = Bytes.create 20 in
+  List.iteri
+    (fun i hi ->
+      for j = 0 to 3 do
+        Bytes.set out ((4 * i) + j)
+          (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical hi (8 * (3 - j))) 0xFFl)))
+      done)
+    [ !h0; !h1; !h2; !h3; !h4 ];
+  Bytes.unsafe_to_string out
+
+let hex msg = Tangled_util.Hex.encode (digest msg)

@@ -1,0 +1,9 @@
+(** SHA-1 (FIPS 180-4).  Used for the legacy certificate fingerprints
+    the paper reports (the bracketed 32-bit subject hashes of Figure 2
+    are truncations of such digests). *)
+
+val digest : string -> string
+(** [digest msg] is the 20-byte SHA-1 of [msg]. *)
+
+val hex : string -> string
+(** [hex msg] is the digest rendered in lowercase hexadecimal. *)

@@ -1,0 +1,8 @@
+(** SHA-256 (FIPS 180-4).  The default certificate-signature digest of
+    the simulation. *)
+
+val digest : string -> string
+(** [digest msg] is the 32-byte SHA-256 of [msg]. *)
+
+val hex : string -> string
+(** [hex msg] is the digest rendered in lowercase hexadecimal. *)

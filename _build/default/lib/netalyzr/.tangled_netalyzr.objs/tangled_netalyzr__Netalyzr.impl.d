@@ -1,0 +1,1 @@
+lib/netalyzr/netalyzr.ml: Array Hashtbl List Printf Tangled_device Tangled_pki Tangled_store Tangled_tls Tangled_util Tangled_x509

@@ -1,0 +1,1 @@
+lib/netalyzr/netalyzr.mli: Tangled_device Tangled_pki Tangled_tls

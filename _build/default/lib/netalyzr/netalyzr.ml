@@ -1,0 +1,168 @@
+module PD = Tangled_pki.Paper_data
+module BP = Tangled_pki.Blueprint
+module Prng = Tangled_util.Prng
+module Ts = Tangled_util.Timestamp
+module C = Tangled_x509.Certificate
+module Rs = Tangled_store.Root_store
+module Pop = Tangled_device.Population
+module Handshake = Tangled_tls.Handshake
+module Endpoint = Tangled_tls.Endpoint
+module Proxy = Tangled_tls.Proxy
+
+type identity_tuple = {
+  network : string;
+  public_ip : string;
+  model : string;
+  os_version : PD.android_version;
+}
+
+type session = {
+  session_id : int;
+  handset_id : int;
+  identity : identity_tuple;
+  manufacturer : string;
+  operator : string;
+  rooted : bool;
+  store_keys : string list;
+  aosp_present : int;
+  additional : int;
+  missing : int;
+  additional_ids : string list;
+  app_added : string list;
+  probes : Handshake.outcome list;
+}
+
+type dataset = {
+  sessions : session array;
+  population : Pop.t;
+  world : Endpoint.world;
+  proxy : Proxy.t;
+}
+
+let identity_of rng (h : Pop.handset) =
+  {
+    network = Printf.sprintf "%s-%s" h.Pop.operator (if Prng.bool rng then "cell" else "wifi");
+    public_ip =
+      Printf.sprintf "%d.%d.%d.%d" (Prng.int_in rng 1 223) (Prng.int rng 256)
+        (Prng.int rng 256) (Prng.int_in rng 1 254);
+    model = h.Pop.model;
+    os_version = h.Pop.os_version;
+  }
+
+let measure_store (universe : BP.t) (h : Pop.handset) =
+  let baseline = universe.BP.aosp h.Pop.os_version in
+  let additions, missing = Rs.diff h.Pop.store baseline in
+  let store_keys = Rs.certs h.Pop.store |> List.map C.equivalence_key in
+  let aosp_present = Rs.cardinal baseline - List.length missing in
+  let additional_ids =
+    additions
+    |> List.filter_map (fun c ->
+           let key = C.equivalence_key c in
+           Hashtbl.fold
+             (fun id (r : BP.root) acc ->
+               if acc <> None then acc
+               else if
+                 C.equivalence_key r.BP.authority.Tangled_x509.Authority.certificate
+                 = key
+               then Some id
+               else acc)
+             universe.BP.extra_by_id None)
+  in
+  let app_added =
+    Rs.entries h.Pop.store
+    |> List.filter_map (fun (e : Rs.entry) ->
+           match e.Rs.provenance with
+           | Rs.App _ -> Some (Tangled_x509.Dn.to_string e.Rs.cert.C.subject)
+           | _ -> None)
+  in
+  (store_keys, aosp_present, List.length additions, List.length missing, additional_ids,
+   app_added)
+
+let collect ?(probe_sample = 0.05) ~seed population =
+  let universe = population.Pop.universe in
+  let master = Prng.create seed in
+  let rng_id = Prng.split master "netalyzr-identity" in
+  let rng_probe = Prng.split master "netalyzr-probe" in
+  let world = Endpoint.build_world ~seed universe in
+  let proxy = Proxy.create ~seed ~interceptor:universe.BP.interceptor universe in
+  let now = Ts.paper_epoch in
+  let sessions = ref [] in
+  let session_id = ref 0 in
+  (* per-handset store measurement is identical across its sessions, so
+     compute once; probes run on a sample of sessions *)
+  Array.iter
+    (fun (h : Pop.handset) ->
+      let store_keys, aosp_present, additional, missing, additional_ids, app_added =
+        measure_store universe h
+      in
+      let identity = identity_of rng_id h in
+      let probed = ref false in
+      for _ = 1 to h.Pop.sessions do
+        incr session_id;
+        let run_probe =
+          if h.Pop.proxied then true
+          else if (not !probed) && Prng.bernoulli rng_probe probe_sample then begin
+            probed := true;
+            true
+          end
+          else false
+        in
+        let probes =
+          if not run_probe then []
+          else begin
+            let transport =
+              if h.Pop.proxied then Handshake.Proxied (world, proxy)
+              else Handshake.Direct world
+            in
+            Handshake.probe_all transport ~store:h.Pop.store ~now
+          end
+        in
+        sessions :=
+          {
+            session_id = !session_id;
+            handset_id = h.Pop.id;
+            identity;
+            manufacturer = h.Pop.manufacturer;
+            operator = h.Pop.operator;
+            rooted = h.Pop.rooted;
+            store_keys;
+            aosp_present;
+            additional;
+            missing;
+            additional_ids;
+            app_added;
+            probes;
+          }
+          :: !sessions
+      done)
+    population.Pop.handsets;
+  { sessions = Array.of_list (List.rev !sessions); population; world; proxy }
+
+let total_sessions d = Array.length d.sessions
+
+let extended_fraction d =
+  Tangled_util.Stats.fraction (fun s -> s.additional > 0) d.sessions
+
+let rooted_fraction d = Tangled_util.Stats.fraction (fun s -> s.rooted) d.sessions
+
+let unique_root_keys d =
+  let set = Hashtbl.create 1024 in
+  Array.iter
+    (fun s -> List.iter (fun k -> Hashtbl.replace set k ()) s.store_keys)
+    d.sessions;
+  Hashtbl.length set
+
+let estimated_handsets d =
+  let set = Hashtbl.create 1024 in
+  Array.iter
+    (fun s ->
+      Hashtbl.replace set
+        (s.identity.network, s.identity.public_ip, s.identity.model, s.identity.os_version)
+        ())
+    d.sessions;
+  Hashtbl.length set
+
+let intercepted_sessions d =
+  Array.to_list d.sessions
+  |> List.filter (fun s ->
+         List.exists (fun (o : Handshake.outcome) -> o.Handshake.intercepted) s.probes)

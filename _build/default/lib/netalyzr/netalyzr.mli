@@ -1,0 +1,67 @@
+(** The Netalyzr-for-Android measurement client (§4.1).
+
+    Every session records (i) the device's installed root certificates,
+    (ii) the diff against the matching AOSP baseline, (iii) the
+    privacy-preserving device-identity tuple, and — for the subset of
+    sessions that run it, plus always for the proxied participant —
+    (iv) the TLS trust-chain probe of the popular-domain list. *)
+
+type identity_tuple = {
+  network : string;       (** recorded WiFi/cellular network *)
+  public_ip : string;
+  model : string;
+  os_version : Tangled_pki.Paper_data.android_version;
+}
+
+type session = {
+  session_id : int;
+  handset_id : int;
+  identity : identity_tuple;
+  manufacturer : string;
+  operator : string;
+  rooted : bool;
+  store_keys : string list;
+      (** equivalence keys of every enabled root present *)
+  aosp_present : int;   (** baseline certificates found *)
+  additional : int;     (** certificates beyond the baseline *)
+  missing : int;        (** baseline certificates absent *)
+  additional_ids : string list;
+      (** Figure 2 hash ids of the recognised extras *)
+  app_added : string list;
+      (** extras attributed to store-touching apps (rooted devices) *)
+  probes : Tangled_tls.Handshake.outcome list;
+}
+
+type dataset = {
+  sessions : session array;
+  population : Tangled_device.Population.t;
+  world : Tangled_tls.Endpoint.world;
+  proxy : Tangled_tls.Proxy.t;
+}
+
+val collect :
+  ?probe_sample:float ->
+  seed:int ->
+  Tangled_device.Population.t ->
+  dataset
+(** Run every handset's sessions.  [probe_sample] is the fraction of
+    sessions that also run the TLS probe suite (default 0.05 — chain
+    probing is expensive on metered connections, and one pass per
+    handset suffices for the §7 analysis; the proxied device always
+    probes).  Deterministic in [seed]. *)
+
+val total_sessions : dataset -> int
+val extended_fraction : dataset -> float
+(** Fraction of sessions whose store strictly extends the baseline. *)
+
+val rooted_fraction : dataset -> float
+
+val unique_root_keys : dataset -> int
+(** Distinct root certificates across all sessions (by equivalence). *)
+
+val estimated_handsets : dataset -> int
+(** Distinct identity tuples — the paper's device-count proxy. *)
+
+val intercepted_sessions : dataset -> session list
+(** Sessions with at least one probe whose chain differs from the
+    origin server's. *)

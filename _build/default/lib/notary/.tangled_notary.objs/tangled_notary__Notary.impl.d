@@ -1,0 +1,1 @@
+lib/notary/notary.ml: Array Hashtbl List Option Printf Stdlib Tangled_crypto Tangled_hash Tangled_numeric Tangled_pki Tangled_store Tangled_util Tangled_validation Tangled_x509

@@ -1,0 +1,1 @@
+lib/notary/notary.mli: Hashtbl Tangled_pki Tangled_store Tangled_x509

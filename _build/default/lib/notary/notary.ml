@@ -1,0 +1,235 @@
+module PD = Tangled_pki.Paper_data
+module BP = Tangled_pki.Blueprint
+module Prng = Tangled_util.Prng
+module Ts = Tangled_util.Timestamp
+module C = Tangled_x509.Certificate
+module Dn = Tangled_x509.Dn
+module Authority = Tangled_x509.Authority
+module Rsa = Tangled_crypto.Rsa
+module Rs = Tangled_store.Root_store
+module Chain = Tangled_validation.Chain
+
+type chain = {
+  leaf : C.t;
+  intermediates : C.t list;
+  expired : bool;
+  anchor : string option;
+}
+
+type t = {
+  universe : BP.t;
+  chains : chain array;
+  scale : float;
+  root_index : (string, BP.root) Hashtbl.t;
+}
+
+let key_pool_size = 32
+
+(* Largest-remainder apportionment of [total] items over [weights]. *)
+let apportion weights total =
+  let n = Array.length weights in
+  let sum = Array.fold_left ( +. ) 0.0 weights in
+  if sum <= 0.0 || n = 0 then Array.make n 0
+  else begin
+    let ideal = Array.map (fun w -> w /. sum *. float_of_int total) weights in
+    let counts = Array.map (fun x -> int_of_float (floor x)) ideal in
+    (* every positive-weight issuer gets at least one leaf: "active"
+       roots must validate something, per the Table 4 derivation *)
+    Array.iteri (fun i w -> if w > 0.0 && counts.(i) = 0 then counts.(i) <- 1) weights;
+    let assigned = Array.fold_left ( + ) 0 counts in
+    let remainder = total - assigned in
+    if remainder > 0 then begin
+      let order =
+        Array.init n (fun i -> i)
+        |> Array.to_list
+        |> List.sort (fun a b ->
+               Stdlib.compare
+                 (ideal.(b) -. floor ideal.(b))
+                 (ideal.(a) -. floor ideal.(a)))
+        |> Array.of_list
+      in
+      for k = 0 to remainder - 1 do
+        let i = order.(k mod n) in
+        counts.(i) <- counts.(i) + 1
+      done
+    end;
+    counts
+  end
+
+let verify_chain ~now ~issuer_root chain_certs leaf =
+  (* one full cryptographic walk per chain; store counting afterwards is
+     pure anchor-set membership *)
+  let rec walk cert rest =
+    match rest with
+    | [] ->
+        let root = issuer_root in
+        if C.verify_signature cert ~issuer_key:root.C.public_key then
+          Some (C.equivalence_key root)
+        else None
+    | inter :: tail ->
+        if C.verify_signature cert ~issuer_key:inter.C.public_key then walk inter tail
+        else None
+  in
+  ignore now;
+  walk leaf chain_certs
+
+let generate ?(leaves = 10_000) ?(expired_fraction = 0.10) ~seed universe =
+  let master = Prng.create seed in
+  let rng_keys = Prng.split master "notary-keys" in
+  let rng_issue = Prng.split master "notary-issue" in
+  let now = Ts.paper_epoch in
+  let digest = Tangled_hash.Digest_kind.SHA1 in
+  let bits = universe.BP.key_bits in
+  (* reusable subject-key pools (see Authority.issue_leaf docs) *)
+  let leaf_keys =
+    Array.init key_pool_size (fun _ -> Rsa.generate ~mr_rounds:6 rng_keys ~bits)
+  in
+  let inter_keys =
+    Array.init key_pool_size (fun _ -> Rsa.generate ~mr_rounds:6 rng_keys ~bits)
+  in
+  (* issuers: every traffic-active public root and private CA *)
+  let public_issuers =
+    Array.to_list universe.BP.roots
+    |> List.filter (fun (r : BP.root) -> r.BP.traffic_weight > 0.0)
+    |> List.map (fun r -> (r.BP.authority, r.BP.traffic_weight))
+  in
+  let issuers = Array.of_list (public_issuers @ Array.to_list universe.BP.private_cas) in
+  let weights = Array.map snd issuers in
+  let counts = apportion weights leaves in
+  (* one intermediate per issuer, shared by ~half its leaves *)
+  let intermediates =
+    Array.mapi
+      (fun i (authority, _) ->
+        let key = inter_keys.(i mod key_pool_size) in
+        let parent_cn =
+          Option.value ~default:"CA"
+            (Dn.common_name authority.Authority.certificate.C.subject)
+        in
+        Authority.issue_intermediate ~bits ~digest ~key
+          ~serial:(Tangled_numeric.Bigint.of_int (50_000 + i))
+          rng_issue ~parent:authority
+          (Dn.make ~o:parent_cn (parent_cn ^ " Issuing CA")))
+      issuers
+  in
+  let chains = ref [] in
+  let serial = ref 1_000_000 in
+  let leaf_no = ref 0 in
+  let issue_one ~expired issuer_i =
+    let authority, _ = issuers.(issuer_i) in
+    let via_intermediate = Prng.bool rng_issue in
+    let parent = if via_intermediate then intermediates.(issuer_i) else authority in
+    incr serial;
+    incr leaf_no;
+    let domain = Printf.sprintf "www.site%06d.example" !leaf_no in
+    let not_before, not_after =
+      if expired then (Ts.of_date 2010 1 1, Ts.add_days Ts.notary_start (-30))
+      else (Ts.of_date 2012 6 1, Ts.add_years now 2)
+    in
+    let leaf =
+      Authority.issue_leaf ~bits ~digest
+        ~key:leaf_keys.(!leaf_no mod key_pool_size)
+        ~serial:(Tangled_numeric.Bigint.of_int !serial)
+        ~not_before ~not_after rng_issue ~parent ~dns_names:[ domain ]
+        (Dn.make domain)
+    in
+    let inters = if via_intermediate then [ parent.Authority.certificate ] else [] in
+    let anchor =
+      verify_chain ~now ~issuer_root:authority.Authority.certificate inters leaf
+    in
+    chains := { leaf; intermediates = inters; expired; anchor } :: !chains
+  in
+  Array.iteri
+    (fun i n ->
+      for _ = 1 to n do
+        issue_one ~expired:false i
+      done)
+    counts;
+  let n_expired = int_of_float (float_of_int leaves *. expired_fraction) in
+  for _ = 1 to n_expired do
+    issue_one ~expired:true (Prng.int rng_issue (Array.length issuers))
+  done;
+  let root_index = Hashtbl.create 512 in
+  Array.iter
+    (fun (r : BP.root) ->
+      Hashtbl.replace root_index
+        (C.equivalence_key r.BP.authority.Authority.certificate)
+        r)
+    universe.BP.roots;
+  {
+    universe;
+    chains = Array.of_list (List.rev !chains);
+    scale = float_of_int leaves /. float_of_int PD.notary_unexpired_certs;
+    root_index;
+  }
+
+let unexpired t =
+  Array.fold_left (fun acc c -> if c.expired then acc else acc + 1) 0 t.chains
+
+let total t = Array.length t.chains
+
+let validated_by_store t store =
+  Array.fold_left
+    (fun acc c ->
+      match c.anchor with
+      | Some key when (not c.expired) && Rs.mem_key store key -> acc + 1
+      | _ -> acc)
+    0 t.chains
+
+let per_root_counts t =
+  let tbl = Hashtbl.create 512 in
+  Array.iter
+    (fun c ->
+      match c.anchor with
+      | Some key when not c.expired ->
+          Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+      | _ -> ())
+    t.chains;
+  tbl
+
+let counts_for_certs t certs =
+  let counts = per_root_counts t in
+  certs
+  |> List.map (fun cert ->
+         float_of_int
+           (Option.value ~default:0 (Hashtbl.find_opt counts (C.equivalence_key cert))))
+  |> Array.of_list
+
+let has_record t cert =
+  let key = C.equivalence_key cert in
+  (* mirrored official stores *)
+  Rs.mem_key t.universe.BP.mozilla key
+  || Rs.mem_key t.universe.BP.ios7 key
+  || List.exists
+       (fun v -> Rs.mem_key (t.universe.BP.aosp v) key)
+       PD.android_versions
+  ||
+  (* or seen anchoring live traffic *)
+  match Hashtbl.find_opt t.root_index key with
+  | Some r -> r.BP.traffic_weight > 0.0
+  | None -> false
+
+let classify t cert =
+  let key = C.equivalence_key cert in
+  let in_mozilla = Rs.mem_key t.universe.BP.mozilla key in
+  let in_ios = Rs.mem_key t.universe.BP.ios7 key in
+  if in_mozilla && in_ios then PD.Mozilla_and_ios
+  else if in_ios then PD.Ios_only
+  else if has_record t cert then PD.Android_only
+  else PD.Unrecorded
+
+let crosscheck t store ~sample ~seed =
+  let rng = Prng.create seed in
+  let now = Ts.paper_epoch in
+  let ok = ref true in
+  for _ = 1 to sample do
+    let c = t.chains.(Prng.int rng (Array.length t.chains)) in
+    let fast =
+      (not c.expired)
+      && match c.anchor with Some k -> Rs.mem_key store k | None -> false
+    in
+    let slow =
+      Chain.validate_ok ~now ~store (c.leaf :: c.intermediates)
+    in
+    if fast <> slow then ok := false
+  done;
+  !ok

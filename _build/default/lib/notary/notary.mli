@@ -1,0 +1,68 @@
+(** The passive certificate observatory (§4.2).
+
+    The real ICSI Notary watches TLS handshakes on eight networks and
+    stores ~1.9 M unique certificates (~1 M unexpired).  This simulator
+    issues a scaled-down leaf population from the universe's active
+    roots, with per-root volumes proportional to the traffic weights
+    the blueprint derived from Table 3, then {e measures} everything
+    the paper measures — cryptographically verifying every chain once
+    and aggregating per-root and per-store validation counts. *)
+
+type chain = {
+  leaf : Tangled_x509.Certificate.t;
+  intermediates : Tangled_x509.Certificate.t list;
+  expired : bool;  (** outside its validity window at the paper epoch *)
+  anchor : string option;
+      (** equivalence key of the verified issuing root; [None] when the
+          signature chain does not verify *)
+}
+
+type t = {
+  universe : Tangled_pki.Blueprint.t;
+  chains : chain array;
+  scale : float;  (** leaves here per paper leaf (~1 M) *)
+  root_index : (string, Tangled_pki.Blueprint.root) Hashtbl.t;
+      (** every public root by equivalence key *)
+}
+
+val generate :
+  ?leaves:int -> ?expired_fraction:float -> seed:int -> Tangled_pki.Blueprint.t -> t
+(** [generate ~seed universe] issues [leaves] (default 10,000) unexpired
+    chains plus an [expired_fraction] (default 0.10; the paper's
+    population is 47% expired — the default trades that for speed and
+    the fraction only affects totals, never the analysis shape).
+    Per-root leaf counts use largest-remainder apportionment of the
+    traffic weights so every active root validates at least one
+    certificate.  About half the chains go through an intermediate CA.
+    Deterministic in [seed]. *)
+
+val unexpired : t -> int
+val total : t -> int
+
+val validated_by_store : t -> Tangled_store.Root_store.t -> int
+(** Unexpired chains whose verified anchor is an enabled member of the
+    store — Table 3's per-store count. *)
+
+val per_root_counts : t -> (string, int) Hashtbl.t
+(** Unexpired validated-chain count per root equivalence key — the raw
+    series behind Figure 3. *)
+
+val counts_for_certs : t -> Tangled_x509.Certificate.t list -> float array
+(** Per-certificate validation counts for a root population (0 for
+    roots the Notary never saw validate), ready for an ECDF. *)
+
+val has_record : t -> Tangled_x509.Certificate.t -> bool
+(** Whether the Notary knows this certificate: it anchored or appeared
+    in observed traffic, or belongs to one of the official stores it
+    mirrors — the Figure 2 classification primitive. *)
+
+val classify :
+  t -> Tangled_x509.Certificate.t -> Tangled_pki.Paper_data.notary_class
+(** The Figure 2 legend class of a device-store extra, computed from
+    the Notary's perspective (store membership + traffic records). *)
+
+val crosscheck : t -> Tangled_store.Root_store.t -> sample:int -> seed:int -> bool
+(** Validate [sample] random chains with the full path-building
+    validator and compare with the anchor-membership shortcut; [true]
+    when they agree everywhere.  Used by the test suite to justify the
+    fast counting path. *)

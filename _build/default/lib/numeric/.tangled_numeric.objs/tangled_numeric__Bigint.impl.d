@@ -1,0 +1,1 @@
+lib/numeric/bigint.ml: Array Buffer Bytes Char Format List Option Stdlib String Tangled_util

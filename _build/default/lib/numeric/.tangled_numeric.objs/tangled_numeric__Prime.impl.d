@@ -1,0 +1,1 @@
+lib/numeric/prime.ml: Array Bigint List Tangled_util

@@ -1,0 +1,452 @@
+(* Sign-magnitude bignums on 26-bit limbs (little-endian int arrays).
+   26-bit limbs keep every intermediate product below 2^52, safely inside
+   OCaml's 63-bit native ints, including Algorithm D's two-limb
+   estimates. *)
+
+let limb_bits = 26
+let base = 1 lsl limb_bits
+let limb_mask = base - 1
+
+type t = { neg : bool; mag : int array }
+(* Invariant: mag has no leading (high-index) zero limbs; zero is
+   { neg = false; mag = [||] }. *)
+
+let zero = { neg = false; mag = [||] }
+
+let norm_mag mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length mag then mag else Array.sub mag 0 !n
+
+let make neg mag =
+  let mag = norm_mag mag in
+  if Array.length mag = 0 then zero else { neg; mag }
+
+let is_zero t = Array.length t.mag = 0
+let sign t = if is_zero t then 0 else if t.neg then -1 else 1
+let is_odd t = Array.length t.mag > 0 && t.mag.(0) land 1 = 1
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let compare a b =
+  match (sign a, sign b) with
+  | 0, 0 -> 0
+  | sa, sb when sa <> sb -> Stdlib.compare sa sb
+  | 1, _ -> cmp_mag a.mag b.mag
+  | _ -> cmp_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = Stdlib.max la lb in
+  let r = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  r.(n) <- !carry;
+  r
+
+(* requires a >= b *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  r
+
+let rec of_int n =
+  if n = 0 then zero
+  else if n = min_int then
+    (* abs min_int overflows; decompose as 2 * (min_int / 2) *)
+    let half = of_int (min_int / 2) in
+    make true (add_mag half.mag half.mag)
+  else begin
+    let neg = n < 0 in
+    let rec limbs n = if n = 0 then [] else (n land limb_mask) :: limbs (n lsr limb_bits) in
+    let v = abs n in
+    { neg; mag = Array.of_list (limbs v) }
+  end
+
+let one = of_int 1
+let two = of_int 2
+let neg t = if is_zero t then zero else { t with neg = not t.neg }
+let abs t = if t.neg then { t with neg = false } else t
+
+let add a b =
+  match (sign a, sign b) with
+  | 0, _ -> b
+  | _, 0 -> a
+  | sa, sb when sa = sb -> make a.neg (add_mag a.mag b.mag)
+  | _ ->
+      let c = cmp_mag a.mag b.mag in
+      if c = 0 then zero
+      else if c > 0 then make a.neg (sub_mag a.mag b.mag)
+      else make b.neg (sub_mag b.mag a.mag)
+
+let sub a b = add a (neg b)
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let v = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- v land limb_mask;
+        carry := v lsr limb_bits
+      done;
+      (* propagate carry; r.(i + lb) is untouched by inner loop for this i *)
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let v = r.(!k) + !carry in
+        r.(!k) <- v land limb_mask;
+        carry := v lsr limb_bits;
+        incr k
+      done
+    done;
+    r
+  end
+
+let mul a b =
+  if is_zero a || is_zero b then zero
+  else make (a.neg <> b.neg) (mul_mag a.mag b.mag)
+
+let nbits_of_limb v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let bit_length t =
+  let n = Array.length t.mag in
+  if n = 0 then 0 else ((n - 1) * limb_bits) + nbits_of_limb t.mag.(n - 1)
+
+let testbit t i =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  limb < Array.length t.mag && (t.mag.(limb) lsr off) land 1 = 1
+
+let shl_mag a k =
+  if Array.length a = 0 then [||]
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bits in
+      r.(i + limbs) <- r.(i + limbs) lor (v land limb_mask);
+      r.(i + limbs + 1) <- r.(i + limbs + 1) lor (v lsr limb_bits)
+    done;
+    r
+  end
+
+let shr_mag a k =
+  let limbs = k / limb_bits and bits = k mod limb_bits in
+  let la = Array.length a in
+  if limbs >= la then [||]
+  else begin
+    let n = la - limbs in
+    let r = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let lo = a.(i + limbs) lsr bits in
+      let hi =
+        if bits = 0 || i + limbs + 1 >= la then 0
+        else (a.(i + limbs + 1) lsl (limb_bits - bits)) land limb_mask
+      in
+      r.(i) <- lo lor hi
+    done;
+    r
+  end
+
+let shift_left t k =
+  if k < 0 then invalid_arg "Bigint.shift_left: negative shift";
+  if is_zero t || k = 0 then t else make t.neg (shl_mag t.mag k)
+
+let shift_right t k =
+  if k < 0 then invalid_arg "Bigint.shift_right: negative shift";
+  if is_zero t || k = 0 then t else make t.neg (shr_mag t.mag k)
+
+(* Short division by a single limb. *)
+let divmod_small a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (q, !r)
+
+(* Knuth TAOCP vol.2 Algorithm D.  u / v with v at least two limbs. *)
+let divmod_knuth u v =
+  let n = Array.length v in
+  let m = Array.length u - n in
+  assert (m >= 0 && n >= 2);
+  let shift = limb_bits - nbits_of_limb v.(n - 1) in
+  let vn = norm_mag (shl_mag v shift) in
+  let un = shl_mag u shift in
+  (* un needs exactly m + n + 1 limbs *)
+  let un =
+    if Array.length un >= m + n + 1 then Array.sub un 0 (m + n + 1)
+    else begin
+      let r = Array.make (m + n + 1) 0 in
+      Array.blit un 0 r 0 (Array.length un);
+      r
+    end
+  in
+  let q = Array.make (m + 1) 0 in
+  for j = m downto 0 do
+    let top = (un.(j + n) lsl limb_bits) lor un.(j + n - 1) in
+    let qhat = ref (top / vn.(n - 1)) in
+    let rhat = ref (top mod vn.(n - 1)) in
+    let adjust () =
+      !qhat >= base
+      || (!qhat * vn.(n - 2)) > ((!rhat lsl limb_bits) lor un.(j + n - 2))
+    in
+    while !rhat < base && adjust () do
+      decr qhat;
+      rhat := !rhat + vn.(n - 1)
+    done;
+    (* multiply and subtract *)
+    let borrow = ref 0 and carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * vn.(i)) + !carry in
+      carry := p lsr limb_bits;
+      let d = un.(i + j) - (p land limb_mask) - !borrow in
+      if d < 0 then begin
+        un.(i + j) <- d + base;
+        borrow := 1
+      end
+      else begin
+        un.(i + j) <- d;
+        borrow := 0
+      end
+    done;
+    let d = un.(j + n) - !carry - !borrow in
+    if d < 0 then begin
+      (* qhat was one too large: add back *)
+      un.(j + n) <- d + base;
+      decr qhat;
+      let carry2 = ref 0 in
+      for i = 0 to n - 1 do
+        let s = un.(i + j) + vn.(i) + !carry2 in
+        un.(i + j) <- s land limb_mask;
+        carry2 := s lsr limb_bits
+      done;
+      un.(j + n) <- (un.(j + n) + !carry2) land limb_mask
+    end
+    else un.(j + n) <- d;
+    q.(j) <- !qhat
+  done;
+  let r = shr_mag (Array.sub un 0 n) shift in
+  (q, r)
+
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if cmp_mag a.mag b.mag < 0 then (zero, a)
+  else begin
+    let qmag, rmag =
+      if Array.length b.mag = 1 then begin
+        let q, r = divmod_small a.mag b.mag.(0) in
+        (q, if r = 0 then [||] else [| r |])
+      end
+      else divmod_knuth a.mag b.mag
+    in
+    (make (a.neg <> b.neg) qmag, make a.neg rmag)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let erem a b =
+  let r = rem a b in
+  if r.neg then add r (abs b) else r
+
+let pow b e =
+  if e < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+    end
+  in
+  go one b e
+
+let modpow b e m =
+  if sign e < 0 then invalid_arg "Bigint.modpow: negative exponent";
+  if sign m <= 0 then invalid_arg "Bigint.modpow: modulus must be positive";
+  if equal m one then zero
+  else begin
+    let b = erem b m in
+    let result = ref one in
+    let acc = ref b in
+    let nbits = bit_length e in
+    for i = 0 to nbits - 1 do
+      if testbit e i then result := rem (mul !result !acc) m;
+      if i < nbits - 1 then acc := rem (mul !acc !acc) m
+    done;
+    !result
+  end
+
+let rec gcd_aux a b = if is_zero b then a else gcd_aux b (rem a b)
+let gcd a b = gcd_aux (abs a) (abs b)
+
+let extended_gcd a b =
+  (* iterative extended Euclid on signed values *)
+  let rec go old_r r old_s s old_t t =
+    if is_zero r then (old_r, old_s, old_t)
+    else begin
+      let q = div old_r r in
+      go r (sub old_r (mul q r)) s (sub old_s (mul q s)) t (sub old_t (mul q t))
+    end
+  in
+  let g, x, y = go a b one zero zero one in
+  if sign g < 0 then (neg g, neg x, neg y) else (g, x, y)
+
+let mod_inverse a m =
+  if sign m <= 0 then invalid_arg "Bigint.mod_inverse: modulus must be positive";
+  let g, x, _ = extended_gcd (erem a m) m in
+  if not (equal g one) then None else Some (erem x m)
+
+let of_bytes_be s =
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c))) s;
+  !acc
+
+let to_int_opt t =
+  let n = Array.length t.mag in
+  if n = 0 then Some 0
+  else if bit_length t <= 62 then begin
+    let v = ref 0 in
+    for i = n - 1 downto 0 do
+      v := (!v lsl limb_bits) lor t.mag.(i)
+    done;
+    Some (if t.neg then - !v else !v)
+  end
+  else None
+
+let to_bytes_be t =
+  if t.neg then invalid_arg "Bigint.to_bytes_be: negative value";
+  if is_zero t then ""
+  else begin
+    let nbytes = (bit_length t + 7) / 8 in
+    let b = Bytes.create nbytes in
+    let v = ref t in
+    for i = nbytes - 1 downto 0 do
+      let q, r = divmod !v (of_int 256) in
+      Bytes.set b i (Char.chr (Option.get (to_int_opt r)));
+      v := q
+    done;
+    Bytes.unsafe_to_string b
+  end
+
+let of_hex h =
+  let h, neg = if String.length h > 0 && h.[0] = '-' then (String.sub h 1 (String.length h - 1), true) else (h, false) in
+  if String.length h = 0 then invalid_arg "Bigint.of_hex: empty";
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      let v =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> invalid_arg "Bigint.of_hex: invalid character"
+      in
+      acc := add (shift_left !acc 4) (of_int v))
+    h;
+  if neg && not (is_zero !acc) then { !acc with neg = true } else !acc
+
+let to_hex t =
+  if is_zero t then "0"
+  else begin
+    let b = Buffer.create 32 in
+    if t.neg then Buffer.add_char b '-';
+    let bytes = to_bytes_be (abs t) in
+    let hex = Tangled_util.Hex.encode bytes in
+    (* strip a single leading zero nibble if present *)
+    let hex = if String.length hex > 1 && hex.[0] = '0' then String.sub hex 1 (String.length hex - 1) else hex in
+    Buffer.add_string b hex;
+    Buffer.contents b
+  end
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bigint.of_string: empty";
+  let neg = s.[0] = '-' in
+  let start = if neg || s.[0] = '+' then 1 else 0 in
+  if start >= n then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let ten = of_int 10 in
+  for i = start to n - 1 do
+    match s.[i] with
+    | '0' .. '9' ->
+        acc := add (mul !acc ten) (of_int (Char.code s.[i] - Char.code '0'))
+    | _ -> invalid_arg "Bigint.of_string: invalid character"
+  done;
+  if neg && not (is_zero !acc) then { !acc with neg = true } else !acc
+
+let to_string t =
+  if is_zero t then "0"
+  else begin
+    let b = Buffer.create 32 in
+    let rec digits v acc =
+      if is_zero v then acc
+      else begin
+        let q, r = divmod v (of_int 10) in
+        let d = Option.get (to_int_opt r) in
+        digits q (Char.chr (Char.code '0' + d) :: acc)
+      end
+    in
+    if t.neg then Buffer.add_char b '-';
+    List.iter (Buffer.add_char b) (digits (abs t) []);
+    Buffer.contents b
+  end
+
+let random_bits rng n =
+  if n < 0 then invalid_arg "Bigint.random_bits: negative bit count";
+  let nbytes = (n + 7) / 8 in
+  let s = Tangled_util.Prng.bytes rng nbytes in
+  let v = of_bytes_be s in
+  let excess = (nbytes * 8) - n in
+  shift_right v excess
+
+let random_below rng bound =
+  if sign bound <= 0 then invalid_arg "Bigint.random_below: bound must be positive";
+  let n = bit_length bound in
+  let rec go () =
+    let v = random_bits rng n in
+    if compare v bound < 0 then v else go ()
+  in
+  go ()
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

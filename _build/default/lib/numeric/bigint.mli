@@ -1,0 +1,99 @@
+(** Arbitrary-precision signed integers.
+
+    A from-scratch bignum sufficient for the RSA substrate: values are
+    immutable, represented in sign-magnitude form with 26-bit limbs.
+    Division uses Knuth's Algorithm D, so 512–2048-bit modular
+    exponentiation is fast enough for the simulation's certificate
+    volumes. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+val to_int_opt : t -> int option
+(** [to_int_opt t] is [Some n] when [t] fits native [int]. *)
+
+val of_string : string -> t
+(** Decimal parsing, with optional leading ['-'].
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** Decimal rendering. *)
+
+val of_hex : string -> t
+(** Hexadecimal parsing (no [0x] prefix).
+    @raise Invalid_argument on malformed input. *)
+
+val to_hex : t -> string
+(** Lowercase hexadecimal rendering of the magnitude, ["-"]-prefixed
+    when negative. *)
+
+val of_bytes_be : string -> t
+(** Big-endian unsigned interpretation of a byte string; [""] is 0. *)
+
+val to_bytes_be : t -> string
+(** Minimal big-endian unsigned encoding of the magnitude; 0 is [""].
+    @raise Invalid_argument on negative values. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val is_odd : t -> bool
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is the truncated-toward-zero quotient and remainder,
+    [a = q*b + r] with [|r| < |b|] and [r] carrying [a]'s sign.
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val erem : t -> t -> t
+(** Euclidean remainder, always in [\[0, |b|)]. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val bit_length : t -> int
+(** Number of significant bits of the magnitude; 0 for 0. *)
+
+val testbit : t -> int -> bool
+(** [testbit t i] is bit [i] (little-endian) of the magnitude. *)
+
+val pow : t -> int -> t
+(** Small non-negative integer exponentiation.
+    @raise Invalid_argument on negative exponents. *)
+
+val modpow : t -> t -> t -> t
+(** [modpow base exp m] is [base ^ exp mod m] for non-negative [exp]
+    and positive [m].
+    @raise Invalid_argument on negative [exp] or non-positive [m]. *)
+
+val gcd : t -> t -> t
+(** Greatest common divisor of the magnitudes. *)
+
+val extended_gcd : t -> t -> t * t * t
+(** [extended_gcd a b] is [(g, x, y)] with [a*x + b*y = g = gcd a b]. *)
+
+val mod_inverse : t -> t -> t option
+(** [mod_inverse a m] is the inverse of [a] modulo [m] in [\[0, m)],
+    or [None] when [gcd a m <> 1]. *)
+
+val random_bits : Tangled_util.Prng.t -> int -> t
+(** Uniform value with at most [n] bits. *)
+
+val random_below : Tangled_util.Prng.t -> t -> t
+(** Uniform value in [\[0, bound)] by rejection sampling.
+    @raise Invalid_argument unless [bound > 0]. *)
+
+val pp : Format.formatter -> t -> unit

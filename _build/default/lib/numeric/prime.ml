@@ -1,0 +1,88 @@
+module Prng = Tangled_util.Prng
+
+let small_primes =
+  (* sieve of Eratosthenes below 1000, computed once at load time *)
+  let bound = 1000 in
+  let composite = Array.make (bound + 1) false in
+  let primes = ref [] in
+  for i = 2 to bound do
+    if not composite.(i) then begin
+      primes := i :: !primes;
+      let j = ref (i * i) in
+      while !j <= bound do
+        composite.(!j) <- true;
+        j := !j + i
+      done
+    end
+  done;
+  Array.of_list (List.rev !primes)
+
+let divisible_by_small_prime n =
+  Array.exists
+    (fun p ->
+      let bp = Bigint.of_int p in
+      Bigint.is_zero (Bigint.rem n bp) && not (Bigint.equal n bp))
+    small_primes
+
+let miller_rabin_witness n d s a =
+  (* returns true when [a] witnesses compositeness of [n] *)
+  let n1 = Bigint.sub n Bigint.one in
+  let x = Bigint.modpow a d n in
+  if Bigint.equal x Bigint.one || Bigint.equal x n1 then false
+  else begin
+    let rec squarings i x =
+      if i >= s - 1 then true
+      else begin
+        let x = Bigint.rem (Bigint.mul x x) n in
+        if Bigint.equal x n1 then false else squarings (i + 1) x
+      end
+    in
+    squarings 0 x
+  end
+
+let is_probably_prime ?(rounds = 20) rng n =
+  if Bigint.sign n <= 0 then false
+  else
+    match Bigint.to_int_opt n with
+    | Some v when v <= small_primes.(Array.length small_primes - 1) ->
+        Array.exists (fun p -> p = v) small_primes
+    | _ ->
+        if not (Bigint.is_odd n) then false
+        else if divisible_by_small_prime n then false
+        else begin
+          (* n - 1 = d * 2^s with d odd *)
+          let n1 = Bigint.sub n Bigint.one in
+          let rec split d s =
+            if Bigint.is_odd d then (d, s) else split (Bigint.shift_right d 1) (s + 1)
+          in
+          let d, s = split n1 0 in
+          let n3 = Bigint.sub n (Bigint.of_int 3) in
+          let rec rounds_loop i =
+            if i >= rounds then true
+            else begin
+              (* a uniform in [2, n-2] *)
+              let a = Bigint.add (Bigint.random_below rng n3) Bigint.two in
+              if miller_rabin_witness n d s a then false else rounds_loop (i + 1)
+            end
+          in
+          rounds_loop 0
+        end
+
+let generate ?(rounds = 20) rng ~bits =
+  if bits < 2 then invalid_arg "Prime.generate: need at least 2 bits";
+  let top = Bigint.shift_left Bigint.one (bits - 1) in
+  let rec attempt () =
+    let r = Bigint.random_bits rng (bits - 1) in
+    let candidate = Bigint.add top r in
+    let candidate =
+      if Bigint.is_odd candidate then candidate else Bigint.add candidate Bigint.one
+    in
+    (* incremental search keeps the draw count low *)
+    let rec search c tries =
+      if tries = 0 || Bigint.bit_length c <> bits then attempt ()
+      else if is_probably_prime ~rounds rng c then c
+      else search (Bigint.add c Bigint.two) (tries - 1)
+    in
+    search candidate 400
+  in
+  attempt ()

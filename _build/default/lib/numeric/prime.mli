@@ -1,0 +1,19 @@
+(** Probabilistic primality testing and prime generation, the key
+    ingredient of the RSA substrate. *)
+
+val small_primes : int array
+(** The primes below 1000, used for trial-division sieving. *)
+
+val is_probably_prime : ?rounds:int -> Tangled_util.Prng.t -> Bigint.t -> bool
+(** Miller–Rabin test with [rounds] random bases (default 20) after a
+    trial-division sieve.  Deterministically correct for candidates
+    below the small-prime bound; otherwise the error probability is at
+    most [4^-rounds]. *)
+
+val generate : ?rounds:int -> Tangled_util.Prng.t -> bits:int -> Bigint.t
+(** [generate rng ~bits] is a random probable prime with exactly [bits]
+    bits (top bit set), found by incremental search from a random odd
+    starting point.  [rounds] is passed to {!is_probably_prime}
+    (default 20; the PKI generator uses fewer — random candidates fail
+    Miller–Rabin far more often than the worst-case 4{^-rounds} bound).
+    @raise Invalid_argument if [bits < 2]. *)

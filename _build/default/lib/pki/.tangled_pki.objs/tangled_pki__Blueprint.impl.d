@@ -1,0 +1,1 @@
+lib/pki/blueprint.ml: Array Ca_names Float Hashtbl List Paper_data Seq Stdlib Tangled_hash Tangled_numeric Tangled_store Tangled_util Tangled_x509

@@ -1,0 +1,1 @@
+lib/pki/blueprint.mli: Hashtbl Lazy Paper_data Tangled_store Tangled_x509

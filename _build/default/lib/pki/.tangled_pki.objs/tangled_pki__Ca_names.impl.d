@@ -1,0 +1,1 @@
+lib/pki/ca_names.ml: Array Printf Tangled_util

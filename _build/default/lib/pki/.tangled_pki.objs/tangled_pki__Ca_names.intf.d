@@ -1,0 +1,1 @@
+lib/pki/ca_names.mli: Tangled_util

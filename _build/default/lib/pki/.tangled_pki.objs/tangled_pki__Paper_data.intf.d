@@ -1,0 +1,1 @@
+lib/pki/paper_data.mli:

@@ -1,0 +1,60 @@
+(** Construction of the synthetic certificate world.
+
+    One call builds every root authority (store members, Figure 2
+    device extras, private/unknown CAs, the Table 5 rooted-device CAs
+    and the Reality Mine interception root), assembles the official
+    AOSP 4.1–4.4, Mozilla and iOS 7 stores with the paper's sizes and
+    overlap structure, and attaches to every root the share of Notary
+    traffic it validates (Table 3/4 derivation, DESIGN.md §4). *)
+
+module PD := Paper_data
+
+type root = {
+  authority : Tangled_x509.Authority.t;
+  display_name : string;
+  in_aosp : PD.android_version list;
+      (** the AOSP releases whose store contains it (empty: none) *)
+  in_mozilla : bool;
+  in_ios : bool;
+  traffic_weight : float;
+      (** share of unexpired Notary leaves this root validates; 0 for
+          roots absent from live traffic *)
+  extra : PD.extra_cert option;
+      (** the Figure 2 record when this is a device-store extra *)
+  mozilla_variant : Tangled_x509.Certificate.t option;
+      (** for the shared roots Mozilla ships as a re-issued (equivalent
+          but byte-distinct) certificate *)
+}
+
+type t = {
+  seed : int;
+  key_bits : int;
+  roots : root array;          (** every public root, store-member or extra *)
+  private_cas : (Tangled_x509.Authority.t * float) array;
+      (** CAs seen in traffic but trusted by no store, with weights *)
+  rooted_authorities : (string * Tangled_x509.Authority.t) array;
+      (** the Table 5 CAs, by name *)
+  interceptor : Tangled_x509.Authority.t;  (** the Reality Mine root *)
+  aosp : PD.android_version -> Tangled_store.Root_store.t;
+  mozilla : Tangled_store.Root_store.t;
+  ios7 : Tangled_store.Root_store.t;
+  extra_by_id : (string, root) Hashtbl.t;
+      (** Figure 2 extras indexed by their bracketed hash id *)
+}
+
+val build : ?key_bits:int -> seed:int -> unit -> t
+(** Deterministic in [seed].  [key_bits] defaults to 512. *)
+
+val default : t Lazy.t
+(** A process-wide universe with seed 1, shared by tests and examples
+    so the ~400 keypairs are generated once. *)
+
+val find_root_by_name : t -> string -> root option
+(** Lookup by display name (first match). *)
+
+val store_of_category : t -> string -> Tangled_x509.Certificate.t list
+(** The certificate population of a Table 4 category, by its paper row
+    label.  @raise Invalid_argument on an unknown label. *)
+
+val category_labels : string list
+(** The Table 4 row labels accepted by {!store_of_category}. *)

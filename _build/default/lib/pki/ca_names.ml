@@ -1,0 +1,118 @@
+(* Names of real, widely-deployed root authorities circa 2014 — the
+   non-controversial backbone any root store of the era contained. *)
+let well_known =
+  [|
+    ("VeriSign Class 3 Public Primary Certification Authority - G5", Some "VeriSign, Inc.", Some "US");
+    ("GeoTrust Global CA", Some "GeoTrust Inc.", Some "US");
+    ("DigiCert High Assurance EV Root CA", Some "DigiCert Inc", Some "US");
+    ("DigiCert Global Root CA", Some "DigiCert Inc", Some "US");
+    ("GlobalSign Root CA - R2", Some "GlobalSign", Some "BE");
+    ("Go Daddy Class 2 Certification Authority", Some "The Go Daddy Group, Inc.", Some "US");
+    ("Baltimore CyberTrust Root", Some "Baltimore", Some "IE");
+    ("thawte Primary Root CA", Some "thawte, Inc.", Some "US");
+    ("AddTrust External CA Root", Some "AddTrust AB", Some "SE");
+    ("Equifax Secure Certificate Authority", Some "Equifax", Some "US");
+    ("Entrust Root Certification Authority", Some "Entrust, Inc.", Some "US");
+    ("Entrust.net Certification Authority (2048)", Some "Entrust.net", Some "US");
+    ("Comodo AAA Certificate Services", Some "Comodo CA Limited", Some "GB");
+    ("StartCom Certification Authority", Some "StartCom Ltd.", Some "IL");
+    ("UTN-USERFirst-Hardware", Some "The USERTRUST Network", Some "US");
+    ("GTE CyberTrust Global Root", Some "GTE Corporation", Some "US");
+    ("VeriSign Class 3 Public Primary Certification Authority - G3", Some "VeriSign, Inc.", Some "US");
+    ("GeoTrust Primary Certification Authority", Some "GeoTrust Inc.", Some "US");
+    ("Starfield Class 2 Certification Authority", Some "Starfield Technologies, Inc.", Some "US");
+    ("DST Root CA X3", Some "Digital Signature Trust Co.", Some "US");
+    ("SwissSign Gold CA - G2", Some "SwissSign AG", Some "CH");
+    ("QuoVadis Root CA 2", Some "QuoVadis Limited", Some "BM");
+    ("Network Solutions Certificate Authority", Some "Network Solutions L.L.C.", Some "US");
+    ("Cybertrust Global Root", Some "Cybertrust, Inc", Some "US");
+    ("XRamp Global Certification Authority", Some "XRamp Security Services Inc", Some "US");
+    ("Thawte Premium Server CA G2", Some "Thawte Consulting cc", Some "ZA");
+    ("VeriSign Universal Root Certification Authority", Some "VeriSign, Inc.", Some "US");
+    ("GlobalSign Root CA - R3", Some "GlobalSign", Some "BE");
+    ("Certum Trusted Network CA", Some "Unizeto Technologies S.A.", Some "PL");
+    ("Buypass Class 2 Root CA", Some "Buypass AS-983163327", Some "NO");
+    ("Buypass Class 3 Root CA", Some "Buypass AS-983163327", Some "NO");
+    ("TeliaSonera Root CA v1", Some "TeliaSonera", Some "FI");
+    ("T-TeleSec GlobalRoot Class 2", Some "T-Systems Enterprise Services GmbH", Some "DE");
+    ("T-TeleSec GlobalRoot Class 3", Some "T-Systems Enterprise Services GmbH", Some "DE");
+    ("Deutsche Telekom Root CA 2", Some "Deutsche Telekom AG", Some "DE");
+    ("AffirmTrust Commercial", Some "AffirmTrust", Some "US");
+    ("AffirmTrust Networking", Some "AffirmTrust", Some "US");
+    ("AffirmTrust Premium", Some "AffirmTrust", Some "US");
+    ("America Online Root Certification Authority 1", Some "America Online Inc.", Some "US");
+    ("Chambers of Commerce Root - 2008", Some "AC Camerfirma S.A.", Some "ES");
+    ("Global Chambersign Root - 2008", Some "AC Camerfirma S.A.", Some "ES");
+    ("Izenpe.com", Some "IZENPE S.A.", Some "ES");
+    ("NetLock Arany (Class Gold) Fotanusitvany", Some "NetLock Kft.", Some "HU");
+    ("Hongkong Post Root CA 1", Some "Hongkong Post", Some "HK");
+    ("SecureTrust CA", Some "SecureTrust Corporation", Some "US");
+    ("Secure Global CA", Some "SecureTrust Corporation", Some "US");
+    ("Sonera Class2 CA", Some "Sonera", Some "FI");
+    ("RSA Security 2048 V3", Some "RSA Security Inc", Some "US");
+    ("ValiCert Class 1 Policy Validation Authority", Some "ValiCert, Inc.", Some "US");
+    ("ValiCert Class 2 Policy Validation Authority", Some "ValiCert, Inc.", Some "US");
+    ("Visa eCommerce Root", Some "VISA", Some "US");
+    ("Wells Fargo Root Certificate Authority", Some "Wells Fargo", Some "US");
+    ("Microsec e-Szigno Root CA 2009", Some "Microsec Ltd.", Some "HU");
+    ("ACCVRAIZ1", Some "ACCV", Some "ES");
+    ("Actalis Authentication Root CA", Some "Actalis S.p.A.", Some "IT");
+    ("Autoridad de Certificacion Firmaprofesional CIF A62634068", None, Some "ES");
+    ("TURKTRUST Elektronik Sertifika Hizmet Saglayicisi", Some "TURKTRUST", Some "TR");
+    ("E-Tugra Certification Authority", Some "E-Tugra EBG", Some "TR");
+    ("KEYNECTIS ROOT CA", Some "KEYNECTIS", Some "FR");
+    ("Certigna", Some "Dhimyotis", Some "FR");
+    ("Staat der Nederlanden Root CA - G2", Some "Staat der Nederlanden", Some "NL");
+    ("EC-ACC", Some "Agencia Catalana de Certificacio", Some "ES");
+    ("Swisscom Root CA 1", Some "Swisscom", Some "CH");
+    ("Taiwan GRCA", Some "Government Root Certification Authority", Some "TW");
+    ("ePKI Root Certification Authority", Some "Chunghwa Telecom Co., Ltd.", Some "TW");
+    ("SecureSign RootCA11", Some "Japan Certification Services, Inc.", Some "JP");
+    ("Security Communication RootCA1", Some "SECOM Trust.net", Some "JP");
+    ("Security Communication RootCA2", Some "SECOM Trust Systems CO.,LTD.", Some "JP");
+    ("GeoTrust Primary Certification Authority - G3", Some "GeoTrust Inc.", Some "US");
+    ("thawte Primary Root CA - G3", Some "thawte, Inc.", Some "US");
+    ("VeriSign Class 3 Public Primary Certification Authority - G4", Some "VeriSign, Inc.", Some "US");
+    ("GlobalSign ECC Root CA - R4", Some "GlobalSign", Some "BE");
+    ("Atos TrustedRoot 2011", Some "Atos", Some "DE");
+    ("CA Disig Root R2", Some "Disig a.s.", Some "SK");
+    ("ANF Server CA", Some "ANF Autoridad de Certificacion", Some "ES");
+    ("Camerfirma Chambers of Commerce Root", Some "AC Camerfirma SA", Some "EU");
+    ("Camerfirma Global Chambersign Root", Some "AC Camerfirma SA", Some "EU");
+    ("COMODO Certification Authority", Some "COMODO CA Limited", Some "GB");
+    ("COMODO ECC Certification Authority", Some "COMODO CA Limited", Some "GB");
+    ("TWCA Root Certification Authority", Some "TAIWAN-CA", Some "TW");
+    ("UCA Root", Some "UniTrust", Some "CN");
+    ("UCA Global Root", Some "UniTrust", Some "CN");
+  |]
+
+let regions =
+  [|
+    ("Andino", "CO"); ("Baltica", "LT"); ("Carpathia", "RO"); ("Drava", "SI");
+    ("Ebro", "ES"); ("Fjord", "NO"); ("Gobi", "MN"); ("Hanseatic", "DE");
+    ("Iberia", "PT"); ("Jutland", "DK"); ("Karoo", "ZA"); ("Levant", "JO");
+    ("Mekong", "VN"); ("Nordica", "SE"); ("Oceania", "NZ"); ("Pampa", "AR");
+    ("Quivira", "MX"); ("Rhona", "FR"); ("Sahel", "SN"); ("Tyrrhenia", "IT");
+  |]
+
+let flavours = [| "Root CA"; "Primary CA"; "Trust Anchor"; "Certification Authority"; "Global Root" |]
+
+let synthetic rng i =
+  let region, country = regions.(Tangled_util.Prng.int rng (Array.length regions)) in
+  let flavour = flavours.(Tangled_util.Prng.int rng (Array.length flavours)) in
+  let cls = 1 + Tangled_util.Prng.int rng 4 in
+  ( Printf.sprintf "%s Class %d %s S%03d" region cls flavour i,
+    Some (region ^ " Trust Services"),
+    Some country )
+
+let private_flavours =
+  [| "Corporate Proxy CA"; "Appliance Root"; "Internal Services CA"; "Gateway CA"; "Staging Root" |]
+
+let private_ca rng i =
+  let flavour = private_flavours.(Tangled_util.Prng.int rng (Array.length private_flavours)) in
+  Printf.sprintf "Private %s P%03d" flavour i
+
+let user_vpn_ca rng i =
+  let hosts = [| "home"; "office"; "lab"; "nas"; "router"; "gateway" |] in
+  let host = hosts.(Tangled_util.Prng.int rng (Array.length hosts)) in
+  Printf.sprintf "vpn.%s.user%04d.example" host i

@@ -1,0 +1,21 @@
+(** Subject-name material for the synthetic PKI.
+
+    The base-store population (AOSP/Mozilla/iOS members that Figure 2
+    does not name individually) gets plausible public-CA style names;
+    once the curated list runs out, clearly-synthetic regional names
+    are generated deterministically. *)
+
+val well_known : (string * string option * string option) array
+(** [(common name, organization, country)] for widely-deployed root
+    CAs, most-used first. *)
+
+val synthetic : Tangled_util.Prng.t -> int -> string * string option * string option
+(** [synthetic rng i] is the [i]-th filler CA name; the PRNG only picks
+    flavour (region, class number), so names stay unique per index. *)
+
+val private_ca : Tangled_util.Prng.t -> int -> string
+(** Names for CAs that appear in traffic but in no store (corporate
+    proxies, appliances, self-signed infrastructure). *)
+
+val user_vpn_ca : Tangled_util.Prng.t -> int -> string
+(** Self-signed single-device VPN certificate names (§5.2). *)

@@ -1,0 +1,400 @@
+type android_version = V4_1 | V4_2 | V4_3 | V4_4
+
+let android_versions = [ V4_1; V4_2; V4_3; V4_4 ]
+
+let version_to_string = function
+  | V4_1 -> "4.1"
+  | V4_2 -> "4.2"
+  | V4_3 -> "4.3"
+  | V4_4 -> "4.4"
+
+let aosp_store_size = function V4_1 -> 139 | V4_2 -> 140 | V4_3 -> 146 | V4_4 -> 150
+let ios7_store_size = 227
+let mozilla_store_size = 153
+
+let aosp44_mozilla_shared = 130
+let aosp44_only = 20
+let mozilla_exclusive = 7
+let extras_on_mozilla = 16
+let ios_exclusive = 69
+
+(* Base 4.1 = 124 shared + 15 AOSP-only = 139; deltas keep the running
+   sums consistent with Table 1 and with shared(4.4) = 130. *)
+let aosp_version_delta = function
+  | V4_1 -> (124, 15)
+  | V4_2 -> (1, 0)
+  | V4_3 -> (4, 2)
+  | V4_4 -> (1, 3)
+
+type notary_class = Unrecorded | Android_only | Mozilla_and_ios | Ios_only
+
+let notary_class_to_string = function
+  | Unrecorded -> "not recorded by ICSI Notary"
+  | Android_only -> "only Android"
+  | Mozilla_and_ios -> "Mozilla and iOS7"
+  | Ios_only -> "iOS7"
+
+type placement =
+  | Vendor of string list * android_version list
+  | Carrier of string list * string list
+  | Generic
+
+type extra_cert = {
+  xc_name : string;
+  xc_id : string;
+  xc_class : notary_class;
+  xc_active : bool;
+  xc_placement : placement;
+  xc_frequency : float;
+}
+
+let all_versions = android_versions
+
+(* The X axis of Figure 2: every named additional certificate, with the
+   paper's 32-bit subject-hash id.  Class and placement follow §5.1's
+   prose where it is specific; the remaining entries carry the class
+   quota worked out in DESIGN.md (16 Mozilla+iOS, 17 iOS-only,
+   32 Android-only, 39 unrecorded) and Generic placement.  [xc_active]
+   marks the roots that validate live Notary traffic; the per-category
+   active counts implement Table 4's zero-validation fractions. *)
+let extras =
+  let vendor ms vs = Vendor (ms, vs) in
+  let carrier ops ms = Carrier (ops, ms) in
+  [|
+    { xc_name = "Sprint Nextel Root Authority"; xc_id = "979eb027"; xc_class = Android_only;
+      xc_active = false; xc_placement = carrier [ "SPRINT(US)" ] []; xc_frequency = 0.8 };
+    { xc_name = "ABA.ECOM Root CA"; xc_id = "b1d311e0"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.3 };
+    { xc_name = "AddTrust Class 1 CA Root"; xc_id = "9696d421"; xc_class = Mozilla_and_ios;
+      xc_active = true; xc_placement = vendor [ "HTC"; "SAMSUNG" ] all_versions; xc_frequency = 0.9 };
+    { xc_name = "AddTrust Public CA Root"; xc_id = "e91a308f"; xc_class = Mozilla_and_ios;
+      xc_active = true; xc_placement = vendor [ "HTC"; "SAMSUNG" ] all_versions; xc_frequency = 0.9 };
+    { xc_name = "AddTrust Qualified CA Root"; xc_id = "e41e9afe"; xc_class = Mozilla_and_ios;
+      xc_active = false; xc_placement = vendor [ "HTC"; "SAMSUNG" ] all_versions; xc_frequency = 0.9 };
+    { xc_name = "AOL Time Warner Root CA 1"; xc_id = "99de8fc3"; xc_class = Android_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.4 };
+    { xc_name = "AOL Time Warner Root CA 2"; xc_id = "b4375a08"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.4 };
+    { xc_name = "Baltimore EZ by DST"; xc_id = "bcccb33d"; xc_class = Ios_only;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "Certisign AC1S"; xc_id = "b0c095eb"; xc_class = Android_only;
+      xc_active = false; xc_placement = carrier [ "VERIZON(US)" ] [ "MOTOROLA" ]; xc_frequency = 0.65 };
+    { xc_name = "Certisign AC2"; xc_id = "b930cca5"; xc_class = Android_only;
+      xc_active = false; xc_placement = carrier [ "VERIZON(US)" ] [ "MOTOROLA" ]; xc_frequency = 0.65 };
+    { xc_name = "Certisign AC3S"; xc_id = "ce644ed6"; xc_class = Android_only;
+      xc_active = false; xc_placement = carrier [ "VERIZON(US)" ] [ "MOTOROLA" ]; xc_frequency = 0.65 };
+    { xc_name = "Certisign AC4"; xc_id = "ec83d4cc"; xc_class = Android_only;
+      xc_active = false; xc_placement = carrier [ "VERIZON(US)" ] [ "MOTOROLA" ]; xc_frequency = 0.65 };
+    { xc_name = "Certplus Class 1 Primary CA"; xc_id = "c36b29c8"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = carrier [ "ORANGE(FR)"; "SFR(FR)" ] []; xc_frequency = 0.5 };
+    { xc_name = "Certplus Class 3 Primary CA"; xc_id = "b794306e"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = carrier [ "ORANGE(FR)"; "SFR(FR)" ] []; xc_frequency = 0.5 };
+    { xc_name = "Certplus Class 3P Primary CA"; xc_id = "ab37ffeb"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = carrier [ "ORANGE(FR)" ] []; xc_frequency = 0.45 };
+    { xc_name = "Certplus. Class 3TS Primary CA"; xc_id = "bd659a23"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = carrier [ "ORANGE(FR)" ] []; xc_frequency = 0.45 };
+    { xc_name = "CFCA Root CA"; xc_id = "c107f487"; xc_class = Android_only;
+      xc_active = false; xc_placement = vendor [ "HTC"; "MOTOROLA"; "LENOVO" ] all_versions; xc_frequency = 0.2 };
+    { xc_name = "Cingular Preferred Root CA"; xc_id = "db7f0a90"; xc_class = Android_only;
+      xc_active = false; xc_placement = carrier [ "AT&T(US)" ] []; xc_frequency = 0.7 };
+    { xc_name = "Cingular Trusted Root CA"; xc_id = "eaaa66b1"; xc_class = Android_only;
+      xc_active = false; xc_placement = carrier [ "AT&T(US)" ] []; xc_frequency = 0.7 };
+    { xc_name = "COMODO RSA CA"; xc_id = "91e85492"; xc_class = Mozilla_and_ios;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.6 };
+    { xc_name = "COMODO Secure Certificate Services"; xc_id = "c0713382"; xc_class = Mozilla_and_ios;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "COMODO. Trusted Certificate Services"; xc_id = "df716f36"; xc_class = Mozilla_and_ios;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "Deutsche Telekom Root CA 1"; xc_id = "d0dd9b0c"; xc_class = Mozilla_and_ios;
+      xc_active = true; xc_placement = vendor [ "HTC"; "SAMSUNG" ] all_versions; xc_frequency = 0.85 };
+    { xc_name = "DoD CLASS 3 Root CA"; xc_id = "b530fe64"; xc_class = Ios_only;
+      xc_active = true; xc_placement = vendor [ "HTC"; "SAMSUNG" ] all_versions; xc_frequency = 0.85 };
+    { xc_name = "DST (ANX Network) CA"; xc_id = "b4481180"; xc_class = Android_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.4 };
+    { xc_name = "DST (NRF) RootCA"; xc_id = "d9ac9b77"; xc_class = Android_only;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.4 };
+    { xc_name = "DST (UPS) RootCA"; xc_id = "ef17ecaf"; xc_class = Android_only;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.4 };
+    { xc_name = "DST Root CA X1"; xc_id = "d2c626b6"; xc_class = Mozilla_and_ios;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "DST RootCA X2"; xc_id = "dc75f08c"; xc_class = Android_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "DST-Entrust GTI CA"; xc_id = "b61df74b"; xc_class = Android_only;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.4 };
+    { xc_name = "Entrust CA - L1B"; xc_id = "dc21f568"; xc_class = Mozilla_and_ios;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.4 };
+    { xc_name = "Entrust.net CA"; xc_id = "ad4d4ba9"; xc_class = Ios_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "Entrust.net Client CA"; xc_id = "9374b4b6"; xc_class = Ios_only;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.4 };
+    { xc_name = "Entrust.net Client CA"; xc_id = "c83a995e"; xc_class = Android_only;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.4 };
+    { xc_name = "Entrust.net Secure Server CA"; xc_id = "c7c15f4e"; xc_class = Ios_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "eSign Imperito Primary Root CA"; xc_id = "b6d352ea"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = carrier [ "TELSTRA(AU)" ] []; xc_frequency = 0.6 };
+    { xc_name = "eSign. Gatekeeper Root CA"; xc_id = "bdfaf7c6"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = carrier [ "TELSTRA(AU)" ] []; xc_frequency = 0.6 };
+    { xc_name = "eSign. Primary Utility Root CA"; xc_id = "a46daef2"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = carrier [ "TELSTRA(AU)" ] []; xc_frequency = 0.6 };
+    { xc_name = "EUnet International Root CA"; xc_id = "9e413bd9"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.3 };
+    { xc_name = "FESTE Public Notary Certs"; xc_id = "e183f39b"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.3 };
+    { xc_name = "FESTE Verified Certs"; xc_id = "ea639f1f"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.3 };
+    { xc_name = "First Data Digital CA"; xc_id = "df1c141e"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.3 };
+    { xc_name = "Free SSL CA"; xc_id = "ed846000"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = carrier [ "FREE(FR)" ] []; xc_frequency = 0.5 };
+    { xc_name = "GeoTrust CA for Adobe"; xc_id = "a7e577e0"; xc_class = Android_only;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.4 };
+    { xc_name = "GeoTrust CA for UTI"; xc_id = "b94b8f0a"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = vendor [ "SAMSUNG" ] [ V4_2; V4_3 ]; xc_frequency = 0.8 };
+    { xc_name = "GeoTrust Mobile Device Root - Privileged"; xc_id = "bbec6559"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.35 };
+    { xc_name = "GeoTrust Mobile Device Root"; xc_id = "8fb1a7ee"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.35 };
+    { xc_name = "GeoTrust True Credentials CA 2"; xc_id = "b2972ca5"; xc_class = Android_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.35 };
+    { xc_name = "GlobalSign Root CA"; xc_id = "da0ee699"; xc_class = Mozilla_and_ios;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.6 };
+    { xc_name = "GoDaddy Inc"; xc_id = "c42dd515"; xc_class = Mozilla_and_ios;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.55 };
+    { xc_name = "IPS CA CLASE1"; xc_id = "e05127a7"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.3 };
+    { xc_name = "IPS CA CLASE3 CA"; xc_id = "ab17fe0e"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.3 };
+    { xc_name = "IPS CA CLASEA1 CA"; xc_id = "bb30d7dc"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.3 };
+    { xc_name = "IPS CA CLASEA3"; xc_id = "ee8000f6"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.3 };
+    { xc_name = "IPS CA Timestamping CA"; xc_id = "bcb8ee56"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.3 };
+    { xc_name = "IPS Chained CAs"; xc_id = "dc569249"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.3 };
+    { xc_name = "Microsoft Secure Server Authority"; xc_id = "ea9f5f91"; xc_class = Android_only;
+      xc_active = false; xc_placement = carrier [ "AT&T(US)" ] [ "MOTOROLA" ]; xc_frequency = 0.6 };
+    { xc_name = "Motorola FOTA Root CA"; xc_id = "bae1df7c"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = vendor [ "MOTOROLA" ] all_versions; xc_frequency = 0.9 };
+    { xc_name = "Motorola SUPL Server Root CA"; xc_id = "caf7a0d5"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = vendor [ "MOTOROLA" ] all_versions; xc_frequency = 0.9 };
+    { xc_name = "PTT Post Root CA. KeyMail"; xc_id = "b07ee23a"; xc_class = Android_only;
+      xc_active = false; xc_placement = carrier [ "VERIZON(US)" ] [ "MOTOROLA" ]; xc_frequency = 0.65 };
+    { xc_name = "RSA Data Security CA"; xc_id = "92ce7ac1"; xc_class = Android_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.4 };
+    { xc_name = "SecureSign Root CA2. Japan"; xc_id = "967b9223"; xc_class = Ios_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.4 };
+    { xc_name = "SecureSign Root CA3. Japan"; xc_id = "995e1e80"; xc_class = Ios_only;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.4 };
+    { xc_name = "SEVEN Open Channel Primary CA"; xc_id = "cc2479ed"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.3 };
+    { xc_name = "SIA Secure Client CA"; xc_id = "d2fcb040"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.3 };
+    { xc_name = "SIA Secure Server CA"; xc_id = "dbc10bcc"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.3 };
+    { xc_name = "Sonera Class1 CA"; xc_id = "b5891f2b"; xc_class = Mozilla_and_ios;
+      xc_active = false; xc_placement = vendor [ "HTC"; "SAMSUNG" ] all_versions; xc_frequency = 0.85 };
+    { xc_name = "Sony Computer DNAS Root 05"; xc_id = "d98f7b36"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = vendor [ "SONY" ] [ V4_3 ]; xc_frequency = 0.8 };
+    { xc_name = "Sony Ericsson Secure E2E"; xc_id = "ed849d0f"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = vendor [ "SONY" ] [ V4_3 ]; xc_frequency = 0.8 };
+    { xc_name = "Sprint XCA01"; xc_id = "c65c80d1"; xc_class = Android_only;
+      xc_active = false; xc_placement = carrier [ "SPRINT(US)" ] []; xc_frequency = 0.8 };
+    { xc_name = "Starfield Services Root CA"; xc_id = "f2cc562a"; xc_class = Mozilla_and_ios;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "TC TrustCenter Class 1 CA"; xc_id = "b029ebb4"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = carrier [ "VODAFONE(DE)" ] []; xc_frequency = 0.5 };
+    { xc_name = "Thawte Personal Basic CA"; xc_id = "bcbc9353"; xc_class = Ios_only;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.45 };
+    { xc_name = "Thawte Personal Freemail CA"; xc_id = "d469d7d4"; xc_class = Ios_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.45 };
+    { xc_name = "Thawte Personal Premium CA"; xc_id = "c966d9f8"; xc_class = Ios_only;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.45 };
+    { xc_name = "Thawte Premium Server CA"; xc_id = "d236366a"; xc_class = Ios_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.55 };
+    { xc_name = "Thawte Server CA"; xc_id = "d3a4506e"; xc_class = Ios_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.55 };
+    { xc_name = "Thawte Timestamping CA"; xc_id = "d62b5878"; xc_class = Android_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.4 };
+    { xc_name = "TrustCenter Class 2 CA"; xc_id = "da38e8ed"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = carrier [ "VODAFONE(DE)" ] []; xc_frequency = 0.5 };
+    { xc_name = "TrustCenter Class 3 CA"; xc_id = "b6b4c135"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = carrier [ "VODAFONE(DE)" ] []; xc_frequency = 0.5 };
+    { xc_name = "UserTrust Client Auth. and Email"; xc_id = "b23985a4"; xc_class = Android_only;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.4 };
+    { xc_name = "UserTrust RSA Extended Val. Sec. Server CA"; xc_id = "949c238c"; xc_class = Android_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.4 };
+    { xc_name = "UserTrust UTN-USERFirst"; xc_id = "ceaa813f"; xc_class = Mozilla_and_ios;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.45 };
+    { xc_name = "VeriSign"; xc_id = "d32e20f0"; xc_class = Android_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "VeriSign Class 1 Public Primary CA"; xc_id = "dd84d4b9"; xc_class = Ios_only;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "VeriSign Class 1 Public Primary CA"; xc_id = "e519bf6d"; xc_class = Ios_only;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "VeriSign Class 2 Public Primary CA"; xc_id = "af0a0dc2"; xc_class = Ios_only;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "VeriSign Class 2 Public Primary CA"; xc_id = "b65a8ba3"; xc_class = Ios_only;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "VeriSign Class 3 Extended Validation SSL SGC CA"; xc_id = "bd5688ba"; xc_class = Android_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "VeriSign Class 3 International Server CA - G3"; xc_id = "99d69c62"; xc_class = Android_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "VeriSign Class 3 Public Primary CA"; xc_id = "c95c599e"; xc_class = Mozilla_and_ios;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.6 };
+    { xc_name = "VeriSign Class 3 Secure Server CA - G3"; xc_id = "b187841f"; xc_class = Android_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "VeriSign Class 3 Secure Server CA"; xc_id = "95c32112"; xc_class = Android_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "VeriSign Commercial Software Publishers CA"; xc_id = "c3d36965"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.35 };
+    { xc_name = "VeriSign CPS"; xc_id = "d88280e8"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.35 };
+    { xc_name = "VeriSign Individual Software Publishers CA"; xc_id = "c17aca65"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.35 };
+    { xc_name = "VeriSign Trust Network"; xc_id = "a7880121"; xc_class = Mozilla_and_ios;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "VeriSign Trust Network"; xc_id = "aad0babe"; xc_class = Android_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "VeriSign Trust Network"; xc_id = "cc5ed111"; xc_class = Android_only;
+      xc_active = true; xc_placement = Generic; xc_frequency = 0.5 };
+    { xc_name = "Visa Information Delivery Root CA"; xc_id = "c91100e1"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.35 };
+    { xc_name = "Vodafone (Operator Domain)"; xc_id = "c148b339"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = carrier [ "VODAFONE(DE)" ] []; xc_frequency = 0.85 };
+    { xc_name = "Vodafone (Widget Operator Domain)"; xc_id = "941c5d68"; xc_class = Unrecorded;
+      xc_active = false; xc_placement = carrier [ "VODAFONE(DE)" ] []; xc_frequency = 0.85 };
+    { xc_name = "Wells Fargo CA 01"; xc_id = "9d29d5b9"; xc_class = Android_only;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.35 };
+    { xc_name = "Xcert EZ by DST"; xc_id = "ad5418de"; xc_class = Ios_only;
+      xc_active = false; xc_placement = Generic; xc_frequency = 0.35 };
+  |]
+
+(* --- Table 2 -------------------------------------------------------- *)
+
+let total_sessions = 15_970
+let total_handsets = 3_835
+let total_models = 435
+
+let top_models =
+  [
+    ("Galaxy SIV", "SAMSUNG", 2762);
+    ("Galaxy SIII", "SAMSUNG", 2108);
+    ("Nexus 4", "LG", 1331);
+    ("Nexus 5", "LG", 1010);
+    ("Nexus 7", "ASUS", 832);
+  ]
+
+let manufacturer_sessions =
+  [ ("SAMSUNG", 7709); ("LG", 2908); ("ASUS", 1876); ("HTC", 963); ("MOTOROLA", 837) ]
+
+let other_manufacturers =
+  [ "SONY"; "HUAWEI"; "LENOVO"; "ZTE"; "COMPAL"; "PANTECH"; "ACER"; "XIAOMI" ]
+
+let operators =
+  [
+    ("3(UK)", "GB"); ("AT&T(US)", "US"); ("BOUYGUES(FR)", "FR"); ("EE(UK)", "GB");
+    ("FREE(FR)", "FR"); ("ORANGE(FR)", "FR"); ("SFR(FR)", "FR"); ("SPRINT(US)", "US");
+    ("T-MOBILE(US)", "US"); ("TELSTRA(AU)", "AU"); ("VERIZON(US)", "US");
+    ("VODAFONE(DE)", "DE");
+  ]
+
+(* --- Figure 1 -------------------------------------------------------- *)
+
+let fraction_sessions_extended = 0.39
+let handsets_missing_certs = 5
+
+let heavy_extenders =
+  [
+    ("HTC", [ V4_1; V4_2 ]);
+    ("MOTOROLA", [ V4_1; V4_2 ]);
+    ("LG", [ V4_1; V4_2 ]);
+    ("SAMSUNG", [ V4_4 ]);
+  ]
+
+let light_extenders = [ "HUAWEI"; "SONY"; "ASUS" ]
+
+(* --- §6 --------------------------------------------------------------- *)
+
+let fraction_sessions_rooted = 0.24
+let fraction_rooted_with_exclusive = 0.06
+
+let rooted_cas =
+  [
+    ("CRAZY HOUSE", 70);
+    ("MIND OVERFLOW", 1);
+    ("USER_X", 1);
+    ("CDA/EMAILADDRESS", 1);
+    ("CIRRUS, PRIVATE", 1);
+  ]
+
+let freedom_app_ca = "CRAZY HOUSE"
+let freedom_app_devices = 70
+
+(* --- §7 / Table 6 ------------------------------------------------------ *)
+
+let interceptor_name = "Reality Mine"
+let interceptor_proxy_host = "v-us-49.analyzeme.me.uk"
+
+let intercepted_domains =
+  [
+    ("gmail.com", 443); ("mail.google.com", 443); ("mail.yahoo.com", 443);
+    ("orcart.facebook.com", 443); ("www.bankofamerica.com", 443);
+    ("www.chase.com", 443); ("www.hsbc.com", 443); ("www.icsi.berkeley.edu", 443);
+    ("www.outlook.com", 443); ("www.skype.com", 443); ("www.viber.com", 443);
+    ("www.yahoo.com", 443);
+  ]
+
+let whitelisted_domains =
+  [
+    ("google-analytics.com", 443); ("maps.google.com", 443);
+    ("orcart.facebook.com", 8883); ("play.google.com", 443);
+    ("supl.google.com", 7275); ("www.facebook.com", 443);
+    ("www.google.com", 443); ("www.google.co.uk", 443);
+    ("www.twitter.com", 443);
+  ]
+
+(* --- §4.2 / Table 3 ----------------------------------------------------- *)
+
+let notary_unique_certs = 1_900_000
+let notary_unexpired_certs = 1_000_000
+
+let table3_validated =
+  [
+    ("Mozilla", 744_069);
+    ("iOS 7", 745_736);
+    ("AOSP 4.1", 744_350);
+    ("AOSP 4.2", 744_350);
+    ("AOSP 4.3", 744_384);
+    ("AOSP 4.4", 744_398);
+  ]
+
+let table4_rows =
+  [
+    ("Non AOSP and Non Mozilla root certs", 85, 0.72);
+    ("Non AOSP root certs found on Mozilla's", 16, 0.38);
+    ("AOSP 4.4 and Mozilla root certs", 130, 0.15);
+    ("AOSP 4.1 certs", 139, 0.22);
+    ("AOSP 4.4 certs", 150, 0.23);
+    ("Aggregated Android root certs", 235, 0.40);
+    ("Mozilla root store certs", 153, 0.22);
+    ("iOS 7 root store certs", 227, 0.41);
+  ]
+
+(* Disjoint traffic buckets, fractions of unexpired Notary leaves;
+   solved from Table 3 (DESIGN.md §4, experiment T3). *)
+let traffic_core = 0.74350
+let traffic_mozilla_extras = 0.000569
+(* Inflated relative to the exact Table 3 solution (0.00085) so the
+   paper's store ordering — Mozilla validating the least — survives the
+   min-one-leaf apportionment floor at simulation scales of >= 10k
+   leaves; see EXPERIMENTS.md. *)
+let traffic_aosp_only = 0.002000
+let traffic_aosp43_added = 0.000034
+let traffic_aosp44_added = 0.000014
+let traffic_ios_exclusive = 0.000769
+let traffic_android_device_only = 0.010000
+
+let netalyzr_probe_domains =
+  List.map fst intercepted_domains @ List.map fst whitelisted_domains

@@ -1,0 +1,171 @@
+(** The published facts of the paper, transcribed as data.
+
+    Everything the synthetic world must match — store sizes, the
+    Figure 2 certificate universe, manufacturer/operator populations,
+    the rooted-device CA list and the interception domain lists — lives
+    here, so the generator code contains no magic numbers. *)
+
+(** {1 Table 1 — root store sizes} *)
+
+type android_version = V4_1 | V4_2 | V4_3 | V4_4
+
+val android_versions : android_version list
+val version_to_string : android_version -> string
+val aosp_store_size : android_version -> int
+val ios7_store_size : int
+val mozilla_store_size : int
+
+(** {1 Store overlap structure (§2, Table 4)}
+
+    Derived decomposition; the derivation is documented in DESIGN.md.
+    "Shared" means present in both AOSP and Mozilla by equivalence. *)
+
+val aosp44_mozilla_shared : int
+(** 130 *)
+
+val aosp44_only : int
+(** 20 *)
+
+val mozilla_exclusive : int
+(** 7: Mozilla = 130 shared + 16 extras + 7 exclusive *)
+
+val extras_on_mozilla : int
+(** 16 *)
+
+val ios_exclusive : int
+(** 69 *)
+
+(** Per-version composition: (shared-with-Mozilla, AOSP-only) counts of
+    certificates added by that version relative to its predecessor;
+    V4_1 gives the base composition. *)
+val aosp_version_delta : android_version -> int * int
+
+(** {1 Figure 2 — the additional-certificate universe} *)
+
+type notary_class =
+  | Unrecorded     (** the Notary has no record of the certificate *)
+  | Android_only   (** recorded, present in no other official store *)
+  | Mozilla_and_ios
+  | Ios_only
+
+val notary_class_to_string : notary_class -> string
+
+type placement =
+  | Vendor of string list * android_version list
+      (** shipped by these manufacturers on these OS versions *)
+  | Carrier of string list * string list
+      (** shipped for these operators, optionally restricted to these
+          manufacturers (empty list = any) *)
+  | Generic
+      (** spread across rows by the generator *)
+
+type extra_cert = {
+  xc_name : string;
+  xc_id : string;  (** the paper's bracketed subject-hash id *)
+  xc_class : notary_class;
+  xc_active : bool;
+      (** whether the certificate validates any Notary traffic *)
+  xc_placement : placement;
+  xc_frequency : float;
+      (** ratio of that row's modified-store sessions carrying it *)
+}
+
+val extras : extra_cert array
+(** The named additional certificates of Figure 2 (104 transcribed). *)
+
+(** {1 Table 2 — devices and manufacturers} *)
+
+val total_sessions : int
+(** 15,970 *)
+
+val total_handsets : int
+(** >= 3,835 *)
+
+val total_models : int
+(** 435 *)
+
+val top_models : (string * string * int) list
+(** [(model, manufacturer, sessions)] for the five named models. *)
+
+val manufacturer_sessions : (string * int) list
+(** The five named manufacturers with session counts; the rest of the
+    population is labelled by {!other_manufacturers}. *)
+
+val other_manufacturers : string list
+val operators : (string * string) list
+(** [(name, country)] — the Figure 2 operator rows. *)
+
+(** {1 Figure 1 — extension behaviour} *)
+
+val fraction_sessions_extended : float
+(** 0.39 *)
+
+val handsets_missing_certs : int
+(** 5 *)
+
+(** Manufacturers whose 4.1/4.2 devices gain > 40 certificates, and the
+    conservative ones with < 10 additions. *)
+val heavy_extenders : (string * android_version list) list
+val light_extenders : string list
+
+(** {1 §6 — rooted handsets} *)
+
+val fraction_sessions_rooted : float
+(** 0.24 *)
+
+val fraction_rooted_with_exclusive : float
+(** 0.06 *)
+
+val rooted_cas : (string * int) list
+(** Table 5: CA name and number of affected devices. *)
+
+val freedom_app_ca : string
+(** "CRAZY HOUSE" *)
+
+val freedom_app_devices : int
+(** 70 *)
+
+(** {1 §7 / Table 6 — TLS interception} *)
+
+val interceptor_name : string
+(** "Reality Mine" *)
+
+val interceptor_proxy_host : string
+val intercepted_domains : (string * int) list
+val whitelisted_domains : (string * int) list
+
+(** {1 §4.2 / Table 3 — the Notary} *)
+
+val notary_unique_certs : int
+(** 1.9 M *)
+
+val notary_unexpired_certs : int
+(** ~1 M *)
+
+val table3_validated : (string * int) list
+(** Store name to validated-certificate count, of ~1M unexpired. *)
+
+val table4_rows : (string * int * float) list
+(** [(category, total roots, fraction validating nothing)]. *)
+
+(** Traffic mass carried by disjoint root buckets, as fractions of all
+    unexpired Notary certificates (derived from Table 3; see
+    DESIGN.md). *)
+val traffic_core : float
+(** all stores *)
+
+val traffic_mozilla_extras : float
+(** Mozilla+iOS, not AOSP *)
+
+val traffic_aosp_only : float
+(** AOSP(any)+iOS, not Mozilla *)
+
+val traffic_aosp43_added : float
+val traffic_aosp44_added : float
+val traffic_ios_exclusive : float
+
+val traffic_android_device_only : float
+(** validated only by device-store extras (no official store) *)
+
+val netalyzr_probe_domains : string list
+(** The popular domains whose trust chains Netalyzr checks (§7). *)

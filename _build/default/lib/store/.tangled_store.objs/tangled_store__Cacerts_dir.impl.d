@@ -1,0 +1,1 @@
+lib/store/cacerts_dir.ml: Array Filename Fun Hashtbl List Option Printf Root_store String Sys Tangled_x509

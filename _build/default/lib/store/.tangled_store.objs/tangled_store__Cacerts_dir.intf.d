@@ -1,0 +1,1 @@
+lib/store/cacerts_dir.mli: Root_store Tangled_x509

@@ -1,0 +1,1 @@
+lib/store/root_store.ml: Hashtbl List Map Option Printf Stdlib String Tangled_x509

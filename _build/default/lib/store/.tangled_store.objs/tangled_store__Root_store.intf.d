@@ -1,0 +1,1 @@
+lib/store/root_store.mli: Tangled_x509

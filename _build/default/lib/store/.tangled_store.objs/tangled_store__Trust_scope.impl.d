@@ -1,0 +1,1 @@
+lib/store/trust_scope.ml: List Root_store Stdlib String Tangled_x509

@@ -1,0 +1,1 @@
+lib/store/trust_scope.mli: Root_store Tangled_x509

@@ -1,0 +1,70 @@
+module C = Tangled_x509.Certificate
+module Pem = Tangled_x509.Pem
+
+let filename_of cert n = Printf.sprintf "%s.%d" (C.subject_hash32 cert) n
+
+let is_cacert_filename name =
+  match String.split_on_char '.' name with
+  | [ hash; counter ] ->
+      String.length hash = 8
+      && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) hash
+      && int_of_string_opt counter <> None
+  | _ -> false
+
+let write store dir =
+  try
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    if not (Sys.is_directory dir) then Error (dir ^ " is not a directory")
+    else begin
+      (* clear previous store content, leaving foreign files alone *)
+      Array.iter
+        (fun name ->
+          if is_cacert_filename name then Sys.remove (Filename.concat dir name))
+        (Sys.readdir dir);
+      let seen = Hashtbl.create 64 in
+      let written =
+        List.fold_left
+          (fun count cert ->
+            let hash = C.subject_hash32 cert in
+            let n = Option.value ~default:0 (Hashtbl.find_opt seen hash) in
+            Hashtbl.replace seen hash (n + 1);
+            let path = Filename.concat dir (filename_of cert n) in
+            let oc = open_out_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc (Pem.encode_certificate cert));
+            count + 1)
+          0 (Root_store.certs store)
+      in
+      Ok written
+    end
+  with Sys_error msg -> Error msg
+
+let read ~name dir =
+  try
+    if not (Sys.file_exists dir && Sys.is_directory dir) then
+      Error (dir ^ " is not a directory")
+    else begin
+      let files =
+        Sys.readdir dir |> Array.to_list |> List.filter is_cacert_filename
+        |> List.sort compare
+      in
+      let rec load acc = function
+        | [] -> Ok (List.rev acc)
+        | file :: rest -> (
+            let path = Filename.concat dir file in
+            let contents =
+              let ic = open_in_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_in ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            match Pem.decode_certificate contents with
+            | Ok cert -> load (cert :: acc) rest
+            | Error msg -> Error (Printf.sprintf "%s: %s" file msg))
+      in
+      match load [] files with
+      | Ok certs -> Ok (Root_store.of_certs name Root_store.User certs)
+      | Error _ as e -> e
+    end
+  with Sys_error msg -> Error msg

@@ -1,0 +1,23 @@
+(** The on-disk layout of Android's system root store.
+
+    Android keeps one PEM file per trusted certificate under
+    /system/etc/security/cacerts, named by the OpenSSL subject hash
+    with a collision counter: [<8-hex-digits>.<n>] (footnote 2 of the
+    paper).  This module reads and writes that layout, so synthetic
+    stores round-trip through the same artefact a real device audit
+    would collect. *)
+
+val filename_of : Tangled_x509.Certificate.t -> int -> string
+(** [filename_of cert n] is ["<subject-hash32>.<n>"]. *)
+
+val write : Root_store.t -> string -> (int, string) result
+(** [write store dir] dumps every enabled certificate as one PEM file
+    into [dir] (created if missing, existing [*.N] entries removed).
+    Returns the number of files written, or an error message on I/O
+    failure. *)
+
+val read : name:string -> string -> (Root_store.t, string) result
+(** [read ~name dir] loads a store back from a cacerts directory.
+    Files that fail to parse are reported, not skipped.  Entries load
+    with [User] provenance — on a real device the provenance is not
+    recorded on disk, which is part of the paper's point. *)

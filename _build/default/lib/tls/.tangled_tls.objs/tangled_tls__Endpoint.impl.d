@@ -1,0 +1,1 @@
+lib/tls/endpoint.ml: Array Hashtbl List Option Stdlib Tangled_crypto Tangled_hash Tangled_numeric Tangled_pki Tangled_util Tangled_x509

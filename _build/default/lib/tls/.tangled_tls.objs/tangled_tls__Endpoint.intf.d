@@ -1,0 +1,1 @@
+lib/tls/endpoint.mli: Tangled_pki Tangled_x509

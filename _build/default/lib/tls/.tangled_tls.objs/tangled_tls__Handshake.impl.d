@@ -1,0 +1,1 @@
+lib/tls/handshake.ml: Endpoint List Proxy String Tangled_store Tangled_validation Tangled_x509

@@ -1,0 +1,1 @@
+lib/tls/handshake.mli: Endpoint Proxy Tangled_store Tangled_util Tangled_validation Tangled_x509

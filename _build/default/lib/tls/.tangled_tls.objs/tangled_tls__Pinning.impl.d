@@ -1,0 +1,1 @@
+lib/tls/pinning.ml: Endpoint Handshake List Stdlib Tangled_crypto Tangled_hash Tangled_x509

@@ -1,0 +1,1 @@
+lib/tls/pinning.mli: Endpoint Handshake Tangled_x509

@@ -1,0 +1,1 @@
+lib/tls/proxy.ml: Endpoint Hashtbl List Tangled_crypto Tangled_numeric Tangled_pki Tangled_util Tangled_x509

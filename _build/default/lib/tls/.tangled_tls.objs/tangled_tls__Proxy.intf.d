@@ -1,0 +1,1 @@
+lib/tls/proxy.mli: Endpoint Tangled_pki Tangled_x509

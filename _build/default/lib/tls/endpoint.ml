@@ -1,0 +1,87 @@
+module PD = Tangled_pki.Paper_data
+module BP = Tangled_pki.Blueprint
+module Prng = Tangled_util.Prng
+module Ts = Tangled_util.Timestamp
+module C = Tangled_x509.Certificate
+module Dn = Tangled_x509.Dn
+module Authority = Tangled_x509.Authority
+module Rsa = Tangled_crypto.Rsa
+
+type t = {
+  host : string;
+  port : int;
+  chain : C.t list;
+}
+
+type world = {
+  by_addr : (string * int, t) Hashtbl.t;
+  targets : (string * int) list;
+}
+
+let build_world ~seed universe =
+  let master = Prng.create seed in
+  let rng = Prng.split master "tls-world" in
+  let digest = Tangled_hash.Digest_kind.SHA1 in
+  let bits = universe.BP.key_bits in
+  (* hosting CAs: the most popular active core roots, i.e. those in
+     every official store, as real sites of the era were *)
+  let hosts_cas =
+    Array.to_list universe.BP.roots
+    |> List.filter (fun (r : BP.root) ->
+           r.BP.traffic_weight > 0.0 && r.BP.in_mozilla && r.BP.in_aosp <> [])
+    |> List.sort (fun (a : BP.root) b ->
+           Stdlib.compare b.BP.traffic_weight a.BP.traffic_weight)
+    |> (fun l -> List.filteri (fun i _ -> i < 12) l)
+    |> Array.of_list
+  in
+  if Array.length hosts_cas = 0 then invalid_arg "Endpoint.build_world: no active core roots";
+  let shared_keys =
+    Array.init 8 (fun _ -> Rsa.generate ~mr_rounds:6 rng ~bits)
+  in
+  let intermediate_cache = Hashtbl.create 16 in
+  let intermediate_of i (root : BP.root) =
+    match Hashtbl.find_opt intermediate_cache i with
+    | Some inter -> inter
+    | None ->
+        let cn =
+          Option.value ~default:"CA"
+            (Dn.common_name root.BP.authority.Authority.certificate.C.subject)
+        in
+        let inter =
+          Authority.issue_intermediate ~bits ~digest
+            ~key:shared_keys.(i mod Array.length shared_keys)
+            ~serial:(Tangled_numeric.Bigint.of_int (90_000 + i))
+            rng ~parent:root.BP.authority
+            (Dn.make ~o:cn (cn ^ " Server CA"))
+        in
+        Hashtbl.add intermediate_cache i inter;
+        inter
+  in
+  let targets =
+    PD.intercepted_domains @ PD.whitelisted_domains
+    |> List.sort_uniq Stdlib.compare
+  in
+  let by_addr = Hashtbl.create 64 in
+  List.iteri
+    (fun n (host, port) ->
+      let i = n mod Array.length hosts_cas in
+      let root = hosts_cas.(i) in
+      let inter = intermediate_of i root in
+      let leaf =
+        Authority.issue_leaf ~bits ~digest
+          ~key:shared_keys.(n mod Array.length shared_keys)
+          ~serial:(Tangled_numeric.Bigint.of_int (100_000 + n))
+          ~not_before:(Ts.of_date 2013 1 1)
+          ~not_after:(Ts.of_date 2016 1 1)
+          rng ~parent:inter ~dns_names:[ host ] (Dn.make host)
+      in
+      Hashtbl.replace by_addr (host, port)
+        { host; port; chain = [ leaf; inter.Authority.certificate ] })
+    targets;
+  { by_addr; targets }
+
+let lookup world ~host ~port = Hashtbl.find_opt world.by_addr (host, port)
+
+let endpoints world = Hashtbl.fold (fun _ e acc -> e :: acc) world.by_addr []
+
+let probe_targets world = world.targets

@@ -1,0 +1,24 @@
+(** TLS server endpoints: a (host, port) that presents a certificate
+    chain when connected to.  The "Internet" of the simulation is a map
+    of these, built from the universe's active core CAs. *)
+
+type t = {
+  host : string;
+  port : int;
+  chain : Tangled_x509.Certificate.t list;  (** leaf first *)
+}
+
+type world
+
+val build_world : seed:int -> Tangled_pki.Blueprint.t -> world
+(** Create endpoints for every Netalyzr probe domain (§7's intercepted
+    and whitelisted lists), each with a chain issued by one of the
+    universe's active core roots through an intermediate.
+    Deterministic in [seed]. *)
+
+val lookup : world -> host:string -> port:int -> t option
+
+val endpoints : world -> t list
+
+val probe_targets : world -> (string * int) list
+(** Every (host, port) the Netalyzr client checks. *)

@@ -1,0 +1,38 @@
+module C = Tangled_x509.Certificate
+module Chain = Tangled_validation.Chain
+module Rs = Tangled_store.Root_store
+
+type transport =
+  | Direct of Endpoint.world
+  | Proxied of Endpoint.world * Proxy.t
+
+type outcome = {
+  host : string;
+  port : int;
+  presented : C.t list;
+  verdict : (C.t, Chain.failure) result;
+  intercepted : bool;
+}
+
+let world_of = function Direct w -> w | Proxied (w, _) -> w
+
+let connect transport ~store ~now ~host ~port =
+  match Endpoint.lookup (world_of transport) ~host ~port with
+  | None -> None
+  | Some endpoint ->
+      let presented =
+        match transport with
+        | Direct _ -> endpoint.Endpoint.chain
+        | Proxied (_, proxy) -> Proxy.terminate proxy endpoint
+      in
+      let intercepted =
+        match (presented, endpoint.Endpoint.chain) with
+        | p :: _, o :: _ -> not (String.equal (C.byte_identity p) (C.byte_identity o))
+        | _ -> false
+      in
+      let result = Chain.validate ~now ~store presented in
+      Some { host; port; presented; verdict = result.Chain.verdict; intercepted }
+
+let probe_all transport ~store ~now =
+  Endpoint.probe_targets (world_of transport)
+  |> List.filter_map (fun (host, port) -> connect transport ~store ~now ~host ~port)

@@ -1,0 +1,35 @@
+(** Client-side connection model: what Netalyzr's trust-chain probe
+    does for each popular domain — connect, record the presented chain,
+    and validate it against the device's root store. *)
+
+type transport =
+  | Direct of Endpoint.world
+  | Proxied of Endpoint.world * Proxy.t
+      (** all traffic tunnels through an intercepting proxy (§7) *)
+
+type outcome = {
+  host : string;
+  port : int;
+  presented : Tangled_x509.Certificate.t list;
+  verdict : (Tangled_x509.Certificate.t, Tangled_validation.Chain.failure) result;
+      (** anchoring root on success *)
+  intercepted : bool;
+      (** the presented leaf differs from the origin server's — what a
+          notary-style comparison detects *)
+}
+
+val connect :
+  transport ->
+  store:Tangled_store.Root_store.t ->
+  now:Tangled_util.Timestamp.t ->
+  host:string ->
+  port:int ->
+  outcome option
+(** [None] when no such endpoint exists in the world. *)
+
+val probe_all :
+  transport ->
+  store:Tangled_store.Root_store.t ->
+  now:Tangled_util.Timestamp.t ->
+  outcome list
+(** Run the full Netalyzr probe list. *)

@@ -1,0 +1,59 @@
+module C = Tangled_x509.Certificate
+module Rsa = Tangled_crypto.Rsa
+
+type pinset = {
+  app : string;
+  hosts : (string * int) list;
+  pins : string list;
+}
+
+let spki_pin cert = Tangled_hash.Sha256.digest (Rsa.modulus_bytes cert.C.public_key)
+
+let pin_chain chain = List.map spki_pin chain
+
+(* The whitelisted-domain owners of Table 6, each pinning the genuine
+   chain its endpoints serve in this world. *)
+let owners =
+  [
+    ("Google", [ "google-analytics.com", 443; "maps.google.com", 443;
+                 "play.google.com", 443; "supl.google.com", 7275;
+                 "www.google.com", 443; "www.google.co.uk", 443 ]);
+    ("Facebook", [ "orcart.facebook.com", 8883; "www.facebook.com", 443 ]);
+    ("Twitter", [ "www.twitter.com", 443 ]);
+  ]
+
+let of_world world =
+  List.map
+    (fun (app, hosts) ->
+      let pins =
+        List.concat_map
+          (fun (host, port) ->
+            match Endpoint.lookup world ~host ~port with
+            | Some e -> pin_chain e.Endpoint.chain
+            | None -> [])
+          hosts
+        |> List.sort_uniq Stdlib.compare
+      in
+      { app; hosts; pins })
+    owners
+
+type verdict = Pin_ok | Pin_violation
+
+let evaluate pinset (o : Handshake.outcome) =
+  if not (List.mem (o.Handshake.host, o.Handshake.port) pinset.hosts) then None
+  else begin
+    let presented = pin_chain o.Handshake.presented in
+    if List.exists (fun p -> List.mem p pinset.pins) presented then Some Pin_ok
+    else Some Pin_violation
+  end
+
+let violations pinsets outcomes =
+  List.concat_map
+    (fun pinset ->
+      List.filter_map
+        (fun (o : Handshake.outcome) ->
+          match evaluate pinset o with
+          | Some Pin_violation -> Some (pinset.app, o.Handshake.host, o.Handshake.port)
+          | _ -> None)
+        outcomes)
+    pinsets

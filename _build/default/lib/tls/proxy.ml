@@ -1,0 +1,72 @@
+module PD = Tangled_pki.Paper_data
+module BP = Tangled_pki.Blueprint
+module Prng = Tangled_util.Prng
+module C = Tangled_x509.Certificate
+module Dn = Tangled_x509.Dn
+module Authority = Tangled_x509.Authority
+module Rsa = Tangled_crypto.Rsa
+
+type t = {
+  whitelist : (string * int) list;
+  interceptor : Authority.t;
+  intermediate : Authority.t;
+  rng : Prng.t;
+  bits : int;
+  cache : (string * int, C.t list) Hashtbl.t;
+  mutable serial : int;
+  shared_key : Rsa.private_key;
+}
+
+let create ?(whitelist = PD.whitelisted_domains) ~seed ~interceptor universe =
+  let rng = Prng.split (Prng.create seed) "mitm-proxy" in
+  let bits = universe.BP.key_bits in
+  let digest = interceptor.Authority.certificate.C.signature_alg in
+  let intermediate =
+    Authority.issue_intermediate ~bits ~digest
+      ~serial:(Tangled_numeric.Bigint.of_int 666)
+      rng ~parent:interceptor
+      (Dn.make ~o:PD.interceptor_name (PD.interceptor_name ^ " MITM CA"))
+  in
+  let shared_key = Rsa.generate ~mr_rounds:6 rng ~bits in
+  {
+    whitelist;
+    interceptor;
+    intermediate;
+    rng;
+    bits;
+    cache = Hashtbl.create 32;
+    serial = 700_000;
+    shared_key;
+  }
+
+let proxy_host _ = PD.interceptor_proxy_host
+
+let is_whitelisted t ~host ~port = List.mem (host, port) t.whitelist
+
+let root t = t.interceptor.Authority.certificate
+
+let terminate t (endpoint : Endpoint.t) =
+  if is_whitelisted t ~host:endpoint.Endpoint.host ~port:endpoint.Endpoint.port then
+    endpoint.Endpoint.chain
+  else begin
+    let key = (endpoint.Endpoint.host, endpoint.Endpoint.port) in
+    match Hashtbl.find_opt t.cache key with
+    | Some chain -> chain
+    | None ->
+        let orig_leaf =
+          match endpoint.Endpoint.chain with
+          | leaf :: _ -> leaf
+          | [] -> invalid_arg "Proxy.terminate: endpoint with empty chain"
+        in
+        (* re-generate the leaf on the fly, cloning the original's
+           subject and validity but signing under the MITM CA *)
+        t.serial <- t.serial + 1;
+        let forged =
+          Authority.reissue_as
+            ~serial:(Tangled_numeric.Bigint.of_int t.serial)
+            ~bits:t.bits t.rng ~parent:t.intermediate orig_leaf
+        in
+        let chain = [ forged; t.intermediate.Authority.certificate ] in
+        Hashtbl.replace t.cache key chain;
+        chain
+  end

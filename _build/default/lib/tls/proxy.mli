@@ -1,0 +1,35 @@
+(** The intercepting HTTPS proxy of §7.
+
+    Models the Reality Mine deployment: traffic to most TLS endpoints
+    is terminated at the proxy, which re-generates root and
+    intermediate certificates for the requested domain on the fly and
+    presents a chain anchored at its own root; a whitelist of
+    pinning-protected and infrastructure domains passes through
+    untouched. *)
+
+type t
+
+val create :
+  ?whitelist:(string * int) list ->
+  seed:int ->
+  interceptor:Tangled_x509.Authority.t ->
+  Tangled_pki.Blueprint.t ->
+  t
+(** [create ~seed ~interceptor universe] builds the proxy with the
+    paper's Table 6 whitelist by default. *)
+
+val proxy_host : t -> string
+(** The tunnel endpoint the participating device routes through. *)
+
+val is_whitelisted : t -> host:string -> port:int -> bool
+
+val terminate :
+  t -> Endpoint.t -> Tangled_x509.Certificate.t list
+(** The chain the client actually sees for this endpoint: the original
+    chain when whitelisted, otherwise a freshly re-signed one —
+    [leaf'; intermediate'] anchored at the interceptor root.  Re-signed
+    chains are cached per (host, port), matching a real proxy's
+    certificate cache. *)
+
+val root : t -> Tangled_x509.Certificate.t
+(** The interception root (what a detector looks for). *)

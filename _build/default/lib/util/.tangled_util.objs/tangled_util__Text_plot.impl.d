@@ -1,0 +1,1 @@
+lib/util/text_plot.ml: Array Buffer List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/util/timestamp.ml: Char Format Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/util/timestamp.mli: Format

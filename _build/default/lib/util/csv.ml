@@ -1,0 +1,34 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quoting s then begin
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+  else s
+
+let row cells = String.concat "," (List.map escape cells)
+
+let render ~header rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (row header);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string b (row r);
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.contents b
+
+let write_file path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ~header rows))

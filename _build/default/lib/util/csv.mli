@@ -1,0 +1,14 @@
+(** Minimal RFC 4180-ish CSV writing, used to dump every figure's data
+    series for external plotting. *)
+
+val escape : string -> string
+(** Quote a field when it contains a comma, quote or newline. *)
+
+val row : string list -> string
+(** One CSV line, without the trailing newline. *)
+
+val render : header:string list -> string list list -> string
+(** Full document with header, rows newline-terminated. *)
+
+val write_file : string -> header:string list -> string list list -> unit
+(** [write_file path ~header rows] renders and writes the document. *)

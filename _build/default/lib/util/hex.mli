@@ -1,0 +1,14 @@
+(** Hexadecimal encoding and decoding of byte strings. *)
+
+val encode : string -> string
+(** [encode s] is the lowercase hexadecimal rendering of [s], two
+    characters per input byte. *)
+
+val decode : string -> string
+(** [decode h] is the byte string whose hexadecimal rendering is [h].
+    Accepts upper- and lowercase digits.
+    @raise Invalid_argument if [h] has odd length or a non-hex character. *)
+
+val encode_colon : string -> string
+(** [encode_colon s] is like {!encode} but with [":"] between bytes, the
+    conventional rendering of certificate fingerprints. *)

@@ -1,0 +1,18 @@
+(** Minimal JSON emission (RFC 8259 subset) for machine-readable
+    dataset exports.  Writing only — the simulation never consumes
+    JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialise; [pretty] (default false) adds two-space indentation. *)
+
+val escape_string : string -> string
+(** The quoted, escaped form of a string literal. *)

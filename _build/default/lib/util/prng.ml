@@ -1,0 +1,129 @@
+type t = { mutable state : int64 }
+
+(* SplitMix64 (Steele, Lea, Flood 2014): tiny, fast, and passes BigCrush
+   for our simulation purposes; the constants are the reference ones. *)
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+(* FNV-1a over the label keeps split streams stable across runs. *)
+let hash_label label =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    label;
+  !h
+
+let split t label =
+  { state = mix (Int64.logxor t.state (hash_label label)) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let mask = Int64.of_int max_int in
+  let v = Int64.to_int (Int64.logand (next_int64 t) mask) in
+  v mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 uniform bits, the full mantissa of a double. *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set b i (Char.chr (int t 256))
+  done;
+  Bytes.unsafe_to_string b
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int t (Array.length a))
+
+let choose_weighted t items =
+  if Array.length items = 0 then invalid_arg "Prng.choose_weighted: empty array";
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 items in
+  if total <= 0.0 then invalid_arg "Prng.choose_weighted: weights sum to zero";
+  let target = float t total in
+  let rec pick i acc =
+    if i = Array.length items - 1 then fst items.(i)
+    else
+      let _, w = items.(i) in
+      let acc = acc +. w in
+      if target < acc then fst items.(i) else pick (i + 1) acc
+  in
+  pick 0 0.0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample t a k =
+  if k > Array.length a then invalid_arg "Prng.sample: k too large";
+  let copy = Array.copy a in
+  shuffle t copy;
+  Array.sub copy 0 k
+
+let geometric t p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Prng.geometric: p out of range";
+  if p = 1.0 then 0
+  else
+    let u = Stdlib.max 1e-300 (float t 1.0) in
+    int_of_float (Float.of_int 0 +. floor (log u /. log (1.0 -. p)))
+
+let zipf_cache : (int * float, float array) Hashtbl.t = Hashtbl.create 7
+
+let zipf t n s =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  (* Inverse-CDF sampling over the precomputable harmonic weights would
+     allocate per call; instead use rejection-free cumulative search on a
+     lazily cached table per (n, s).  Table cache keyed by (n, s). *)
+  let table =
+    let key = (n, s) in
+    match Hashtbl.find_opt zipf_cache key with
+    | Some cdf -> cdf
+    | None ->
+        let w = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+        let cdf = Array.make n 0.0 in
+        let acc = ref 0.0 in
+        Array.iteri
+          (fun i wi ->
+            acc := !acc +. wi;
+            cdf.(i) <- !acc)
+          w;
+        Hashtbl.add zipf_cache key cdf;
+        cdf
+  in
+  let total = table.(n - 1) in
+  let target = float t total in
+  (* binary search for the first index with cdf > target *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if table.(mid) > target then search lo mid else search (mid + 1) hi
+  in
+  search 0 (n - 1)

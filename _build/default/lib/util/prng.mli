@@ -1,0 +1,66 @@
+(** Deterministic pseudo-random number generation.
+
+    The whole simulation derives from a single integer seed through a
+    SplitMix64 generator.  Independent subsystems obtain independent
+    streams with {!split}, so adding draws to one subsystem never
+    perturbs another — a property the regression tests rely on. *)
+
+type t
+(** A mutable PRNG stream. *)
+
+val create : int -> t
+(** [create seed] is a fresh stream deterministically derived from
+    [seed]. *)
+
+val split : t -> string -> t
+(** [split t label] is a new independent stream derived from [t]'s seed
+    and [label].  The parent stream is not advanced. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val bytes : t -> int -> string
+(** [bytes t n] is an [n]-byte uniformly random string. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array.
+    @raise Invalid_argument on an empty array. *)
+
+val choose_weighted : t -> ('a * float) array -> 'a
+(** [choose_weighted t items] picks an element with probability
+    proportional to its weight.  Weights must be non-negative and sum to
+    a positive value.
+    @raise Invalid_argument on an empty or all-zero-weight array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample : t -> 'a array -> int -> 'a array
+(** [sample t a k] is [k] distinct elements of [a] in random order.
+    @raise Invalid_argument if [k] exceeds [Array.length a]. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] is the number of failures before the first success
+    of a Bernoulli([p]) sequence (support 0, 1, 2, ...).
+    @raise Invalid_argument unless [0 < p <= 1]. *)
+
+val zipf : t -> int -> float -> int
+(** [zipf t n s] samples a rank in [\[0, n)] under a Zipf law with
+    exponent [s]; rank 0 is the most popular.  Used for the Notary's CA
+    popularity model. *)

@@ -1,0 +1,82 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+    acc /. float_of_int n
+  end
+
+let stddev a = sqrt (variance a)
+
+let sorted_copy a =
+  let c = Array.copy a in
+  Array.sort compare c;
+  c
+
+let median a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let c = sorted_copy a in
+    if n mod 2 = 1 then c.(n / 2) else (c.((n / 2) - 1) +. c.(n / 2)) /. 2.0
+  end
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let c = sorted_copy a in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then c.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (c.(lo) *. (1.0 -. frac)) +. (c.(hi) *. frac)
+  end
+
+let fraction pred a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let hits = Array.fold_left (fun acc x -> if pred x then acc + 1 else acc) 0 a in
+    float_of_int hits /. float_of_int n
+  end
+
+module Ecdf = struct
+  type t = { steps : (float * float) array; n : int }
+
+  let of_values values =
+    let n = Array.length values in
+    if n = 0 then { steps = [||]; n = 0 }
+    else begin
+      let c = sorted_copy values in
+      (* collapse duplicates into steps *)
+      let steps = ref [] in
+      let i = ref 0 in
+      while !i < n do
+        let v = c.(!i) in
+        let j = ref !i in
+        while !j < n && c.(!j) = v do
+          incr j
+        done;
+        steps := (v, float_of_int !j /. float_of_int n) :: !steps;
+        i := !j
+      done;
+      { steps = Array.of_list (List.rev !steps); n }
+    end
+
+  let eval t x =
+    (* last step with value <= x *)
+    let best = ref 0.0 in
+    Array.iter (fun (v, p) -> if v <= x then best := p) t.steps;
+    !best
+
+  let support t = Array.copy t.steps
+  let count t = t.n
+  let value_at_zero t = eval t 0.0
+end

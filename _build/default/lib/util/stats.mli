@@ -1,0 +1,48 @@
+(** Descriptive statistics and empirical distribution helpers used by the
+    analysis pipeline (Figure 3 is an ECDF; several tables report
+    fractions and percentiles). *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on an empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 on arrays shorter than 2. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val median : float array -> float
+(** Median (averaging the two middle values for even lengths); 0 on an
+    empty array.  Does not mutate its argument. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] is the [p]-th percentile ([0 <= p <= 100]) using
+    linear interpolation between closest ranks.  Does not mutate its
+    argument.
+    @raise Invalid_argument on an empty array or [p] out of range. *)
+
+val fraction : ('a -> bool) -> 'a array -> float
+(** [fraction pred a] is the share of elements satisfying [pred];
+    0 on an empty array. *)
+
+module Ecdf : sig
+  type t
+  (** An empirical cumulative distribution function over floats. *)
+
+  val of_values : float array -> t
+  (** Build an ECDF from raw observations.  Does not mutate the input. *)
+
+  val eval : t -> float -> float
+  (** [eval t x] is P(X <= x) under the empirical distribution. *)
+
+  val support : t -> (float * float) array
+  (** The ECDF as a step function: sorted distinct values paired with
+      their cumulative probability. *)
+
+  val count : t -> int
+  (** Number of underlying observations. *)
+
+  val value_at_zero : t -> float
+  (** [eval t 0.], the "y-axis offset" the paper discusses for Figure 3:
+      the fraction of roots that validate zero certificates. *)
+end

@@ -1,0 +1,103 @@
+let frame ?title ?(xlabel = "") ?(ylabel = "") grid width height =
+  let b = Buffer.create (width * height * 2) in
+  (match title with
+  | Some t ->
+      Buffer.add_string b t;
+      Buffer.add_char b '\n'
+  | None -> ());
+  if ylabel <> "" then begin
+    Buffer.add_string b ylabel;
+    Buffer.add_char b '\n'
+  end;
+  for row = height - 1 downto 0 do
+    Buffer.add_char b '|';
+    for col = 0 to width - 1 do
+      Buffer.add_char b grid.(row).(col)
+    done;
+    Buffer.add_char b '\n'
+  done;
+  Buffer.add_char b '+';
+  Buffer.add_string b (String.make width '-');
+  Buffer.add_char b '\n';
+  if xlabel <> "" then begin
+    Buffer.add_char b ' ';
+    Buffer.add_string b xlabel;
+    Buffer.add_char b '\n'
+  end;
+  Buffer.contents b
+
+let bounds pts f =
+  Array.fold_left
+    (fun (lo, hi) p ->
+      let v = f p in
+      (Stdlib.min lo v, Stdlib.max hi v))
+    (infinity, neg_infinity) pts
+
+let cell v lo hi n =
+  if hi <= lo then 0
+  else begin
+    let idx = int_of_float ((v -. lo) /. (hi -. lo) *. float_of_int (n - 1)) in
+    Stdlib.max 0 (Stdlib.min (n - 1) idx)
+  end
+
+let scatter ?(width = 72) ?(height = 20) ?xlabel ?ylabel ?title pts =
+  let grid = Array.make_matrix height width ' ' in
+  if Array.length pts > 0 then begin
+    let xlo, xhi = bounds pts (fun (x, _, _) -> x) in
+    let ylo, yhi = bounds pts (fun (_, y, _) -> y) in
+    Array.iter
+      (fun (x, y, glyph) ->
+        let col = cell x xlo xhi width and row = cell y ylo yhi height in
+        grid.(row).(col) <- glyph)
+      pts
+  end;
+  frame ?title ?xlabel ?ylabel grid width height
+
+let ecdf_lines ?(width = 72) ?(height = 20) ?(log_x = false) ?title series =
+  let grid = Array.make_matrix height width ' ' in
+  let tx x = if log_x then (if x <= 0.0 then -1.0 else log10 x) else x in
+  let all_x =
+    List.concat_map
+      (fun (_, _, pts) -> Array.to_list (Array.map (fun (x, _) -> tx x) pts))
+      series
+  in
+  (match all_x with
+  | [] -> ()
+  | x0 :: rest ->
+      let xlo = List.fold_left Stdlib.min x0 rest in
+      let xhi = List.fold_left Stdlib.max x0 rest in
+      List.iter
+        (fun (_, glyph, pts) ->
+          Array.iter
+            (fun (x, p) ->
+              let col = cell (tx x) xlo xhi width in
+              let row = cell p 0.0 1.0 height in
+              grid.(row).(col) <- glyph)
+            pts)
+        series);
+  let body = frame ?title grid width height in
+  let legend =
+    series
+    |> List.map (fun (name, glyph, _) -> Printf.sprintf "  %c = %s" glyph name)
+    |> String.concat "\n"
+  in
+  body ^ legend ^ "\n"
+
+let histogram ?(width = 50) ?title items =
+  let b = Buffer.create 256 in
+  (match title with
+  | Some t ->
+      Buffer.add_string b t;
+      Buffer.add_char b '\n'
+  | None -> ());
+  let label_w =
+    List.fold_left (fun acc (l, _) -> Stdlib.max acc (String.length l)) 0 items
+  in
+  let max_v = List.fold_left (fun acc (_, v) -> Stdlib.max acc v) 1 items in
+  List.iter
+    (fun (label, v) ->
+      let bar = v * width / max_v in
+      Buffer.add_string b
+        (Printf.sprintf "%-*s | %s %d\n" label_w label (String.make bar '#') v))
+    items;
+  Buffer.contents b

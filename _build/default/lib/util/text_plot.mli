@@ -1,0 +1,30 @@
+(** Crude terminal plots.  Figures 1–3 of the paper are rendered both as
+    CSV (for external plotting) and as these ASCII previews. *)
+
+val scatter :
+  ?width:int ->
+  ?height:int ->
+  ?xlabel:string ->
+  ?ylabel:string ->
+  ?title:string ->
+  (float * float * char) array ->
+  string
+(** [scatter pts] draws points [(x, y, glyph)] on a character grid.
+    When several points land on a cell the last one wins.  Returns the
+    empty-plot frame when [pts] is empty. *)
+
+val ecdf_lines :
+  ?width:int ->
+  ?height:int ->
+  ?log_x:bool ->
+  ?title:string ->
+  (string * char * (float * float) array) list ->
+  string
+(** [ecdf_lines series] overlays several step functions, each a list of
+    [(x, cumulative_probability)] points, using one glyph per series; a
+    legend is appended.  With [log_x] the x axis is log10-scaled
+    (zero/negative x plotted at the left edge, matching how the paper's
+    Figure 3 shows the y-offset). *)
+
+val histogram : ?width:int -> ?title:string -> (string * int) list -> string
+(** Horizontal bar chart of labelled counts. *)

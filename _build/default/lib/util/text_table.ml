@@ -1,0 +1,87 @@
+type align = Left | Right | Center
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = width - n in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+        let left = fill / 2 in
+        String.make left ' ' ^ s ^ String.make (fill - left) ' '
+
+let rule widths =
+  "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+
+let render ?title ?(aligns = []) ~header rows =
+  let ncols = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> ncols then
+        invalid_arg
+          (Printf.sprintf "Text_table.render: row %d has %d cells, expected %d" i
+             (List.length row) ncols))
+    rows;
+  let aligns =
+    let rec extend l n = if n = 0 then [] else
+      match l with
+      | [] -> Left :: extend [] (n - 1)
+      | a :: rest -> a :: extend rest (n - 1)
+    in
+    extend aligns ncols
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> Stdlib.max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let draw_row cells =
+    let padded =
+      List.map2 (fun (w, a) c -> " " ^ pad a w c ^ " ")
+        (List.combine widths aligns) cells
+    in
+    "|" ^ String.concat "|" padded ^ "|"
+  in
+  let b = Buffer.create 256 in
+  (match title with
+  | Some t ->
+      Buffer.add_string b t;
+      Buffer.add_char b '\n'
+  | None -> ());
+  Buffer.add_string b (rule widths);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (draw_row header);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (rule widths);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string b (draw_row row);
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.add_string b (rule widths);
+  Buffer.contents b
+
+let render_kv ?title kvs =
+  let rows = List.map (fun (k, v) -> [ k; v ]) kvs in
+  render ?title ~aligns:[ Left; Right ] ~header:[ "key"; "value" ] rows
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let b = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char b '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char b ',';
+      Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let fmt_pct f = Printf.sprintf "%.1f%%" (f *. 100.0)
+let fmt_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f

@@ -1,0 +1,30 @@
+(** Plain-text table rendering for the CLI, examples and benches.
+
+    Every paper table is ultimately printed through this module so the
+    harness output lines up visually with the publication. *)
+
+type align = Left | Right | Center
+
+val render :
+  ?title:string ->
+  ?aligns:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] draws an ASCII box table.  Column widths are
+    derived from the longest cell; [aligns] defaults to left-aligned
+    for every column and, when shorter than the header, is padded with
+    [Left].
+    @raise Invalid_argument if a row's width differs from the header's. *)
+
+val render_kv : ?title:string -> (string * string) list -> string
+(** Two-column key/value table without a header row. *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer rendering ([744069] -> ["744,069"]). *)
+
+val fmt_pct : float -> string
+(** Fraction to percent with one decimal ([0.394] -> ["39.4%"]). *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point float rendering, default 2 decimals. *)

@@ -1,0 +1,111 @@
+type t = int
+
+let epoch = 0
+
+let is_leap y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap y then 29 else 28
+  | _ -> invalid_arg "Timestamp: invalid month"
+
+(* Howard Hinnant's days_from_civil: days since 1970-01-01. *)
+let days_from_civil y m d =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = (((153 * mp) + 2) / 5) + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let civil_from_days z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  let y = if m <= 2 then y + 1 else y in
+  (y, m, d)
+
+let of_date ?(hour = 0) ?(minute = 0) ?(second = 0) y m d =
+  if m < 1 || m > 12 then invalid_arg "Timestamp.of_date: invalid month";
+  if d < 1 || d > days_in_month y m then invalid_arg "Timestamp.of_date: invalid day";
+  if hour < 0 || hour > 23 || minute < 0 || minute > 59 || second < 0 || second > 60 then
+    invalid_arg "Timestamp.of_date: invalid time";
+  (days_from_civil y m d * 86400) + (hour * 3600) + (minute * 60) + second
+
+let to_civil t =
+  let days = if t >= 0 then t / 86400 else (t - 86399) / 86400 in
+  let secs = t - (days * 86400) in
+  let y, m, d = civil_from_days days in
+  (y, m, d, secs / 3600, secs / 60 mod 60, secs mod 60)
+
+let add_days t n = t + (n * 86400)
+
+let add_years t n =
+  let y, m, d, hh, mm, ss = to_civil t in
+  let y' = y + n in
+  let d' = Stdlib.min d (days_in_month y' m) in
+  of_date ~hour:hh ~minute:mm ~second:ss y' m d'
+
+let paper_epoch = of_date 2014 4 1
+let notary_start = of_date 2012 2 1
+
+let compare = Stdlib.compare
+
+let to_utc_string t =
+  let y, m, d, hh, mm, ss = to_civil t in
+  Printf.sprintf "%04d-%02d-%02d %02d:%02d:%02d UTC" y m d hh mm ss
+
+let to_asn1_utctime t =
+  let y, m, d, hh, mm, ss = to_civil t in
+  if y < 1950 || y > 2049 then invalid_arg "Timestamp.to_asn1_utctime: out of UTCTime range";
+  Printf.sprintf "%02d%02d%02d%02d%02d%02dZ" (y mod 100) m d hh mm ss
+
+let to_asn1_generalized t =
+  let y, m, d, hh, mm, ss = to_civil t in
+  Printf.sprintf "%04d%02d%02d%02d%02d%02dZ" y m d hh mm ss
+
+let parse_digits s off n =
+  let acc = ref 0 in
+  let ok = ref true in
+  for i = off to off + n - 1 do
+    match s.[i] with
+    | '0' .. '9' -> acc := (!acc * 10) + (Char.code s.[i] - Char.code '0')
+    | _ -> ok := false
+  done;
+  if !ok then Some !acc else None
+
+let of_asn1_utctime s =
+  if String.length s <> 13 || s.[12] <> 'Z' then None
+  else
+    match
+      ( parse_digits s 0 2, parse_digits s 2 2, parse_digits s 4 2,
+        parse_digits s 6 2, parse_digits s 8 2, parse_digits s 10 2 )
+    with
+    | Some yy, Some m, Some d, Some hh, Some mm, Some ss ->
+        let y = if yy >= 50 then 1900 + yy else 2000 + yy in
+        (try Some (of_date ~hour:hh ~minute:mm ~second:ss y m d)
+         with Invalid_argument _ -> None)
+    | _ -> None
+
+let of_asn1_generalized s =
+  if String.length s <> 15 || s.[14] <> 'Z' then None
+  else
+    match
+      ( parse_digits s 0 4, parse_digits s 4 2, parse_digits s 6 2,
+        parse_digits s 8 2, parse_digits s 10 2, parse_digits s 12 2 )
+    with
+    | Some y, Some m, Some d, Some hh, Some mm, Some ss ->
+        (try Some (of_date ~hour:hh ~minute:mm ~second:ss y m d)
+         with Invalid_argument _ -> None)
+    | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_utc_string t)

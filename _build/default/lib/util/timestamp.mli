@@ -1,0 +1,45 @@
+(** Calendar time for certificate validity windows.
+
+    The simulation never reads the ambient clock; every component takes
+    explicit timestamps.  A timestamp is a count of seconds since the
+    Unix epoch (UTC, proleptic Gregorian), stored as an [int]. *)
+
+type t = int
+
+val epoch : t
+
+val of_date : ?hour:int -> ?minute:int -> ?second:int -> int -> int -> int -> t
+(** [of_date y m d] is midnight UTC on that civil date.
+    @raise Invalid_argument on an invalid date or time component. *)
+
+val to_civil : t -> int * int * int * int * int * int
+(** [(year, month, day, hour, minute, second)] in UTC. *)
+
+val add_days : t -> int -> t
+val add_years : t -> int -> t
+(** Calendar-aware: Feb 29 clamps to Feb 28 on non-leap targets. *)
+
+val paper_epoch : t
+(** 2014-04-01, the end of the paper's Netalyzr collection window; the
+    default "now" of the whole simulation. *)
+
+val notary_start : t
+(** 2012-02-01, when the ICSI Notary data collection started. *)
+
+val compare : t -> t -> int
+
+val to_utc_string : t -> string
+(** ["YYYY-MM-DD HH:MM:SS UTC"]. *)
+
+val to_asn1_utctime : t -> string
+(** ["YYMMDDHHMMSSZ"] — the X.509 UTCTime body used for dates in
+    1950–2049.
+    @raise Invalid_argument outside that window. *)
+
+val to_asn1_generalized : t -> string
+(** ["YYYYMMDDHHMMSSZ"] — GeneralizedTime body. *)
+
+val of_asn1_utctime : string -> t option
+val of_asn1_generalized : string -> t option
+
+val pp : Format.formatter -> t -> unit

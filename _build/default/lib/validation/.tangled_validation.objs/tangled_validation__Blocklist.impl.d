@@ -1,0 +1,1 @@
+lib/validation/blocklist.ml: Chain List Set String Tangled_crypto Tangled_hash Tangled_x509

@@ -1,0 +1,1 @@
+lib/validation/blocklist.mli: Chain Tangled_store Tangled_util Tangled_x509

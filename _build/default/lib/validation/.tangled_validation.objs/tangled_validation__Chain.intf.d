@@ -1,0 +1,1 @@
+lib/validation/chain.mli: Stdlib Tangled_store Tangled_util Tangled_x509

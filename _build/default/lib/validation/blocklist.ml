@@ -1,0 +1,70 @@
+module C = Tangled_x509.Certificate
+module Dn = Tangled_x509.Dn
+module Rsa = Tangled_crypto.Rsa
+
+module Sset = Set.Make (String)
+
+type t = {
+  keys : Sset.t;  (** SHA-256 of blocked public-key moduli *)
+  pins : (string * Sset.t) list;  (** subject CN suffix -> allowed anchor keys *)
+}
+
+let empty = { keys = Sset.empty; pins = [] }
+
+let key_id cert = Tangled_hash.Sha256.digest (Rsa.modulus_bytes cert.C.public_key)
+
+let block_key t cert = { t with keys = Sset.add (key_id cert) t.keys }
+
+let pin_issuer t ~subject_cn ca =
+  let allowed =
+    match List.assoc_opt subject_cn t.pins with
+    | Some set -> Sset.add (key_id ca) set
+    | None -> Sset.singleton (key_id ca)
+  in
+  { t with pins = (subject_cn, allowed) :: List.remove_assoc subject_cn t.pins }
+
+let blocked_keys t = Sset.cardinal t.keys
+let pinned_subjects t = List.length t.pins
+
+type rejection =
+  | Blocked_key of Dn.t
+  | Issuer_pin_violation of string
+
+let rejection_to_string = function
+  | Blocked_key dn -> "blocklisted public key: " ^ Dn.to_string dn
+  | Issuer_pin_violation cn -> "issuer pin violation for " ^ cn
+
+let suffix_matches ~cn ~pattern =
+  cn = pattern
+  ||
+  let pl = String.length pattern and cl = String.length cn in
+  cl > pl + 1 && String.sub cn (cl - pl) pl = pattern && cn.[cl - pl - 1] = '.'
+
+let screen t ~chain ~anchor =
+  let all = chain @ [ anchor ] in
+  match List.find_opt (fun c -> Sset.mem (key_id c) t.keys) all with
+  | Some bad -> Error (Blocked_key bad.C.subject)
+  | None -> (
+      match chain with
+      | [] -> Ok ()
+      | leaf :: _ -> (
+          match Dn.common_name leaf.C.subject with
+          | None -> Ok ()
+          | Some cn -> (
+              let pin =
+                List.find_opt (fun (pattern, _) -> suffix_matches ~cn ~pattern) t.pins
+              in
+              match pin with
+              | None -> Ok ()
+              | Some (pattern, allowed) ->
+                  if Sset.mem (key_id anchor) allowed then Ok ()
+                  else Error (Issuer_pin_violation pattern))))
+
+let validate t ~now ~store chain =
+  let result = Chain.validate ~now ~store chain in
+  match result.Chain.verdict with
+  | Error f -> Error (`Chain f)
+  | Ok anchor -> (
+      match screen t ~chain:result.Chain.path ~anchor with
+      | Ok () -> Ok anchor
+      | Error r -> Error (`Screen r))

@@ -1,0 +1,146 @@
+module C = Tangled_x509.Certificate
+module Dn = Tangled_x509.Dn
+module Rs = Tangled_store.Root_store
+module Ts = Tangled_util.Timestamp
+
+type failure =
+  | No_trusted_root
+  | Bad_signature of Dn.t
+  | Expired of Dn.t
+  | Not_yet_valid of Dn.t
+  | Not_a_ca of Dn.t
+  | Path_len_exceeded of Dn.t
+  | Wrong_key_usage of Dn.t
+  | Chain_too_long
+
+let failure_to_string = function
+  | No_trusted_root -> "no trusted root anchors the chain"
+  | Bad_signature dn -> "bad signature on " ^ Dn.to_string dn
+  | Expired dn -> "certificate expired: " ^ Dn.to_string dn
+  | Not_yet_valid dn -> "certificate not yet valid: " ^ Dn.to_string dn
+  | Not_a_ca dn -> "issuer is not a CA: " ^ Dn.to_string dn
+  | Path_len_exceeded dn -> "pathLenConstraint exceeded at " ^ Dn.to_string dn
+  | Wrong_key_usage dn -> "leaf does not allow TLS server auth: " ^ Dn.to_string dn
+  | Chain_too_long -> "chain exceeds maximum depth"
+
+type result = {
+  verdict : (C.t, failure) Stdlib.result;
+  path : C.t list;
+}
+
+let time_failure now cert =
+  if Ts.compare now cert.C.not_before < 0 then Some (Not_yet_valid cert.C.subject)
+  else if Ts.compare cert.C.not_after now < 0 then Some (Expired cert.C.subject)
+  else None
+
+(* Depth-first path search.  At each step the current certificate's
+   issuer DN selects candidates, first among store roots (terminating)
+   then among the presented pool (extending).  The first fully-valid
+   path wins; failures are remembered so the most informative one is
+   reported when nothing works. *)
+let validate ?(max_depth = 8) ?(check_server_auth = true) ~now ~store chain =
+  match chain with
+  | [] -> invalid_arg "Chain.validate: empty chain"
+  | leaf :: rest ->
+      let best_failure = ref None in
+      let note f = if !best_failure = None then best_failure := Some f in
+      let pool = rest in
+      let rec extend cert path depth children =
+        (* [children] counts non-self-issued certs below [cert], the
+           quantity pathLenConstraint bounds *)
+        if depth > max_depth then begin
+          note Chain_too_long;
+          None
+        end
+        else begin
+          (* try to terminate at a trusted root *)
+          let store_candidates = Rs.find_by_subject store cert.C.issuer in
+          let terminated =
+            List.find_map
+              (fun (entry : Rs.entry) ->
+                let root = entry.Rs.cert in
+                match time_failure now root with
+                | Some f ->
+                    note f;
+                    None
+                | None ->
+                    if C.verify_signature cert ~issuer_key:root.C.public_key then
+                      Some root
+                    else begin
+                      note (Bad_signature cert.C.subject);
+                      None
+                    end)
+              store_candidates
+          in
+          match terminated with
+          | Some root -> Some (root, List.rev path)
+          | None ->
+              (* extend through a presented intermediate *)
+              let candidates =
+                List.filter
+                  (fun c ->
+                    Dn.equal c.C.subject cert.C.issuer
+                    && not (List.exists (fun p -> C.byte_identity p = C.byte_identity c) path))
+                  pool
+              in
+              List.find_map
+                (fun inter ->
+                  match time_failure now inter with
+                  | Some f ->
+                      note f;
+                      None
+                  | None ->
+                      if not (C.is_ca inter) then begin
+                        note (Not_a_ca inter.C.subject);
+                        None
+                      end
+                      else begin
+                        let plen_ok =
+                          match inter.C.extensions.C.basic_constraints with
+                          | Some (true, Some limit) -> children <= limit
+                          | _ -> true
+                        in
+                        if not plen_ok then begin
+                          note (Path_len_exceeded inter.C.subject);
+                          None
+                        end
+                        else if C.verify_signature cert ~issuer_key:inter.C.public_key
+                        then begin
+                          let self_issued = Dn.equal inter.C.subject inter.C.issuer in
+                          extend inter (inter :: path) (depth + 1)
+                            (if self_issued then children else children + 1)
+                        end
+                        else begin
+                          note (Bad_signature cert.C.subject);
+                          None
+                        end
+                      end)
+                candidates
+        end
+      in
+      let leaf_check =
+        match time_failure now leaf with
+        | Some f -> Some f
+        | None ->
+            if check_server_auth && not (C.allows_server_auth leaf) then
+              Some (Wrong_key_usage leaf.C.subject)
+            else None
+      in
+      (match leaf_check with
+      | Some f -> { verdict = Error f; path = [ leaf ] }
+      | None -> (
+          match extend leaf [ leaf ] 0 0 with
+          | Some (root, path) -> { verdict = Ok root; path }
+          | None ->
+              let f = Option.value ~default:No_trusted_root !best_failure in
+              { verdict = Error f; path = [ leaf ] }))
+
+let validate_ok ?max_depth ?check_server_auth ~now ~store chain =
+  match (validate ?max_depth ?check_server_auth ~now ~store chain).verdict with
+  | Ok _ -> true
+  | Error _ -> false
+
+let anchor_key ~now ~store chain =
+  match (validate ~now ~store chain).verdict with
+  | Ok root -> Some (C.equivalence_key root)
+  | Error _ -> None

@@ -1,0 +1,65 @@
+(** X.509 chain building and verification against a root store — the
+    client-side half of both Netalyzr's trust-chain probes and the
+    Notary's per-store validation counts. *)
+
+type failure =
+  | No_trusted_root
+      (** no enabled store entry terminates any candidate path *)
+  | Bad_signature of Tangled_x509.Dn.t
+      (** the certificate with this subject fails verification *)
+  | Expired of Tangled_x509.Dn.t
+  | Not_yet_valid of Tangled_x509.Dn.t
+  | Not_a_ca of Tangled_x509.Dn.t
+      (** an intermediate without CA basicConstraints *)
+  | Path_len_exceeded of Tangled_x509.Dn.t
+  | Wrong_key_usage of Tangled_x509.Dn.t
+      (** leaf refused for serverAuth by its EKU *)
+  | Chain_too_long
+
+val failure_to_string : failure -> string
+
+type result = {
+  verdict : (Tangled_x509.Certificate.t, failure) Stdlib.result;
+      (** on success, the trusted root that anchors the chain *)
+  path : Tangled_x509.Certificate.t list;
+      (** leaf-first path considered (root excluded) *)
+}
+
+val validate :
+  ?max_depth:int ->
+  ?check_server_auth:bool ->
+  now:Tangled_util.Timestamp.t ->
+  store:Tangled_store.Root_store.t ->
+  Tangled_x509.Certificate.t list ->
+  result
+(** [validate ~now ~store chain] takes the server-presented chain
+    (leaf first, any order and junk tolerated after the leaf) and
+    attempts to build a path from the leaf to a store-trusted root:
+
+    - candidate issuers are found by subject/issuer DN chaining among
+      the presented certificates and the store;
+    - every signature on the path is verified cryptographically;
+    - validity windows are checked at [now];
+    - intermediates must be CAs and honour pathLenConstraint;
+    - with [check_server_auth] (default true) the leaf must allow TLS
+      server authentication.
+
+    [max_depth] bounds the path length (default 8).
+    @raise Invalid_argument on an empty chain. *)
+
+val validate_ok :
+  ?max_depth:int ->
+  ?check_server_auth:bool ->
+  now:Tangled_util.Timestamp.t ->
+  store:Tangled_store.Root_store.t ->
+  Tangled_x509.Certificate.t list ->
+  bool
+(** [validate_ok] is [validate] collapsed to a boolean. *)
+
+val anchor_key :
+  now:Tangled_util.Timestamp.t ->
+  store:Tangled_store.Root_store.t ->
+  Tangled_x509.Certificate.t list ->
+  string option
+(** On success, the equivalence key of the anchoring root — what the
+    Notary aggregates per-root validation counts by. *)

@@ -1,0 +1,1 @@
+lib/x509/authority.mli: Certificate Dn Tangled_crypto Tangled_hash Tangled_numeric Tangled_util

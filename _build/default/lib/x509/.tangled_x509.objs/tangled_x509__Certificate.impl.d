@@ -1,0 +1,1 @@
+lib/x509/certificate.ml: Buffer Char Dn Format List Option Printf String Tangled_asn1 Tangled_crypto Tangled_hash Tangled_numeric Tangled_util

@@ -1,0 +1,1 @@
+lib/x509/certificate.mli: Dn Format Tangled_crypto Tangled_hash Tangled_numeric Tangled_util

@@ -1,0 +1,1 @@
+lib/x509/dn.ml: Format List Option Stdlib String Tangled_asn1

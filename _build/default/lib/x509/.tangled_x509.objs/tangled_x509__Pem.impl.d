@@ -1,0 +1,1 @@
+lib/x509/pem.ml: Buffer Certificate Char List Printf String

@@ -1,0 +1,106 @@
+module Der = Tangled_asn1.Der
+module Oid = Tangled_asn1.Oid
+
+type attr =
+  | CN of string
+  | C of string
+  | O of string
+  | OU of string
+  | L of string
+  | ST of string
+  | Email of string
+
+type t = attr list
+
+let make ?c ?o ?ou ?l ?st ?email cn =
+  let opt f = function Some v -> [ f v ] | None -> [] in
+  opt (fun v -> C v) c
+  @ opt (fun v -> ST v) st
+  @ opt (fun v -> L v) l
+  @ opt (fun v -> O v) o
+  @ opt (fun v -> OU v) ou
+  @ opt (fun v -> Email v) email
+  @ [ CN cn ]
+
+let rec find f = function
+  | [] -> None
+  | a :: rest -> ( match f a with Some _ as r -> r | None -> find f rest)
+
+let common_name t = find (function CN v -> Some v | _ -> None) t
+let organization t = find (function O v -> Some v | _ -> None) t
+let country t = find (function C v -> Some v | _ -> None) t
+
+let attr_label = function
+  | CN _ -> "CN"
+  | C _ -> "C"
+  | O _ -> "O"
+  | OU _ -> "OU"
+  | L _ -> "L"
+  | ST _ -> "ST"
+  | Email _ -> "emailAddress"
+
+let attr_value = function
+  | CN v | C v | O v | OU v | L v | ST v | Email v -> v
+
+let to_string t =
+  (* RFC 4514 renders most-specific (CN) first *)
+  List.rev t
+  |> List.map (fun a -> attr_label a ^ "=" ^ attr_value a)
+  |> String.concat ","
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let attr_oid = function
+  | CN _ -> Oid.at_common_name
+  | C _ -> Oid.at_country
+  | O _ -> Oid.at_organization
+  | OU _ -> Oid.at_organizational_unit
+  | L _ -> Oid.at_locality
+  | ST _ -> Oid.at_state
+  | Email _ -> Oid.at_email
+
+let attr_der_value a =
+  match a with
+  | C v -> Der.Printable_string v
+  | Email v -> Der.Ia5_string v
+  | _ ->
+      let v = attr_value a in
+      if Der.is_printable v then Der.Printable_string v else Der.Utf8_string v
+
+let to_der t =
+  let rdn a =
+    Der.Set [ Der.Sequence [ Der.Oid (attr_oid a); attr_der_value a ] ]
+  in
+  Der.Sequence (List.map rdn t)
+
+let attr_of_pair oid value =
+  let mk f = Option.map f (Der.as_string value) in
+  if Oid.equal oid Oid.at_common_name then mk (fun v -> CN v)
+  else if Oid.equal oid Oid.at_country then mk (fun v -> C v)
+  else if Oid.equal oid Oid.at_organization then mk (fun v -> O v)
+  else if Oid.equal oid Oid.at_organizational_unit then mk (fun v -> OU v)
+  else if Oid.equal oid Oid.at_locality then mk (fun v -> L v)
+  else if Oid.equal oid Oid.at_state then mk (fun v -> ST v)
+  else if Oid.equal oid Oid.at_email then mk (fun v -> Email v)
+  else None
+
+let of_der v =
+  match Der.as_sequence v with
+  | None -> None
+  | Some rdns ->
+      let parse_rdn rdn =
+        match Der.as_set rdn with
+        | Some [ Der.Sequence [ Der.Oid oid; value ] ] -> attr_of_pair oid value
+        | _ -> None
+      in
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | rdn :: rest -> (
+            match parse_rdn rdn with
+            | Some a -> go (a :: acc) rest
+            | None -> None)
+      in
+      go [] rdns
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

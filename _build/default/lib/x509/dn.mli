@@ -1,0 +1,36 @@
+(** X.501 distinguished names, restricted to single-valued RDNs — every
+    certificate the paper discusses uses that form. *)
+
+type attr =
+  | CN of string  (** commonName *)
+  | C of string   (** countryName *)
+  | O of string   (** organizationName *)
+  | OU of string  (** organizationalUnitName *)
+  | L of string   (** localityName *)
+  | ST of string  (** stateOrProvinceName *)
+  | Email of string
+
+type t = attr list
+(** Ordered most-general first, as encoded ([C] ... [CN]). *)
+
+val make : ?c:string -> ?o:string -> ?ou:string -> ?l:string -> ?st:string -> ?email:string -> string -> t
+(** [make cn] builds a DN with the given commonName and optional other
+    attributes, ordered conventionally. *)
+
+val common_name : t -> string option
+val organization : t -> string option
+val country : t -> string option
+
+val to_string : t -> string
+(** RFC 4514-style rendering, e.g. ["CN=DoD CLASS 3 Root CA,OU=PKI,OU=DoD,O=U.S. Government,C=US"]
+    (most-specific first). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_der : t -> Tangled_asn1.Der.t
+(** The [Name] production: SEQUENCE OF SET OF AttributeTypeAndValue. *)
+
+val of_der : Tangled_asn1.Der.t -> t option
+
+val pp : Format.formatter -> t -> unit

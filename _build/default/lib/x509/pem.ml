@@ -1,0 +1,143 @@
+let alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let base64_encode s =
+  let n = String.length s in
+  let out = Buffer.create (((n + 2) / 3) * 4) in
+  let byte i = Char.code s.[i] in
+  let emit v = Buffer.add_char out alphabet.[v land 0x3f] in
+  let i = ref 0 in
+  while !i + 2 < n do
+    let v = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) lor byte (!i + 2) in
+    emit (v lsr 18);
+    emit (v lsr 12);
+    emit (v lsr 6);
+    emit v;
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+      let v = byte !i lsl 16 in
+      emit (v lsr 18);
+      emit (v lsr 12);
+      Buffer.add_string out "=="
+  | 2 ->
+      let v = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) in
+      emit (v lsr 18);
+      emit (v lsr 12);
+      emit (v lsr 6);
+      Buffer.add_char out '='
+  | _ -> ());
+  Buffer.contents out
+
+let decode_char c =
+  match c with
+  | 'A' .. 'Z' -> Some (Char.code c - 65)
+  | 'a' .. 'z' -> Some (Char.code c - 97 + 26)
+  | '0' .. '9' -> Some (Char.code c - 48 + 52)
+  | '+' -> Some 62
+  | '/' -> Some 63
+  | _ -> None
+
+let base64_decode s =
+  (* tolerate whitespace; '=' only as trailing padding *)
+  let cleaned = Buffer.create (String.length s) in
+  let error = ref None in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> ()
+      | _ -> Buffer.add_char cleaned c)
+    s;
+  let s = Buffer.contents cleaned in
+  let n = String.length s in
+  let body_len =
+    if n >= 1 && s.[n - 1] = '=' then if n >= 2 && s.[n - 2] = '=' then n - 2 else n - 1
+    else n
+  in
+  if n mod 4 <> 0 && n > 0 then Error "base64: length not a multiple of 4"
+  else begin
+    let out = Buffer.create (body_len * 3 / 4) in
+    let acc = ref 0 and nbits = ref 0 in
+    (try
+       for i = 0 to body_len - 1 do
+         match decode_char s.[i] with
+         | Some v ->
+             acc := (!acc lsl 6) lor v;
+             nbits := !nbits + 6;
+             if !nbits >= 8 then begin
+               nbits := !nbits - 8;
+               Buffer.add_char out (Char.chr ((!acc lsr !nbits) land 0xff))
+             end
+         | None ->
+             error := Some (Printf.sprintf "base64: invalid character %C" s.[i]);
+             raise Exit
+       done
+     with Exit -> ());
+    match !error with Some e -> Error e | None -> Ok (Buffer.contents out)
+  end
+
+let encode ~label der =
+  let b64 = base64_encode der in
+  let buf = Buffer.create (String.length b64 + 64) in
+  Buffer.add_string buf ("-----BEGIN " ^ label ^ "-----\n");
+  String.iteri
+    (fun i c ->
+      Buffer.add_char buf c;
+      if (i + 1) mod 64 = 0 then Buffer.add_char buf '\n')
+    b64;
+  if String.length b64 mod 64 <> 0 then Buffer.add_char buf '\n';
+  Buffer.add_string buf ("-----END " ^ label ^ "-----\n");
+  Buffer.contents buf
+
+let find_sub hay ~start needle =
+  let hn = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > hn then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go start
+
+let decode_one pem start =
+  match find_sub pem ~start "-----BEGIN " with
+  | None -> Error "no PEM block found"
+  | Some b -> (
+      match find_sub pem ~start:b "-----" with
+      | None -> Error "malformed PEM header"
+      | Some _ -> (
+          let label_start = b + String.length "-----BEGIN " in
+          match find_sub pem ~start:label_start "-----" with
+          | None -> Error "malformed PEM header"
+          | Some label_end -> (
+              let label = String.sub pem label_start (label_end - label_start) in
+              let body_start = label_end + 5 in
+              let footer = "-----END " ^ label ^ "-----" in
+              match find_sub pem ~start:body_start footer with
+              | None -> Error "missing PEM footer"
+              | Some f -> (
+                  let body = String.sub pem body_start (f - body_start) in
+                  match base64_decode body with
+                  | Ok der -> Ok (label, der, f + String.length footer)
+                  | Error e -> Error e))))
+
+let decode pem =
+  match decode_one pem 0 with
+  | Ok (label, der, _) -> Ok (label, der)
+  | Error e -> Error e
+
+let decode_all pem =
+  let rec go start acc =
+    match decode_one pem start with
+    | Ok (label, der, next) -> go next ((label, der) :: acc)
+    | Error _ when acc <> [] -> Ok (List.rev acc)
+    | Error e -> Error e
+  in
+  go 0 []
+
+let encode_certificate cert = encode ~label:"CERTIFICATE" (Certificate.encode cert)
+
+let decode_certificate pem =
+  match decode pem with
+  | Error e -> Error e
+  | Ok ("CERTIFICATE", der) -> Certificate.decode der
+  | Ok (label, _) -> Error (Printf.sprintf "expected CERTIFICATE block, found %s" label)

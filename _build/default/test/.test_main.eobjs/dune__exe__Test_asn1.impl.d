@@ -1,0 +1,1 @@
+test/test_asn1.ml: Alcotest Char List Option Printf QCheck QCheck_alcotest Result String Tangled_asn1 Tangled_numeric Tangled_util

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Array QCheck QCheck_alcotest Tangled_numeric Tangled_util

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Lazy List Printf String Tangled_core Tangled_netalyzr Tangled_pki

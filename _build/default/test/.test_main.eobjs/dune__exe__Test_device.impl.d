@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Array Lazy List Tangled_device Tangled_pki Tangled_store Tangled_util Tangled_x509

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Hashtbl Lazy List Option String Tangled_core Tangled_hash Tangled_netalyzr Tangled_notary Tangled_pki Tangled_store Tangled_tls Tangled_util Tangled_x509

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Bytes Char Lazy List QCheck QCheck_alcotest String Tangled_asn1 Tangled_crypto Tangled_store Tangled_util Tangled_validation Tangled_x509

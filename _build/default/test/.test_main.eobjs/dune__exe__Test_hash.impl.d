@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Bytes Char Digest_kind List Md5 QCheck QCheck_alcotest Sha1 Sha256 String Tangled_hash

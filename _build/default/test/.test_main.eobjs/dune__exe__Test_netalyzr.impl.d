@@ -1,0 +1,1 @@
+test/test_netalyzr.ml: Alcotest Array Hashtbl Lazy List Printf Tangled_core Tangled_device Tangled_netalyzr Tangled_pki

@@ -1,0 +1,1 @@
+test/test_notary.ml: Alcotest Array Hashtbl Lazy List Option Printf Tangled_core Tangled_notary Tangled_pki Tangled_store Tangled_util Tangled_x509

@@ -1,0 +1,1 @@
+test/test_persistence.ml: Alcotest Array Filename Fun Lazy List Printf Random Seq String Sys Tangled_core Tangled_netalyzr Tangled_pki Tangled_store Tangled_util Tangled_validation Tangled_x509 Unix

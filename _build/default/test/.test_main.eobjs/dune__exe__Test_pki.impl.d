@@ -1,0 +1,1 @@
+test/test_pki.ml: Alcotest Array Hashtbl Lazy List String Tangled_pki Tangled_store Tangled_util Tangled_x509

@@ -1,0 +1,1 @@
+test/test_plotting.ml: Alcotest Array Fun List Prng QCheck QCheck_alcotest Seq String Tangled_util Text_plot Timestamp

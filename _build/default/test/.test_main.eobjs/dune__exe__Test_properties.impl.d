@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Gen Lazy List Printf QCheck QCheck_alcotest String Tangled_asn1 Tangled_crypto Tangled_numeric Tangled_util Tangled_x509

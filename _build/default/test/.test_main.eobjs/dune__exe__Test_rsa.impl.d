@@ -1,0 +1,1 @@
+test/test_rsa.ml: Alcotest Bytes Char Lazy List QCheck QCheck_alcotest String Tangled_crypto Tangled_hash Tangled_numeric Tangled_util

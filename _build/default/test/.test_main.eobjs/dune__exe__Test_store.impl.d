@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Lazy List String Tangled_hash Tangled_store Tangled_util Tangled_x509

@@ -1,0 +1,1 @@
+test/test_tls.ml: Alcotest Lazy List Option Printf Tangled_pki Tangled_store Tangled_tls Tangled_util Tangled_validation Tangled_x509

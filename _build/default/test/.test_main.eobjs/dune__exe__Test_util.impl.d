@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Csv Format Fun Gen Hex List Prng QCheck QCheck_alcotest Stats String Tangled_util Text_table Timestamp

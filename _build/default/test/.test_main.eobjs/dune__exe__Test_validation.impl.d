@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest Bytes Char Lazy List Printf Tangled_numeric Tangled_store Tangled_util Tangled_validation Tangled_x509

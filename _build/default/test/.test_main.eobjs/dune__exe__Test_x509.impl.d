@@ -1,0 +1,1 @@
+test/test_x509.ml: Alcotest Lazy List QCheck QCheck_alcotest String Tangled_asn1 Tangled_crypto Tangled_hash Tangled_numeric Tangled_util Tangled_x509

@@ -1,0 +1,194 @@
+(* Tests for the ASN.1 DER codec and OID machinery. *)
+
+module Der = Tangled_asn1.Der
+module Oid = Tangled_asn1.Oid
+module B = Tangled_numeric.Bigint
+module Ts = Tangled_util.Timestamp
+module Hex = Tangled_util.Hex
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let der_result =
+  Alcotest.testable
+    (fun fmt -> function
+      | Ok v -> Der.pp fmt v
+      | Error e -> Der.pp_error fmt e)
+    ( = )
+
+(* --- oid ---------------------------------------------------------------- *)
+
+let test_oid_string () =
+  let oid = Oid.of_string "1.2.840.113549.1.1.11" in
+  check Alcotest.string "roundtrip" "1.2.840.113549.1.1.11" (Oid.to_string oid);
+  check (Alcotest.list Alcotest.int) "arcs" [ 1; 2; 840; 113549; 1; 1; 11 ] (Oid.arcs oid);
+  Alcotest.(check bool) "equal to named" true (Oid.equal oid Oid.sha256_with_rsa)
+
+let test_oid_validation () =
+  let bad s = try ignore (Oid.of_string s); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "first arc 3" true (bad "3.1");
+  Alcotest.(check bool) "second arc 40" true (bad "1.40");
+  Alcotest.(check bool) "single arc" true (bad "1");
+  Alcotest.(check bool) "garbage" true (bad "1.x.3");
+  Alcotest.(check bool) "2.999 ok" false (bad "2.999")
+
+let test_oid_der_content () =
+  (* 1.2.840.113549 encodes as 2a 86 48 86 f7 0d *)
+  check Alcotest.string "rsadsi" "2a864886f70d"
+    (Hex.encode (Oid.to_der_content (Oid.of_string "1.2.840.113549")));
+  check Alcotest.string "2.5.4.3" "550403"
+    (Hex.encode (Oid.to_der_content Oid.at_common_name));
+  (match Oid.of_der_content (Hex.decode "2a864886f70d") with
+  | Some oid -> check Alcotest.string "decode" "1.2.840.113549" (Oid.to_string oid)
+  | None -> Alcotest.fail "decode failed");
+  check
+    (Alcotest.option (Alcotest.testable Oid.pp Oid.equal))
+    "truncated multi-byte arc" None
+    (Oid.of_der_content "\x2a\x86")
+
+(* --- known encodings ------------------------------------------------------ *)
+
+let test_encode_primitives () =
+  check Alcotest.string "bool true" "0101ff" (Hex.encode (Der.encode (Der.Boolean true)));
+  check Alcotest.string "bool false" "010100" (Hex.encode (Der.encode (Der.Boolean false)));
+  check Alcotest.string "int 0" "020100" (Hex.encode (Der.encode (Der.Integer B.zero)));
+  check Alcotest.string "int 127" "02017f"
+    (Hex.encode (Der.encode (Der.Integer (B.of_int 127))));
+  (* 128 needs a leading zero to stay positive *)
+  check Alcotest.string "int 128" "02020080"
+    (Hex.encode (Der.encode (Der.Integer (B.of_int 128))));
+  check Alcotest.string "int -128" "020180"
+    (Hex.encode (Der.encode (Der.Integer (B.of_int (-128)))));
+  check Alcotest.string "int 256" "02020100"
+    (Hex.encode (Der.encode (Der.Integer (B.of_int 256))));
+  check Alcotest.string "null" "0500" (Hex.encode (Der.encode Der.Null));
+  check Alcotest.string "octets" "0403616263"
+    (Hex.encode (Der.encode (Der.Octet_string "abc")));
+  check Alcotest.string "empty seq" "3000" (Hex.encode (Der.encode (Der.Sequence [])))
+
+let test_encode_long_length () =
+  (* content over 127 bytes forces the long length form *)
+  let s = String.make 200 'x' in
+  let enc = Der.encode (Der.Octet_string s) in
+  check Alcotest.string "long form header" "0481c8" (Hex.encode (String.sub enc 0 3));
+  check der_result "roundtrip" (Ok (Der.Octet_string s)) (Der.decode enc)
+
+let test_encode_times () =
+  let t = Ts.of_date ~hour:12 2014 4 1 in
+  let enc = Der.encode (Der.Utc_time t) in
+  check der_result "utc roundtrip" (Ok (Der.Utc_time t)) (Der.decode enc);
+  let enc = Der.encode (Der.Generalized_time t) in
+  check der_result "gen roundtrip" (Ok (Der.Generalized_time t)) (Der.decode enc)
+
+let test_context_tags () =
+  let v = Der.Context (0, Der.Integer (B.of_int 2)) in
+  check Alcotest.string "explicit [0]" "a003020102" (Hex.encode (Der.encode v));
+  check der_result "roundtrip" (Ok v) (Der.decode (Der.encode v));
+  let p = Der.Context_primitive (2, "abc") in
+  check Alcotest.string "implicit [2]" "8203616263" (Hex.encode (Der.encode p));
+  check der_result "roundtrip" (Ok p) (Der.decode (Der.encode p))
+
+(* --- strictness ------------------------------------------------------------ *)
+
+let expect_error name input =
+  match Der.decode (Hex.decode input) with
+  | Ok _ -> Alcotest.fail (name ^ ": expected a decode error")
+  | Error _ -> ()
+
+let test_der_strictness () =
+  expect_error "indefinite length" "30800000";
+  expect_error "non-minimal length" "04810161";
+  expect_error "truncated" "0405616263";
+  expect_error "trailing garbage" "050000";
+  expect_error "boolean 0x01 not DER" "010101";
+  expect_error "boolean length 2" "01020000";
+  expect_error "non-minimal positive int" "0202007f";
+  expect_error "non-minimal negative int" "0202ff80";
+  expect_error "empty integer" "0200";
+  expect_error "bit string missing prefix" "0300";
+  expect_error "bit string unused > 7" "030209ff";
+  expect_error "null with content" "050100";
+  expect_error "bad utctime" "170d3134303430315a5a5a5a5a5a5a";
+  (* a PrintableString containing '@' must be rejected *)
+  (match Der.decode (Hex.decode ("1301" ^ Hex.encode "@")) with
+  | Ok _ -> Alcotest.fail "printable @ accepted"
+  | Error _ -> ())
+
+let test_negative_integers () =
+  List.iter
+    (fun n ->
+      let v = Der.Integer (B.of_int n) in
+      check der_result (Printf.sprintf "int %d" n) (Ok v) (Der.decode (Der.encode v)))
+    [ -1; -127; -128; -129; -255; -256; -257; -65536; 65535; 1 lsl 40; -(1 lsl 40) ]
+
+let test_accessors () =
+  check (Alcotest.option (Alcotest.list der_result)) "as_sequence" None
+    (Option.map (List.map Result.ok) (Der.as_sequence Der.Null));
+  Alcotest.(check bool) "as_integer" true
+    (Der.as_integer (Der.Integer B.one) = Some B.one);
+  Alcotest.(check bool) "as_string utf8" true
+    (Der.as_string (Der.Utf8_string "x") = Some "x");
+  Alcotest.(check bool) "as_string printable" true
+    (Der.as_string (Der.Printable_string "x") = Some "x");
+  Alcotest.(check bool) "as_time" true
+    (Der.as_time (Der.Utc_time 0) = Some 0);
+  Alcotest.(check bool) "as_boolean" true (Der.as_boolean (Der.Boolean true) = Some true)
+
+(* --- qcheck roundtrip -------------------------------------------------------- *)
+
+let gen_der =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun b -> Der.Boolean b) bool;
+        map (fun n -> Der.Integer (B.of_int n)) int;
+        map (fun s -> Der.Octet_string s) (string_size (int_range 0 40));
+        return Der.Null;
+        map (fun s -> Der.Utf8_string s) (string_size (int_range 0 20));
+        map (fun s -> Der.Ia5_string s)
+          (string_size ~gen:(map Char.chr (int_range 0 127)) (int_range 0 20));
+        map
+          (fun n -> Der.Utc_time (Ts.of_date 2000 1 1 + (abs n mod 1_000_000_000)))
+          int;
+      ]
+  in
+  let rec tree depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (3, leaf);
+          (1, map (fun l -> Der.Sequence l) (list_size (int_range 0 4) (tree (depth - 1))));
+          (1, map (fun l -> Der.Set l) (list_size (int_range 0 4) (tree (depth - 1))));
+          (1, map2 (fun n v -> Der.Context (n mod 31, v)) (int_range 0 30) (tree (depth - 1)));
+        ]
+  in
+  tree 3
+
+let prop_der_roundtrip =
+  QCheck.Test.make ~name:"DER encode/decode roundtrip" ~count:300
+    (QCheck.make gen_der) (fun v -> Der.decode (Der.encode v) = Ok v)
+
+let prop_der_canonical =
+  QCheck.Test.make ~name:"DER is canonical (re-encode identical)" ~count:200
+    (QCheck.make gen_der) (fun v ->
+      match Der.decode (Der.encode v) with
+      | Ok v' -> Der.encode v' = Der.encode v
+      | Error _ -> false)
+
+let suite =
+  [
+    ("oid strings", `Quick, test_oid_string);
+    ("oid validation", `Quick, test_oid_validation);
+    ("oid DER content", `Quick, test_oid_der_content);
+    ("primitive encodings", `Quick, test_encode_primitives);
+    ("long-form lengths", `Quick, test_encode_long_length);
+    ("time encodings", `Quick, test_encode_times);
+    ("context tags", `Quick, test_context_tags);
+    ("DER strictness", `Quick, test_der_strictness);
+    ("negative integers", `Quick, test_negative_integers);
+    ("accessors", `Quick, test_accessors);
+    qtest prop_der_roundtrip;
+    qtest prop_der_canonical;
+  ]

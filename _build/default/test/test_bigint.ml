@@ -1,0 +1,223 @@
+(* Tests for the arbitrary-precision integer substrate. *)
+
+module B = Tangled_numeric.Bigint
+module Prime = Tangled_numeric.Prime
+module Prng = Tangled_util.Prng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let big = Alcotest.testable B.pp B.equal
+
+let b = B.of_string
+
+let test_of_to_string () =
+  check Alcotest.string "zero" "0" (B.to_string B.zero);
+  check Alcotest.string "small" "42" (B.to_string (B.of_int 42));
+  check Alcotest.string "negative" "-42" (B.to_string (B.of_int (-42)));
+  let huge = "123456789012345678901234567890123456789" in
+  check Alcotest.string "huge roundtrip" huge (B.to_string (b huge));
+  check big "plus sign" (B.of_int 5) (b "+5");
+  (try ignore (b "12x3"); Alcotest.fail "expected failure" with Invalid_argument _ -> ())
+
+let test_of_int_extremes () =
+  check Alcotest.string "max_int" (string_of_int max_int) (B.to_string (B.of_int max_int));
+  check Alcotest.string "min_int" (string_of_int min_int) (B.to_string (B.of_int min_int))
+
+let test_arith () =
+  check big "add" (b "1000000000000000000000") (B.add (b "999999999999999999999") B.one);
+  check big "sub" (b "999999999999999999999") (B.sub (b "1000000000000000000000") B.one);
+  check big "sub to negative" (B.of_int (-5)) (B.sub (B.of_int 5) (B.of_int 10));
+  check big "mul" (b "121932631137021795226185032733622923332237463801111263526900")
+    (B.mul (b "123456789012345678901234567890") (b "987654321098765432109876543210"));
+  check big "mul neg" (B.of_int (-12)) (B.mul (B.of_int 3) (B.of_int (-4)));
+  check big "mul zero" B.zero (B.mul B.zero (b "999999999999999"))
+
+let test_divmod () =
+  let dividend = b "1000000000000000000007" and divisor = b "1000000007" in
+  let q, r = B.divmod dividend divisor in
+  check big "identity" dividend (B.add (B.mul q divisor) r);
+  Alcotest.(check bool) "remainder bound" true
+    (B.sign r >= 0 && B.compare r divisor < 0);
+  check big "small case" (B.of_int 3) (B.div (B.of_int 7) B.two);
+  (* truncation semantics: remainder carries the dividend's sign *)
+  let q, r = B.divmod (B.of_int (-7)) (B.of_int 2) in
+  check big "neg quotient" (B.of_int (-3)) q;
+  check big "neg remainder" (B.of_int (-1)) r;
+  check big "erem positive" B.one (B.erem (B.of_int (-7)) (B.of_int 2));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let test_shifts_bits () =
+  check big "shl" (B.of_int 1024) (B.shift_left B.one 10);
+  check big "shr" B.one (B.shift_right (B.of_int 1024) 10);
+  check big "shr to zero" B.zero (B.shift_right (B.of_int 3) 10);
+  check Alcotest.int "bit_length 0" 0 (B.bit_length B.zero);
+  check Alcotest.int "bit_length 1" 1 (B.bit_length B.one);
+  check Alcotest.int "bit_length 255" 8 (B.bit_length (B.of_int 255));
+  check Alcotest.int "bit_length 256" 9 (B.bit_length (B.of_int 256));
+  Alcotest.(check bool) "testbit" true (B.testbit (B.of_int 5) 2);
+  Alcotest.(check bool) "testbit clear" false (B.testbit (B.of_int 5) 1)
+
+let test_bytes () =
+  check Alcotest.string "to_bytes" "\x01\x00" (B.to_bytes_be (B.of_int 256));
+  check big "of_bytes" (B.of_int 256) (B.of_bytes_be "\x01\x00");
+  check big "empty bytes" B.zero (B.of_bytes_be "");
+  check Alcotest.string "zero bytes" "" (B.to_bytes_be B.zero)
+
+let test_hex () =
+  check Alcotest.string "to_hex" "ff" (B.to_hex (B.of_int 255));
+  check big "of_hex" (B.of_int 255) (B.of_hex "ff");
+  check big "of_hex upper" (B.of_int 255) (B.of_hex "FF");
+  check Alcotest.string "hex zero" "0" (B.to_hex B.zero)
+
+let test_pow_modpow () =
+  check big "pow" (b "1267650600228229401496703205376") (B.pow B.two 100);
+  check big "pow zero" B.one (B.pow (B.of_int 7) 0);
+  (* Fermat: 2^(p-1) = 1 mod p for prime p *)
+  let p = b "1000000007" in
+  check big "fermat" B.one (B.modpow B.two (B.sub p B.one) p);
+  (* Carmichael number 561 is a Fermat pseudoprime base 7 *)
+  check big "carmichael" B.one (B.modpow (B.of_int 7) (B.of_int 560) (B.of_int 561));
+  check big "mod one" B.zero (B.modpow (B.of_int 5) (B.of_int 3) B.one)
+
+let test_gcd_inverse () =
+  check big "gcd" (B.of_int 6) (B.gcd (B.of_int 48) (B.of_int 18));
+  check big "gcd with zero" (B.of_int 5) (B.gcd (B.of_int 5) B.zero);
+  let g, x, y = B.extended_gcd (B.of_int 240) (B.of_int 46) in
+  check big "egcd g" (B.of_int 2) g;
+  check big "egcd identity" g
+    (B.add (B.mul (B.of_int 240) x) (B.mul (B.of_int 46) y));
+  (match B.mod_inverse (B.of_int 3) (B.of_int 11) with
+  | Some inv -> check big "inverse" (B.of_int 4) inv
+  | None -> Alcotest.fail "inverse exists");
+  check (Alcotest.option big) "no inverse" None (B.mod_inverse (B.of_int 4) (B.of_int 8))
+
+let test_compare () =
+  Alcotest.(check bool) "lt" true (B.compare (B.of_int (-5)) (B.of_int 3) < 0);
+  Alcotest.(check bool) "neg ordering" true
+    (B.compare (B.of_int (-5)) (B.of_int (-3)) < 0);
+  check Alcotest.int "sign neg" (-1) (B.sign (B.of_int (-9)));
+  check Alcotest.int "sign zero" 0 (B.sign B.zero);
+  Alcotest.(check bool) "is_odd" true (B.is_odd (B.of_int 7));
+  Alcotest.(check bool) "is_odd even" false (B.is_odd (B.of_int 8))
+
+let test_random () =
+  let rng = Prng.create 99 in
+  for _ = 1 to 50 do
+    let v = B.random_bits rng 100 in
+    Alcotest.(check bool) "bit bound" true (B.bit_length v <= 100)
+  done;
+  let bound = b "1000000000000" in
+  for _ = 1 to 50 do
+    let v = B.random_below rng bound in
+    Alcotest.(check bool) "below bound" true (B.compare v bound < 0 && B.sign v >= 0)
+  done
+
+(* --- qcheck properties ------------------------------------------------ *)
+
+let gen_big =
+  QCheck.map
+    (fun (s, neg) ->
+      let v = B.of_bytes_be s in
+      if neg then B.neg v else v)
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 40)) bool)
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"add commutative" ~count:300 (QCheck.pair gen_big gen_big)
+    (fun (a, b) -> B.equal (B.add a b) (B.add b a))
+
+let prop_add_sub_inverse =
+  QCheck.Test.make ~name:"sub inverts add" ~count:300 (QCheck.pair gen_big gen_big)
+    (fun (a, b) -> B.equal (B.sub (B.add a b) b) a)
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"mul distributes over add" ~count:200
+    (QCheck.triple gen_big gen_big gen_big)
+    (fun (a, b, c) ->
+      B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)))
+
+let prop_divmod_identity =
+  QCheck.Test.make ~name:"a = q*b + r, |r| < |b|" ~count:500
+    (QCheck.pair gen_big gen_big)
+    (fun (a, b) ->
+      QCheck.assume (not (B.is_zero b));
+      let q, r = B.divmod a b in
+      B.equal a (B.add (B.mul q b) r) && B.compare (B.abs r) (B.abs b) < 0)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"decimal roundtrip" ~count:200 gen_big (fun a ->
+      B.equal a (B.of_string (B.to_string a)))
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"bytes roundtrip" ~count:200 gen_big (fun a ->
+      let a = B.abs a in
+      B.equal a (B.of_bytes_be (B.to_bytes_be a)))
+
+let prop_shift_mul =
+  QCheck.Test.make ~name:"shift_left = mul by 2^k" ~count:200
+    (QCheck.pair gen_big (QCheck.int_range 0 64))
+    (fun (a, k) -> B.equal (B.shift_left a k) (B.mul a (B.pow B.two k)))
+
+let prop_modpow_matches_naive =
+  QCheck.Test.make ~name:"modpow matches naive power" ~count:100
+    (QCheck.triple (QCheck.int_range 0 50) (QCheck.int_range 0 20)
+       (QCheck.int_range 2 1000))
+    (fun (base, e, m) ->
+      let expected = B.erem (B.pow (B.of_int base) e) (B.of_int m) in
+      B.equal expected (B.modpow (B.of_int base) (B.of_int e) (B.of_int m)))
+
+(* --- primes ------------------------------------------------------------ *)
+
+let test_small_primes () =
+  Alcotest.(check bool) "2 listed" true (Array.exists (( = ) 2) Prime.small_primes);
+  Alcotest.(check bool) "997 listed" true (Array.exists (( = ) 997) Prime.small_primes);
+  Alcotest.(check bool) "998 not" false (Array.exists (( = ) 998) Prime.small_primes);
+  check Alcotest.int "count below 1000" 168 (Array.length Prime.small_primes)
+
+let test_primality_known () =
+  let rng = Prng.create 1 in
+  let prime s = Prime.is_probably_prime rng (b s) in
+  Alcotest.(check bool) "2" true (prime "2");
+  Alcotest.(check bool) "97" true (prime "97");
+  Alcotest.(check bool) "561 carmichael" false (prime "561");
+  Alcotest.(check bool) "1 not prime" false (prime "1");
+  Alcotest.(check bool) "0 not prime" false (prime "0");
+  Alcotest.(check bool) "M31 prime" true (prime "2147483647");
+  Alcotest.(check bool) "big prime" true (prime "170141183460469231731687303715884105727");
+  Alcotest.(check bool) "big composite" false
+    (prime "170141183460469231731687303715884105725")
+
+let test_prime_generation () =
+  let rng = Prng.create 2 in
+  let p = Prime.generate ~rounds:10 rng ~bits:96 in
+  check Alcotest.int "exact bits" 96 (B.bit_length p);
+  Alcotest.(check bool) "is prime" true (Prime.is_probably_prime rng p);
+  Alcotest.check_raises "tiny" (Invalid_argument "Prime.generate: need at least 2 bits")
+    (fun () -> ignore (Prime.generate rng ~bits:1))
+
+let suite =
+  [
+    ("string conversion", `Quick, test_of_to_string);
+    ("int extremes", `Quick, test_of_int_extremes);
+    ("arithmetic", `Quick, test_arith);
+    ("division", `Quick, test_divmod);
+    ("shifts and bits", `Quick, test_shifts_bits);
+    ("byte conversion", `Quick, test_bytes);
+    ("hex conversion", `Quick, test_hex);
+    ("pow and modpow", `Quick, test_pow_modpow);
+    ("gcd and inverse", `Quick, test_gcd_inverse);
+    ("comparison", `Quick, test_compare);
+    ("random generation", `Quick, test_random);
+    ("small primes", `Quick, test_small_primes);
+    ("known primality", `Quick, test_primality_known);
+    ("prime generation", `Quick, test_prime_generation);
+    qtest prop_add_commutative;
+    qtest prop_add_sub_inverse;
+    qtest prop_mul_distributes;
+    qtest prop_divmod_identity;
+    qtest prop_string_roundtrip;
+    qtest prop_bytes_roundtrip;
+    qtest prop_shift_mul;
+    qtest prop_modpow_matches_naive;
+  ]

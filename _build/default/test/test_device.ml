@@ -1,0 +1,232 @@
+(* Tests for the device layer: firmware assembly, apps, population. *)
+
+module PD = Tangled_pki.Paper_data
+module BP = Tangled_pki.Blueprint
+module Rs = Tangled_store.Root_store
+module C = Tangled_x509.Certificate
+module Firmware = Tangled_device.Firmware
+module Apps = Tangled_device.Apps
+module Pop = Tangled_device.Population
+module Prng = Tangled_util.Prng
+
+let check = Alcotest.check
+
+let universe = lazy (Lazy.force BP.default)
+let generic = lazy (Firmware.generic_assignment (Lazy.force universe))
+
+(* A small shared population: ~2k sessions. *)
+let population =
+  lazy (Pop.generate ~target_sessions:2_000 ~seed:2 (Lazy.force universe))
+
+(* --- firmware ---------------------------------------------------------- *)
+
+let test_firmware_contains_baseline () =
+  let u = Lazy.force universe in
+  let rng = Prng.create 1 in
+  let store =
+    Firmware.assemble rng u (Lazy.force generic)
+      { Firmware.manufacturer = "SAMSUNG"; os_version = PD.V4_4; operator = "VODAFONE(DE)" }
+  in
+  let _, missing = Rs.diff store (u.BP.aosp PD.V4_4) in
+  check Alcotest.int "no baseline cert missing" 0 (List.length missing);
+  Alcotest.(check bool) "extends baseline" true
+    (Rs.cardinal store >= Rs.cardinal (u.BP.aosp PD.V4_4))
+
+let test_vendor_placement () =
+  let u = Lazy.force universe in
+  (* Motorola ships its FOTA/SUPL roots on every version *)
+  let eligible =
+    Firmware.vendor_extras u (Lazy.force generic)
+      { Firmware.manufacturer = "MOTOROLA"; os_version = PD.V4_1; operator = "VERIZON(US)" }
+  in
+  let names = List.map (fun ((r : BP.root), _) -> r.BP.display_name) eligible in
+  Alcotest.(check bool) "FOTA present" true (List.mem "Motorola FOTA Root CA" names);
+  Alcotest.(check bool) "SUPL present" true (List.mem "Motorola SUPL Server Root CA" names);
+  (* Verizon Motorola 4.1 carries the CertiSign group (§5.1) *)
+  Alcotest.(check bool) "Certisign present" true (List.mem "Certisign AC1S" names);
+  (* but an AT&T Motorola does not *)
+  let att =
+    Firmware.vendor_extras u (Lazy.force generic)
+      { Firmware.manufacturer = "MOTOROLA"; os_version = PD.V4_1; operator = "AT&T(US)" }
+    |> List.map (fun ((r : BP.root), _) -> r.BP.display_name)
+  in
+  Alcotest.(check bool) "no Certisign on AT&T" false (List.mem "Certisign AC1S" att);
+  Alcotest.(check bool) "Microsoft cert on AT&T Motorola" true
+    (List.mem "Microsoft Secure Server Authority" att)
+
+let test_carrier_placement () =
+  let u = Lazy.force universe in
+  let sprint_htc =
+    Firmware.vendor_extras u (Lazy.force generic)
+      { Firmware.manufacturer = "HTC"; os_version = PD.V4_2; operator = "SPRINT(US)" }
+    |> List.map (fun ((r : BP.root), _) -> r.BP.display_name)
+  in
+  Alcotest.(check bool) "Sprint root rides any Sprint handset" true
+    (List.mem "Sprint Nextel Root Authority" sprint_htc);
+  (* HTC vendor-wide additions (AddTrust / DT / DoD, §5.1) *)
+  Alcotest.(check bool) "AddTrust on HTC" true
+    (List.mem "AddTrust Class 1 CA Root" sprint_htc);
+  Alcotest.(check bool) "DoD on HTC" true (List.mem "DoD CLASS 3 Root CA" sprint_htc)
+
+let test_samsung_uti_versions () =
+  let u = Lazy.force universe in
+  let has_uti version =
+    Firmware.vendor_extras u (Lazy.force generic)
+      { Firmware.manufacturer = "SAMSUNG"; os_version = version; operator = "3(UK)" }
+    |> List.exists (fun ((r : BP.root), _) -> r.BP.display_name = "GeoTrust CA for UTI")
+  in
+  (* installed on Samsung 4.2/4.3 only (§5.1) *)
+  Alcotest.(check bool) "4.2 has UTI" true (has_uti PD.V4_2);
+  Alcotest.(check bool) "4.3 has UTI" true (has_uti PD.V4_3);
+  Alcotest.(check bool) "4.1 lacks UTI" false (has_uti PD.V4_1);
+  Alcotest.(check bool) "4.4 lacks UTI" false (has_uti PD.V4_4)
+
+let test_heavy_vs_light_extenders () =
+  let u = Lazy.force universe in
+  let eligible_count manufacturer version operator =
+    List.length
+      (Firmware.vendor_extras u (Lazy.force generic)
+         { Firmware.manufacturer; os_version = version; operator })
+  in
+  (* heavy rows can exceed 40 additions; light vendors stay small *)
+  Alcotest.(check bool) "HTC 4.1 heavy" true (eligible_count "HTC" PD.V4_1 "3(UK)" > 40);
+  Alcotest.(check bool) "Sony light" true (eligible_count "SONY" PD.V4_3 "3(UK)" < 10);
+  Alcotest.(check bool) "Huawei light" true (eligible_count "HUAWEI" PD.V4_2 "3(UK)" < 10)
+
+let test_firmware_determinism () =
+  let u = Lazy.force universe in
+  let profile =
+    { Firmware.manufacturer = "HTC"; os_version = PD.V4_1; operator = "EE(UK)" }
+  in
+  let s1 = Firmware.assemble (Prng.create 5) u (Lazy.force generic) profile in
+  let s2 = Firmware.assemble (Prng.create 5) u (Lazy.force generic) profile in
+  check Alcotest.int "same rng, same store" (Rs.cardinal s1) (Rs.cardinal s2);
+  Alcotest.(check bool) "same membership" true
+    (List.for_all (Rs.mem s2) (Rs.certs s1))
+
+(* --- apps --------------------------------------------------------------- *)
+
+let test_freedom_app () =
+  let u = Lazy.force universe in
+  let freedom = Apps.freedom u in
+  let stock = u.BP.aosp PD.V4_4 in
+  (match Apps.run freedom ~rooted:false stock with
+  | Apps.Refused (Rs.Permission_denied _) -> ()
+  | Apps.Refused e -> Alcotest.fail ("wrong refusal: " ^ Rs.error_to_string e)
+  | Apps.Installed _ -> Alcotest.fail "installed without root");
+  match Apps.run freedom ~rooted:true stock with
+  | Apps.Installed store ->
+      check Alcotest.int "one more cert" (Rs.cardinal stock + 1) (Rs.cardinal store);
+      Alcotest.(check bool) "ca present" true (Rs.mem store freedom.Apps.ca);
+      (* the silent mutation is journalled by the model (the user never
+         sees it — the journal is the simulator's omniscient view) *)
+      check Alcotest.int "journal entry" 1 (List.length (Rs.journal store))
+  | Apps.Refused e -> Alcotest.fail (Rs.error_to_string e)
+
+let test_singleton_apps () =
+  let u = Lazy.force universe in
+  let apps = Apps.singleton_apps u in
+  check Alcotest.int "four singletons" 4 (List.length apps);
+  Alcotest.(check bool) "no freedom among them" true
+    (List.for_all (fun (a : Apps.t) -> a.Apps.app_name <> "Freedom") apps)
+
+(* --- population ----------------------------------------------------------- *)
+
+let test_population_scale () =
+  let pop = Lazy.force population in
+  let total = Pop.total_sessions pop in
+  Alcotest.(check bool) "close to target" true (abs (total - 2_000) < 200);
+  Alcotest.(check bool) "handsets plausible" true
+    (Array.length pop.Pop.handsets > 300 && Array.length pop.Pop.handsets < 900)
+
+let test_population_rooted_share () =
+  let pop = Lazy.force population in
+  let f = Pop.rooted_session_fraction pop in
+  Alcotest.(check bool) "rooted ~24%" true (f > 0.18 && f < 0.30)
+
+let test_population_manufacturer_order () =
+  let pop = Lazy.force population in
+  match Pop.sessions_by_manufacturer pop with
+  | (top, _) :: _ -> check Alcotest.string "Samsung leads" "SAMSUNG" top
+  | [] -> Alcotest.fail "no manufacturers"
+
+let test_population_top_models () =
+  let pop = Lazy.force population in
+  let models = Pop.sessions_by_model pop |> List.map (fun (m, _, _) -> m) in
+  (* the five named Table 2 models dominate *)
+  let top5 = List.filteri (fun i _ -> i < 5) models in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " in top") true (List.mem expected top5))
+    [ "Galaxy SIV"; "Galaxy SIII"; "Nexus 4"; "Nexus 5"; "Nexus 7" ]
+
+let test_population_freedom_installs () =
+  let pop = Lazy.force population in
+  let with_freedom =
+    Array.to_list pop.Pop.handsets
+    |> List.filter (fun (h : Pop.handset) -> List.mem "Freedom" h.Pop.apps)
+  in
+  (* ~70 scaled by 2000/15970 ≈ 8–9 devices *)
+  Alcotest.(check bool) "scaled freedom installs" true
+    (List.length with_freedom >= 5 && List.length with_freedom <= 12);
+  List.iter
+    (fun (h : Pop.handset) ->
+      Alcotest.(check bool) "only rooted handsets" true h.Pop.rooted)
+    with_freedom
+
+let test_population_proxied_device () =
+  let pop = Lazy.force population in
+  let proxied =
+    Array.to_list pop.Pop.handsets |> List.filter (fun (h : Pop.handset) -> h.Pop.proxied)
+  in
+  check Alcotest.int "exactly one participant" 1 (List.length proxied);
+  match proxied with
+  | [ h ] ->
+      check Alcotest.string "a Nexus 7" "Nexus 7" h.Pop.model;
+      Alcotest.(check bool) "on 4.4" true (h.Pop.os_version = PD.V4_4)
+  | _ -> ()
+
+let test_population_missing_certs () =
+  let pop = Lazy.force population in
+  let u = Lazy.force universe in
+  let missing =
+    Array.to_list pop.Pop.handsets
+    |> List.filter (fun (h : Pop.handset) ->
+           let _, missing = Rs.diff h.Pop.store (u.BP.aosp h.Pop.os_version) in
+           missing <> [])
+  in
+  check Alcotest.int "exactly five handsets missing certs" PD.handsets_missing_certs
+    (List.length missing)
+
+let test_population_determinism () =
+  let u = Lazy.force universe in
+  let p1 = Pop.generate ~target_sessions:300 ~seed:7 u in
+  let p2 = Pop.generate ~target_sessions:300 ~seed:7 u in
+  check Alcotest.int "same handset count" (Array.length p1.Pop.handsets)
+    (Array.length p2.Pop.handsets);
+  Array.iteri
+    (fun i (h1 : Pop.handset) ->
+      let h2 = p2.Pop.handsets.(i) in
+      check Alcotest.string "model" h1.Pop.model h2.Pop.model;
+      check Alcotest.int "store size" (Rs.cardinal h1.Pop.store) (Rs.cardinal h2.Pop.store))
+    p1.Pop.handsets
+
+let suite =
+  [
+    ("firmware contains baseline", `Quick, test_firmware_contains_baseline);
+    ("vendor placement", `Quick, test_vendor_placement);
+    ("carrier placement", `Quick, test_carrier_placement);
+    ("Samsung UTI versions", `Quick, test_samsung_uti_versions);
+    ("heavy vs light extenders", `Quick, test_heavy_vs_light_extenders);
+    ("firmware determinism", `Quick, test_firmware_determinism);
+    ("freedom app", `Quick, test_freedom_app);
+    ("singleton apps", `Quick, test_singleton_apps);
+    ("population scale", `Quick, test_population_scale);
+    ("population rooted share", `Quick, test_population_rooted_share);
+    ("manufacturer ordering", `Quick, test_population_manufacturer_order);
+    ("top models", `Quick, test_population_top_models);
+    ("freedom installs", `Quick, test_population_freedom_installs);
+    ("proxied device", `Quick, test_population_proxied_device);
+    ("handsets missing certs", `Quick, test_population_missing_certs);
+    ("population determinism", `Slow, test_population_determinism);
+  ]

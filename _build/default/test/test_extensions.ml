@@ -1,0 +1,183 @@
+(* Tests for the extension analyses: store minimization (§5.3), trust
+   scoping (§8), pinning (§7 counterfactual). *)
+
+module PD = Tangled_pki.Paper_data
+module BP = Tangled_pki.Blueprint
+module Rs = Tangled_store.Root_store
+module Scope = Tangled_store.Trust_scope
+module C = Tangled_x509.Certificate
+module Authority = Tangled_x509.Authority
+module Pinning = Tangled_tls.Pinning
+module Endpoint = Tangled_tls.Endpoint
+module Pipeline = Tangled_core.Pipeline
+module Minimization = Tangled_core.Minimization
+module Scoping = Tangled_core.Scoping
+module Pinning_study = Tangled_core.Pinning_study
+module Notary = Tangled_notary.Notary
+
+let check = Alcotest.check
+
+let world = lazy (Lazy.force Pipeline.quick)
+
+(* --- minimization ------------------------------------------------------- *)
+
+let test_minimization_preserves_coverage () =
+  let rows = Minimization.compute (Lazy.force world) in
+  check Alcotest.int "six stores" 6 (List.length rows);
+  List.iter
+    (fun (r : Minimization.row) ->
+      check (Alcotest.float 1e-9)
+        (r.Minimization.store ^ " coverage preserved")
+        r.Minimization.coverage_before r.Minimization.coverage_after;
+      Alcotest.(check bool) "some removable" true (r.Minimization.removable > 0);
+      Alcotest.(check bool) "not everything removable" true
+        (r.Minimization.removable < r.Minimization.total))
+    rows
+
+let test_minimization_matches_table4 () =
+  (* the removable share of each store is exactly its Table 4
+     zero-validation share *)
+  let w = Lazy.force world in
+  let rows = Minimization.compute w in
+  let aosp44 =
+    List.find (fun (r : Minimization.row) -> r.Minimization.store = "AOSP 4.4") rows
+  in
+  let counts =
+    Notary.counts_for_certs w.Pipeline.notary
+      (BP.store_of_category w.Pipeline.universe "AOSP 4.4 certs")
+  in
+  let zeros = Array.to_list counts |> List.filter (fun c -> c = 0.0) |> List.length in
+  check Alcotest.int "removable = zero validators" zeros aosp44.Minimization.removable
+
+let test_minimized_store_disables_not_removes () =
+  let w = Lazy.force world in
+  let store = w.Pipeline.universe.BP.aosp PD.V4_4 in
+  let minimized = Minimization.minimized_store w store in
+  (* entries remain present (disabled), so the user can re-enable *)
+  check Alcotest.int "entries kept" (List.length (Rs.entries store))
+    (List.length (Rs.entries minimized));
+  Alcotest.(check bool) "fewer enabled" true (Rs.cardinal minimized < Rs.cardinal store)
+
+(* --- trust scoping -------------------------------------------------------- *)
+
+let test_scope_inference_specials () =
+  let u = (Lazy.force world).Pipeline.universe in
+  let infer id = Scope.infer (Hashtbl.find u.BP.extra_by_id id).BP.authority.Authority.certificate in
+  Alcotest.(check bool) "FOTA -> device services" true
+    (infer "bae1df7c" = [ Scope.Device_services ]);
+  Alcotest.(check bool) "SUPL -> device services" true
+    (infer "caf7a0d5" = [ Scope.Device_services ]);
+  Alcotest.(check bool) "UTI -> device services" true
+    (infer "b94b8f0a" = [ Scope.Device_services ]);
+  Alcotest.(check bool) "Vodafone operator domain -> device services" true
+    (infer "c148b339" = [ Scope.Device_services ]);
+  Alcotest.(check bool) "timestamping -> code signing" true
+    (infer "d62b5878" = [ Scope.Code_signing ]);
+  Alcotest.(check bool) "freemail -> email" true (infer "d469d7d4" = [ Scope.Email ])
+
+let test_scope_inference_default () =
+  (* a plain CA with no EKU and no marker keeps Android's any-use trust *)
+  let rng = Tangled_util.Prng.create 900 in
+  let ca = Authority.self_signed ~bits:384 ~digest:Tangled_hash.Digest_kind.SHA1 rng
+      (Tangled_x509.Dn.make "Plain Trust Anchor") in
+  Alcotest.(check bool) "all scopes" true
+    (Scope.infer ca.Authority.certificate = Scope.all_scopes)
+
+let test_scope_inference_eku () =
+  let rng = Tangled_util.Prng.create 901 in
+  let root = Authority.self_signed ~bits:512 rng (Tangled_x509.Dn.make "EKU Root") in
+  let signer =
+    Authority.issue_leaf ~bits:512 rng ~parent:root ~ekus:[ C.Code_signing ]
+      ~dns_names:[] (Tangled_x509.Dn.make "signer")
+  in
+  Alcotest.(check bool) "EKU wins over names" true
+    (Scope.infer signer = [ Scope.Code_signing ])
+
+let test_restrict () =
+  let u = (Lazy.force world).Pipeline.universe in
+  let fota = (Hashtbl.find u.BP.extra_by_id "bae1df7c").BP.authority.Authority.certificate in
+  let store =
+    Rs.merge (u.BP.aosp PD.V4_4) (Rs.of_certs "extra" (Rs.Manufacturer "MOTOROLA") [ fota ])
+  in
+  let scoped = Scope.restrict store Scope.Tls_server Scope.infer in
+  Alcotest.(check bool) "FOTA stripped from TLS view" false (Rs.mem scoped fota);
+  Alcotest.(check bool) "FOTA still in full store" true (Rs.mem store fota);
+  (* the device-services view keeps it and drops the generic anchors *)
+  let dev_view = Scope.restrict store Scope.Device_services Scope.infer in
+  Alcotest.(check bool) "FOTA in device-services view" true (Rs.mem dev_view fota)
+
+let test_scoping_analysis () =
+  let t = Scoping.compute (Lazy.force world) in
+  check Alcotest.int "six stores" 6 (List.length t.Scoping.rows);
+  List.iter
+    (fun (r : Scoping.row) ->
+      Alcotest.(check bool) (r.Scoping.store ^ " shrinks or holds") true
+        (r.Scoping.anchors_scoped <= r.Scoping.anchors_android);
+      Alcotest.(check bool) "coverage within 2% of unscoped" true
+        (r.Scoping.coverage_android -. r.Scoping.coverage_scoped < 0.02))
+    t.Scoping.rows;
+  Alcotest.(check bool) "extras stripped share positive" true
+    (t.Scoping.device_extra_reduction > 0.0)
+
+(* --- pinning ----------------------------------------------------------------- *)
+
+let test_pin_chain () =
+  let w = Lazy.force world in
+  let world_eps = w.Pipeline.dataset.Tangled_netalyzr.Netalyzr.world in
+  let e = Option.get (Endpoint.lookup world_eps ~host:"www.google.com" ~port:443) in
+  let pins = Pinning.pin_chain e.Endpoint.chain in
+  check Alcotest.int "pin per chain element" (List.length e.Endpoint.chain)
+    (List.length pins);
+  List.iter (fun p -> check Alcotest.int "sha256 pin" 32 (String.length p)) pins
+
+let test_pinsets_cover_whitelist () =
+  let w = Lazy.force world in
+  let world_eps = w.Pipeline.dataset.Tangled_netalyzr.Netalyzr.world in
+  let pinsets = Pinning.of_world world_eps in
+  check Alcotest.int "three pinning apps" 3 (List.length pinsets);
+  List.iter
+    (fun (p : Pinning.pinset) ->
+      Alcotest.(check bool) (p.Pinning.app ^ " has pins") true (p.Pinning.pins <> []))
+    pinsets
+
+let test_pinning_study_consistent () =
+  let t = Pinning_study.compute (Lazy.force world) in
+  Alcotest.(check bool) "whitelist = pinning protection" true t.Pinning_study.consistent;
+  (* every probe target is covered *)
+  check Alcotest.int "21 endpoints"
+    (List.length (List.sort_uniq compare (PD.intercepted_domains @ PD.whitelisted_domains)))
+    (List.length t.Pinning_study.rows);
+  (* intercepted (non-whitelisted) domains succeed silently *)
+  List.iter
+    (fun (r : Pinning_study.row) ->
+      if not r.Pinning_study.whitelisted then
+        Alcotest.(check bool)
+          (r.Pinning_study.host ^ " unprotected")
+          false r.Pinning_study.would_break)
+    t.Pinning_study.rows
+
+let test_extension_report_rendering () =
+  let w = Lazy.force world in
+  List.iter
+    (fun name ->
+      let s = Tangled_core.Report.render_one w name in
+      Alcotest.(check bool) (name ^ " renders") true (String.length s > 100);
+      let header, rows = Tangled_core.Report.csv_one w name in
+      Alcotest.(check bool) (name ^ " csv") true (header <> [] && rows <> []))
+    Tangled_core.Report.extension_names
+
+let suite =
+  [
+    ("minimization preserves coverage", `Quick, test_minimization_preserves_coverage);
+    ("minimization matches Table 4", `Quick, test_minimization_matches_table4);
+    ("minimization disables, not removes", `Quick, test_minimized_store_disables_not_removes);
+    ("scope inference: special-purpose roots", `Quick, test_scope_inference_specials);
+    ("scope inference: default is any-use", `Quick, test_scope_inference_default);
+    ("scope inference: EKU wins", `Quick, test_scope_inference_eku);
+    ("scope restriction", `Quick, test_restrict);
+    ("scoping analysis", `Quick, test_scoping_analysis);
+    ("pin chains", `Quick, test_pin_chain);
+    ("pinsets cover whitelist", `Quick, test_pinsets_cover_whitelist);
+    ("pinning study consistency", `Quick, test_pinning_study_consistent);
+    ("extension artefacts render", `Quick, test_extension_report_rendering);
+  ]

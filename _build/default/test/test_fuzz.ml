@@ -1,0 +1,94 @@
+(* Robustness fuzzing: the parsers must return errors, never crash, on
+   arbitrary and on mutated-valid input. *)
+
+module Der = Tangled_asn1.Der
+module C = Tangled_x509.Certificate
+module Pem = Tangled_x509.Pem
+module Dn = Tangled_x509.Dn
+module Authority = Tangled_x509.Authority
+module Chain = Tangled_validation.Chain
+module Rs = Tangled_store.Root_store
+module Prng = Tangled_util.Prng
+module Ts = Tangled_util.Timestamp
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let prop_der_decode_total =
+  QCheck.Test.make ~name:"Der.decode never raises" ~count:2000 QCheck.string (fun s ->
+      match Der.decode s with Ok _ | Error _ -> true)
+
+let prop_cert_decode_total =
+  QCheck.Test.make ~name:"Certificate.decode never raises" ~count:1000 QCheck.string
+    (fun s -> match C.decode s with Ok _ | Error _ -> true)
+
+let prop_pem_decode_total =
+  QCheck.Test.make ~name:"Pem.decode_all never raises" ~count:1000 QCheck.string
+    (fun s -> match Pem.decode_all s with Ok _ | Error _ -> true)
+
+let prop_base64_decode_total =
+  QCheck.Test.make ~name:"base64 decode never raises" ~count:1000 QCheck.string
+    (fun s -> match Pem.base64_decode s with Ok _ | Error _ -> true)
+
+(* Mutation fuzzing: flip one byte of a valid certificate; the decoder
+   must either reject it or produce a certificate whose signature no
+   longer verifies (the bytes matter). *)
+
+let fixture =
+  lazy
+    (let rng = Prng.create 4242 in
+     let root = Authority.self_signed ~bits:512 rng (Dn.make "Fuzz Root") in
+     let leaf =
+       Authority.issue_leaf ~bits:512 rng ~parent:root ~dns_names:[ "f.example" ]
+         (Dn.make "f.example")
+     in
+     (root, leaf))
+
+let prop_mutated_cert_rejected_or_unverifiable =
+  QCheck.Test.make ~name:"bit-flipped certificates never verify" ~count:300
+    QCheck.(pair small_nat small_nat)
+    (fun (pos_seed, bit) ->
+      let root, leaf = Lazy.force fixture in
+      let raw = Bytes.of_string (C.encode leaf) in
+      let pos = pos_seed mod Bytes.length raw in
+      Bytes.set raw pos
+        (Char.chr (Char.code (Bytes.get raw pos) lxor (1 lsl (bit mod 8))));
+      let mutated = Bytes.to_string raw in
+      QCheck.assume (mutated <> C.encode leaf);
+      match C.decode mutated with
+      | Error _ -> true
+      | Ok cert ->
+          (* parsed despite the flip: the signature must now fail, or the
+             flip landed outside the signed region entirely and produced
+             an identical TBS + signature (impossible since bytes differ
+             somewhere inside the TLV tree) *)
+          not
+            (C.verify_signature cert
+               ~issuer_key:root.Authority.key.Tangled_crypto.Rsa.pub)
+          || String.equal (C.byte_identity cert) (C.byte_identity leaf))
+
+(* Random chains never validate against an empty or unrelated store,
+   and Chain.validate is total. *)
+let prop_validate_total =
+  QCheck.Test.make ~name:"Chain.validate total on junk pools" ~count:200
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let root, leaf = Lazy.force fixture in
+      let pool =
+        List.init (Prng.int rng 3) (fun _ ->
+            if Prng.bool rng then leaf else root.Authority.certificate)
+      in
+      let store = Rs.empty "empty" in
+      match (Chain.validate ~now:Ts.paper_epoch ~store (leaf :: pool)).Chain.verdict with
+      | Ok _ -> false (* empty store can never anchor *)
+      | Error _ -> true)
+
+let suite =
+  [
+    qtest prop_der_decode_total;
+    qtest prop_cert_decode_total;
+    qtest prop_pem_decode_total;
+    qtest prop_base64_decode_total;
+    qtest prop_mutated_cert_rejected_or_unverifiable;
+    qtest prop_validate_total;
+  ]

@@ -1,0 +1,99 @@
+(* Tests for the digest substrate: published test vectors plus
+   structural properties. *)
+
+open Tangled_hash
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* FIPS 180-4 / RFC 1321 reference vectors. *)
+
+let test_sha256_vectors () =
+  check Alcotest.string "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.hex "");
+  check Alcotest.string "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.hex "abc");
+  check Alcotest.string "two blocks"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check Alcotest.string "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex (String.make 1_000_000 'a'))
+
+let test_sha1_vectors () =
+  check Alcotest.string "empty" "da39a3ee5e6b4b0d3255bfef95601890afd80709" (Sha1.hex "");
+  check Alcotest.string "abc" "a9993e364706816aba3e25717850c26c9cd0d89d" (Sha1.hex "abc");
+  check Alcotest.string "two blocks" "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+    (Sha1.hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check Alcotest.string "million a" "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+    (Sha1.hex (String.make 1_000_000 'a'))
+
+let test_md5_vectors () =
+  check Alcotest.string "empty" "d41d8cd98f00b204e9800998ecf8427e" (Md5.hex "");
+  check Alcotest.string "a" "0cc175b9c0f1b6a831c399e269772661" (Md5.hex "a");
+  check Alcotest.string "abc" "900150983cd24fb0d6963f7d28e17f72" (Md5.hex "abc");
+  check Alcotest.string "message digest" "f96b697d7cb7938d525a2f31aaf161d0"
+    (Md5.hex "message digest");
+  check Alcotest.string "alphabet" "c3fcd3d76192e4007dfb496cca67e13b"
+    (Md5.hex "abcdefghijklmnopqrstuvwxyz");
+  check Alcotest.string "digits"
+    "57edf4a22be3c955ac49da2e2107b67a"
+    (Md5.hex "12345678901234567890123456789012345678901234567890123456789012345678901234567890")
+
+(* boundary lengths around the padding break at 55/56/64 bytes *)
+let test_padding_boundaries () =
+  List.iter
+    (fun n ->
+      let s = String.make n 'x' in
+      check Alcotest.int "sha256 size" 32 (String.length (Sha256.digest s));
+      check Alcotest.int "sha1 size" 20 (String.length (Sha1.digest s));
+      check Alcotest.int "md5 size" 16 (String.length (Md5.digest s)))
+    [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 120; 128 ]
+
+let test_digest_kind () =
+  check Alcotest.int "md5 size" 16 (Digest_kind.size Digest_kind.MD5);
+  check Alcotest.int "sha1 size" 20 (Digest_kind.size Digest_kind.SHA1);
+  check Alcotest.int "sha256 size" 32 (Digest_kind.size Digest_kind.SHA256);
+  List.iter
+    (fun dk ->
+      check (Alcotest.option (Alcotest.testable Digest_kind.pp ( = )))
+        "name roundtrip" (Some dk)
+        (Digest_kind.of_name (Digest_kind.name dk)))
+    Digest_kind.all;
+  check (Alcotest.option (Alcotest.testable Digest_kind.pp ( = ))) "unknown" None
+    (Digest_kind.of_name "sha512")
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"digests deterministic" ~count:100 QCheck.string (fun s ->
+      Sha256.digest s = Sha256.digest s
+      && Sha1.digest s = Sha1.digest s
+      && Md5.digest s = Md5.digest s)
+
+let prop_sizes =
+  QCheck.Test.make ~name:"digest sizes fixed" ~count:100 QCheck.string (fun s ->
+      String.length (Sha256.digest s) = 32
+      && String.length (Sha1.digest s) = 20
+      && String.length (Md5.digest s) = 16)
+
+let prop_sensitivity =
+  QCheck.Test.make ~name:"one byte flips the digest" ~count:100
+    QCheck.(string_of_size (QCheck.Gen.int_range 1 100))
+    (fun s ->
+      let b = Bytes.of_string s in
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+      let s' = Bytes.to_string b in
+      Sha256.digest s <> Sha256.digest s')
+
+let suite =
+  [
+    ("sha256 vectors", `Quick, test_sha256_vectors);
+    ("sha1 vectors", `Quick, test_sha1_vectors);
+    ("md5 vectors", `Quick, test_md5_vectors);
+    ("padding boundaries", `Quick, test_padding_boundaries);
+    ("digest kind dispatch", `Quick, test_digest_kind);
+    qtest prop_deterministic;
+    qtest prop_sizes;
+    qtest prop_sensitivity;
+  ]

@@ -1,0 +1,113 @@
+(* Tests for the Netalyzr collection layer, over the shared quick world. *)
+
+module PD = Tangled_pki.Paper_data
+module Net = Tangled_netalyzr.Netalyzr
+module Pop = Tangled_device.Population
+module Pipeline = Tangled_core.Pipeline
+
+let check = Alcotest.check
+
+let world = lazy (Lazy.force Pipeline.quick)
+let dataset () = (Lazy.force world).Pipeline.dataset
+
+let test_session_count_matches_population () =
+  let d = dataset () in
+  check Alcotest.int "sessions" (Pop.total_sessions d.Net.population)
+    (Net.total_sessions d)
+
+let test_extended_fraction () =
+  let d = dataset () in
+  let f = Net.extended_fraction d in
+  (* paper: 39% of sessions carry additional certificates *)
+  Alcotest.(check bool) (Printf.sprintf "extended %.2f near 0.39" f) true
+    (f > 0.30 && f < 0.50)
+
+let test_rooted_fraction () =
+  let d = dataset () in
+  let f = Net.rooted_fraction d in
+  Alcotest.(check bool) (Printf.sprintf "rooted %.2f near 0.24" f) true
+    (f > 0.18 && f < 0.30)
+
+let test_unique_roots_scale () =
+  let d = dataset () in
+  let n = Net.unique_root_keys d in
+  (* the paper observed 314 unique roots across all sessions; our world
+     holds ~150 AOSP + ~100 extras + user/app singletons *)
+  Alcotest.(check bool) (Printf.sprintf "%d unique roots plausible" n) true
+    (n > 150 && n < 330)
+
+let test_identity_tuples () =
+  let d = dataset () in
+  let estimated = Net.estimated_handsets d in
+  let actual = Array.length d.Net.population.Pop.handsets in
+  (* tuple-based estimation may merge a few devices but not explode *)
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %d vs actual %d" estimated actual)
+    true
+    (estimated <= actual && estimated > actual * 8 / 10)
+
+let test_store_measurement_consistency () =
+  let d = dataset () in
+  Array.iter
+    (fun (s : Net.session) ->
+      (* additional + aosp_present = store size *)
+      check Alcotest.int "store size decomposition"
+        (List.length s.Net.store_keys)
+        (s.Net.aosp_present + s.Net.additional);
+      Alcotest.(check bool) "missing bounded" true (s.Net.missing >= 0))
+    d.Net.sessions
+
+let test_additional_ids_recognised () =
+  let d = dataset () in
+  let u = d.Net.population.Pop.universe in
+  Array.iter
+    (fun (s : Net.session) ->
+      List.iter
+        (fun id ->
+          Alcotest.(check bool) ("known id " ^ id) true
+            (Hashtbl.mem u.Tangled_pki.Blueprint.extra_by_id id))
+        s.Net.additional_ids)
+    d.Net.sessions
+
+let test_probe_sampling () =
+  let d = dataset () in
+  let probed =
+    Array.to_list d.Net.sessions
+    |> List.filter (fun (s : Net.session) -> s.Net.probes <> [])
+  in
+  (* ~5% of sessions probe, plus the proxied device's sessions *)
+  let f = float_of_int (List.length probed) /. float_of_int (Net.total_sessions d) in
+  Alcotest.(check bool) (Printf.sprintf "probe rate %.3f" f) true (f > 0.005 && f < 0.12)
+
+let test_interception_detected () =
+  let d = dataset () in
+  let intercepted = Net.intercepted_sessions d in
+  Alcotest.(check bool) "at least one intercepted session" true (intercepted <> []);
+  (* every intercepted session comes from the single proxied handset *)
+  let handsets =
+    intercepted |> List.map (fun (s : Net.session) -> s.Net.handset_id)
+    |> List.sort_uniq compare
+  in
+  check Alcotest.int "one proxied handset" 1 (List.length handsets)
+
+let test_rooted_app_certs_only_on_rooted () =
+  let d = dataset () in
+  Array.iter
+    (fun (s : Net.session) ->
+      if s.Net.app_added <> [] then
+        Alcotest.(check bool) "app certs imply rooted" true s.Net.rooted)
+    d.Net.sessions
+
+let suite =
+  [
+    ("session count", `Quick, test_session_count_matches_population);
+    ("extended fraction (Fig. 1)", `Quick, test_extended_fraction);
+    ("rooted fraction (§6)", `Quick, test_rooted_fraction);
+    ("unique roots scale (§4.1)", `Quick, test_unique_roots_scale);
+    ("identity tuples", `Quick, test_identity_tuples);
+    ("store measurement consistency", `Quick, test_store_measurement_consistency);
+    ("additional ids recognised", `Quick, test_additional_ids_recognised);
+    ("probe sampling", `Quick, test_probe_sampling);
+    ("interception detected (§7)", `Quick, test_interception_detected);
+    ("app certs only on rooted", `Quick, test_rooted_app_certs_only_on_rooted);
+  ]

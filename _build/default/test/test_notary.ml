@@ -1,0 +1,145 @@
+(* Tests for the Notary observatory over the shared quick world. *)
+
+module PD = Tangled_pki.Paper_data
+module BP = Tangled_pki.Blueprint
+module Rs = Tangled_store.Root_store
+module C = Tangled_x509.Certificate
+module Authority = Tangled_x509.Authority
+module Notary = Tangled_notary.Notary
+module Pipeline = Tangled_core.Pipeline
+
+let check = Alcotest.check
+
+let world = lazy (Lazy.force Pipeline.quick)
+let notary () = (Lazy.force world).Pipeline.notary
+let universe () = (Lazy.force world).Pipeline.universe
+
+let test_volumes () =
+  let n = notary () in
+  check Alcotest.int "unexpired" 2_000 (Notary.unexpired n);
+  check Alcotest.int "total includes expired" 2_200 (Notary.total n);
+  Alcotest.(check bool) "scale" true (abs_float (n.Notary.scale -. 0.002) < 1e-9)
+
+let test_every_chain_verifies () =
+  let n = notary () in
+  Array.iter
+    (fun (c : Notary.chain) ->
+      Alcotest.(check bool) "anchor present" true (c.Notary.anchor <> None))
+    n.Notary.chains
+
+let test_per_root_counts_sum () =
+  let n = notary () in
+  let counts = Notary.per_root_counts n in
+  let sum = Hashtbl.fold (fun _ v acc -> acc + v) counts 0 in
+  check Alcotest.int "counts cover all unexpired" (Notary.unexpired n) sum
+
+let test_active_roots_validate_something () =
+  let n = notary () in
+  let counts = Notary.per_root_counts n in
+  Array.iter
+    (fun (r : BP.root) ->
+      let key = C.equivalence_key r.BP.authority.Authority.certificate in
+      let c = Option.value ~default:0 (Hashtbl.find_opt counts key) in
+      if r.BP.traffic_weight > 0.0 then
+        Alcotest.(check bool) ("active validates: " ^ r.BP.display_name) true (c > 0)
+      else
+        check Alcotest.int ("inactive validates nothing: " ^ r.BP.display_name) 0 c)
+    (universe ()).BP.roots
+
+let test_validated_by_store_ordering () =
+  let n = notary () in
+  let u = universe () in
+  let v store = Notary.validated_by_store n store in
+  let mozilla = v u.BP.mozilla in
+  let ios = v u.BP.ios7 in
+  let a41 = v (u.BP.aosp PD.V4_1) in
+  let a44 = v (u.BP.aosp PD.V4_4) in
+  (* Table 3's qualitative shape: all stores validate ~74% and iOS
+     validates the most *)
+  List.iter
+    (fun (name, count) ->
+      let f = float_of_int count /. float_of_int (Notary.unexpired n) in
+      Alcotest.(check bool) (name ^ " near 74%") true (f > 0.70 && f < 0.80))
+    [ ("mozilla", mozilla); ("ios", ios); ("aosp41", a41); ("aosp44", a44) ];
+  Alcotest.(check bool) "iOS validates most" true (ios >= a44 && ios >= mozilla);
+  Alcotest.(check bool) "4.4 >= 4.1" true (a44 >= a41)
+
+let test_crosscheck_against_full_validator () =
+  let n = notary () in
+  let u = universe () in
+  (* the anchor-membership shortcut must agree with real path building *)
+  Alcotest.(check bool) "agrees on AOSP 4.4" true
+    (Notary.crosscheck n (u.BP.aosp PD.V4_4) ~sample:150 ~seed:5);
+  Alcotest.(check bool) "agrees on Mozilla" true
+    (Notary.crosscheck n u.BP.mozilla ~sample:150 ~seed:6)
+
+let test_has_record () =
+  let n = notary () in
+  let u = universe () in
+  (* official-store members are always on record *)
+  Alcotest.(check bool) "mozilla member recorded" true
+    (Notary.has_record n (List.hd (Rs.certs u.BP.mozilla)));
+  (* an unrecorded extra is not *)
+  let fota = Hashtbl.find u.BP.extra_by_id "bae1df7c" in
+  Alcotest.(check bool) "FOTA root unrecorded" false
+    (Notary.has_record n fota.BP.authority.Authority.certificate);
+  (* the interceptor root is unknown to the Notary (§7) *)
+  Alcotest.(check bool) "interceptor unknown" false
+    (Notary.has_record n u.BP.interceptor.Authority.certificate)
+
+let test_classification () =
+  let n = notary () in
+  let u = universe () in
+  let classify id = Notary.classify n (Hashtbl.find u.BP.extra_by_id id).BP.authority.Authority.certificate in
+  Alcotest.(check bool) "AddTrust -> Mozilla+iOS" true
+    (classify "9696d421" = PD.Mozilla_and_ios);
+  Alcotest.(check bool) "DoD -> iOS only" true (classify "b530fe64" = PD.Ios_only);
+  Alcotest.(check bool) "FOTA -> unrecorded" true (classify "bae1df7c" = PD.Unrecorded);
+  (* an active Android-only extra is recorded but in no other store *)
+  Alcotest.(check bool) "VeriSign TN -> Android only" true
+    (classify "aad0babe" = PD.Android_only)
+
+let test_counts_for_certs () =
+  let n = notary () in
+  let u = universe () in
+  let certs = BP.store_of_category u "AOSP 4.4 certs" in
+  let counts = Notary.counts_for_certs n certs in
+  check Alcotest.int "one count per cert" (List.length certs) (Array.length counts);
+  Alcotest.(check bool) "some zeros" true (Array.exists (fun c -> c = 0.0) counts);
+  Alcotest.(check bool) "some positive" true (Array.exists (fun c -> c > 0.0) counts)
+
+let test_zero_fraction_targets () =
+  let n = notary () in
+  let u = universe () in
+  (* Table 4's zero-validation fractions, within tolerance *)
+  List.iter
+    (fun (label, _, paper_zero) ->
+      let counts = Notary.counts_for_certs n (BP.store_of_category u label) in
+      let zero = Tangled_util.Stats.fraction (fun c -> c = 0.0) counts in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %.2f vs paper %.2f" label zero paper_zero)
+        true
+        (abs_float (zero -. paper_zero) < 0.08))
+    PD.table4_rows
+
+let test_expired_excluded () =
+  let n = notary () in
+  let u = universe () in
+  (* validated_by_store only counts unexpired chains *)
+  let v = Notary.validated_by_store n (u.BP.aosp PD.V4_4) in
+  Alcotest.(check bool) "bounded by unexpired" true (v <= Notary.unexpired n)
+
+let suite =
+  [
+    ("volumes", `Quick, test_volumes);
+    ("every chain verifies", `Quick, test_every_chain_verifies);
+    ("per-root counts sum", `Quick, test_per_root_counts_sum);
+    ("activity matches counts", `Quick, test_active_roots_validate_something);
+    ("store validation shape (Table 3)", `Quick, test_validated_by_store_ordering);
+    ("crosscheck vs full validator", `Slow, test_crosscheck_against_full_validator);
+    ("has_record", `Quick, test_has_record);
+    ("classification (Figure 2 legend)", `Quick, test_classification);
+    ("counts_for_certs", `Quick, test_counts_for_certs);
+    ("Table 4 zero fractions", `Quick, test_zero_fraction_targets);
+    ("expired excluded", `Quick, test_expired_excluded);
+  ]

@@ -1,0 +1,142 @@
+(* Tests for the text-plot rendering and the remaining util surface. *)
+
+open Tangled_util
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- scatter ----------------------------------------------------------- *)
+
+let test_scatter_empty () =
+  let s = Text_plot.scatter [||] in
+  Alcotest.(check bool) "frame drawn" true (String.length s > 0);
+  Alcotest.(check bool) "axis present" true (String.contains s '+')
+
+let test_scatter_glyphs () =
+  let pts = [| (0.0, 0.0, 'a'); (1.0, 1.0, 'b') |] in
+  let s = Text_plot.scatter ~width:20 ~height:5 pts in
+  Alcotest.(check bool) "a plotted" true (String.contains s 'a');
+  Alcotest.(check bool) "b plotted" true (String.contains s 'b')
+
+let test_scatter_labels () =
+  let s =
+    Text_plot.scatter ~title:"TITLE" ~xlabel:"XAXIS" ~ylabel:"YAXIS"
+      [| (0.0, 0.0, '*') |]
+  in
+  List.iter
+    (fun needle ->
+      let found =
+        let n = String.length needle and h = String.length s in
+        let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) (needle ^ " present") true found)
+    [ "TITLE"; "XAXIS"; "YAXIS" ]
+
+let test_scatter_single_point () =
+  (* degenerate bounds (one point) must not divide by zero *)
+  let s = Text_plot.scatter [| (5.0, 5.0, 'x') |] in
+  Alcotest.(check bool) "renders" true (String.contains s 'x')
+
+(* --- ecdf lines ---------------------------------------------------------- *)
+
+let test_ecdf_lines () =
+  let series =
+    [
+      ("low", 'l', [| (1.0, 0.5); (10.0, 1.0) |]);
+      ("high", 'h', [| (100.0, 0.3); (1000.0, 1.0) |]);
+    ]
+  in
+  let s = Text_plot.ecdf_lines ~log_x:true series in
+  Alcotest.(check bool) "legend low" true (String.contains s 'l');
+  Alcotest.(check bool) "legend high" true (String.contains s 'h');
+  (* zero x with log scale must not crash *)
+  let s2 = Text_plot.ecdf_lines ~log_x:true [ ("z", 'z', [| (0.0, 0.5); (5.0, 1.0) |]) ] in
+  Alcotest.(check bool) "zero x tolerated" true (String.length s2 > 0)
+
+let test_ecdf_lines_empty () =
+  let s = Text_plot.ecdf_lines [] in
+  Alcotest.(check bool) "empty tolerated" true (String.length s > 0)
+
+(* --- histogram ------------------------------------------------------------ *)
+
+let test_histogram () =
+  let s = Text_plot.histogram [ ("alpha", 10); ("beta", 5); ("gamma", 0) ] in
+  Alcotest.(check bool) "labels present" true (String.contains s 'a');
+  (* the largest bar is the widest *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let bar_width line =
+    String.to_seq line |> Seq.filter (fun c -> c = '#') |> Seq.length
+  in
+  match lines with
+  | a :: b :: c :: _ ->
+      Alcotest.(check bool) "alpha widest" true (bar_width a > bar_width b);
+      check Alcotest.int "gamma empty" 0 (bar_width c)
+  | _ -> Alcotest.fail "unexpected histogram shape"
+
+(* --- prng leftovers --------------------------------------------------------- *)
+
+let test_prng_float_bounds () =
+  let rng = Prng.create 51 in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_bytes () =
+  let rng = Prng.create 52 in
+  let s = Prng.bytes rng 64 in
+  check Alcotest.int "length" 64 (String.length s);
+  let s2 = Prng.bytes rng 64 in
+  Alcotest.(check bool) "stream advances" true (s <> s2)
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create 53 in
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Prng.shuffle rng b;
+  Alcotest.(check bool) "order changed" true (a <> b);
+  let sorted = Array.copy b in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "same multiset" true (a = sorted)
+
+let prop_choose_member =
+  QCheck.Test.make ~name:"choose returns a member" ~count:200
+    QCheck.(pair small_int (array_of_size QCheck.Gen.(int_range 1 20) small_int))
+    (fun (seed, a) ->
+      let rng = Prng.create seed in
+      Array.exists (( = ) (Prng.choose rng a)) a)
+
+(* --- timestamp arithmetic ------------------------------------------------------ *)
+
+let test_add_days () =
+  let t = Timestamp.of_date 2014 4 1 in
+  let y, m, d, _, _, _ = Timestamp.to_civil (Timestamp.add_days t 30) in
+  check Alcotest.int "year" 2014 y;
+  check Alcotest.int "month" 5 m;
+  check Alcotest.int "day" 1 d;
+  let y', m', d', _, _, _ = Timestamp.to_civil (Timestamp.add_days t (-1)) in
+  Alcotest.(check bool) "backwards" true ((y', m', d') = (2014, 3, 31))
+
+let test_paper_epochs () =
+  check Alcotest.string "paper epoch" "2014-04-01 00:00:00 UTC"
+    (Timestamp.to_utc_string Timestamp.paper_epoch);
+  check Alcotest.string "notary start" "2012-02-01 00:00:00 UTC"
+    (Timestamp.to_utc_string Timestamp.notary_start)
+
+let suite =
+  [
+    ("scatter empty", `Quick, test_scatter_empty);
+    ("scatter glyphs", `Quick, test_scatter_glyphs);
+    ("scatter labels", `Quick, test_scatter_labels);
+    ("scatter single point", `Quick, test_scatter_single_point);
+    ("ecdf lines", `Quick, test_ecdf_lines);
+    ("ecdf lines empty", `Quick, test_ecdf_lines_empty);
+    ("histogram", `Quick, test_histogram);
+    ("prng float bounds", `Quick, test_prng_float_bounds);
+    ("prng bytes", `Quick, test_prng_bytes);
+    ("prng shuffle permutes", `Quick, test_prng_shuffle_permutes);
+    ("timestamp add_days", `Quick, test_add_days);
+    ("paper epochs", `Quick, test_paper_epochs);
+    qtest prop_choose_member;
+  ]

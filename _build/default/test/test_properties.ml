@@ -1,0 +1,142 @@
+(* Additional property tests over the X.509 layer and DER streaming. *)
+
+module Dn = Tangled_x509.Dn
+module C = Tangled_x509.Certificate
+module Authority = Tangled_x509.Authority
+module Der = Tangled_asn1.Der
+module Oid = Tangled_asn1.Oid
+module B = Tangled_numeric.Bigint
+module Prng = Tangled_util.Prng
+module Ts = Tangled_util.Timestamp
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- random DN roundtrips -------------------------------------------- *)
+
+let gen_name =
+  QCheck.Gen.(
+    map
+      (fun chars -> String.concat "" (List.map (String.make 1) chars))
+      (list_size (int_range 1 20)
+         (oneof [ char_range 'a' 'z'; char_range 'A' 'Z'; char_range '0' '9'; return ' ' ])))
+
+let gen_dn =
+  QCheck.Gen.(
+    map2
+      (fun cn (o, c) ->
+        (* country must be PrintableString-safe and short in practice *)
+        Dn.make ?o ?c cn)
+      gen_name
+      (pair (opt gen_name) (opt (map (fun c -> String.make 2 c) (char_range 'A' 'Z')))))
+
+let prop_dn_roundtrip =
+  QCheck.Test.make ~name:"DN DER roundtrip" ~count:300 (QCheck.make gen_dn) (fun dn ->
+      match Dn.of_der (Dn.to_der dn) with
+      | Some dn' -> Dn.equal dn dn'
+      | None -> false)
+
+let prop_dn_string_injective_enough =
+  QCheck.Test.make ~name:"distinct DNs render distinctly" ~count:200
+    (QCheck.make (QCheck.Gen.pair gen_dn gen_dn))
+    (fun (a, b) ->
+      QCheck.assume (not (Dn.equal a b));
+      Dn.to_string a <> Dn.to_string b)
+
+(* --- issuance properties ----------------------------------------------- *)
+
+let issuer = lazy (Authority.self_signed ~bits:512 (Prng.create 640) (Dn.make "Prop Root"))
+
+let prop_issued_leaves_validate =
+  QCheck.Test.make ~name:"every issued leaf verifies under its issuer" ~count:15
+    QCheck.small_nat
+    (fun n ->
+      let root = Lazy.force issuer in
+      let rng = Prng.create (1_000 + n) in
+      let dns = Printf.sprintf "site%d.example" n in
+      let leaf = Authority.issue_leaf ~bits:512 rng ~parent:root ~dns_names:[ dns ] (Dn.make dns) in
+      C.verify_signature leaf ~issuer_key:root.Authority.key.Tangled_crypto.Rsa.pub
+      && (match C.decode (C.encode leaf) with
+         | Ok c -> C.byte_identity c = C.byte_identity leaf
+         | Error _ -> false))
+
+let test_reissue_as () =
+  let rng = Prng.create 641 in
+  let root = Lazy.force issuer in
+  let mitm = Authority.self_signed ~bits:512 rng (Dn.make "MITM Root") in
+  let orig =
+    Authority.issue_leaf ~bits:512 rng ~parent:root ~dns_names:[ "bank.example" ]
+      ~not_before:(Ts.of_date 2013 1 1) ~not_after:(Ts.of_date 2015 1 1)
+      (Dn.make "bank.example")
+  in
+  let fc = Authority.reissue_as ~bits:512 rng ~parent:mitm orig in
+  Alcotest.(check bool) "subject preserved" true (Dn.equal fc.C.subject orig.C.subject);
+  check Alcotest.int "validity preserved (nb)" orig.C.not_before fc.C.not_before;
+  check Alcotest.int "validity preserved (na)" orig.C.not_after fc.C.not_after;
+  Alcotest.(check bool) "fresh key" true
+    (C.equivalence_key fc <> C.equivalence_key orig);
+  Alcotest.(check bool) "signed by mitm" true
+    (C.verify_signature fc ~issuer_key:mitm.Authority.key.Tangled_crypto.Rsa.pub);
+  Alcotest.(check bool) "not by original issuer" false
+    (C.verify_signature fc ~issuer_key:root.Authority.key.Tangled_crypto.Rsa.pub)
+
+(* --- DER streaming -------------------------------------------------------- *)
+
+let test_decode_prefix () =
+  let a = Der.encode (Der.Integer (B.of_int 7)) in
+  let b = Der.encode Der.Null in
+  let joined = a ^ b in
+  (match Der.decode_prefix joined 0 with
+  | Ok (Der.Integer v, stop) ->
+      Alcotest.(check bool) "first value" true (B.equal v (B.of_int 7));
+      check Alcotest.int "offset" (String.length a) stop;
+      (match Der.decode_prefix joined stop with
+      | Ok (Der.Null, stop2) -> check Alcotest.int "end" (String.length joined) stop2
+      | _ -> Alcotest.fail "second value")
+  | _ -> Alcotest.fail "first value");
+  match Der.decode_prefix joined (String.length joined) with
+  | Error Der.Truncated -> ()
+  | _ -> Alcotest.fail "expected Truncated at end"
+
+let prop_oid_der_roundtrip =
+  QCheck.Test.make ~name:"OID DER roundtrip" ~count:300
+    QCheck.(
+      pair (int_range 0 2)
+        (pair (int_range 0 39) (list_of_size (Gen.int_range 0 6) (int_range 0 1_000_000))))
+    (fun (a, (b, rest)) ->
+      let oid = Oid.of_arcs (a :: b :: rest) in
+      match Oid.of_der_content (Oid.to_der_content oid) with
+      | Some oid' -> Oid.equal oid oid'
+      | None -> false)
+
+(* --- certificate extension roundtrips ---------------------------------------- *)
+
+let test_basic_constraints_pathlen_roundtrip () =
+  let rng = Prng.create 642 in
+  let ca = Authority.self_signed ~bits:512 ~path_len:3 rng (Dn.make "Pathlen Root") in
+  match C.decode (C.encode ca.Authority.certificate) with
+  | Ok c ->
+      Alcotest.(check bool) "pathlen preserved" true
+        (c.C.extensions.C.basic_constraints = Some (true, Some 3))
+  | Error m -> Alcotest.fail m
+
+let test_ski_aki_linkage () =
+  let rng = Prng.create 643 in
+  let root = Authority.self_signed ~bits:512 rng (Dn.make "Link Root") in
+  let inter = Authority.issue_intermediate ~bits:512 rng ~parent:root (Dn.make "Link Inter") in
+  let rc = root.Authority.certificate and ic = inter.Authority.certificate in
+  (* the child's AKI names the parent's SKI *)
+  check (Alcotest.option Alcotest.string) "aki = parent ski"
+    rc.C.extensions.C.subject_key_id ic.C.extensions.C.authority_key_id
+
+let suite =
+  [
+    ("reissue_as (MITM forge)", `Quick, test_reissue_as);
+    ("DER decode_prefix streaming", `Quick, test_decode_prefix);
+    ("basicConstraints pathlen roundtrip", `Quick, test_basic_constraints_pathlen_roundtrip);
+    ("SKI/AKI linkage", `Quick, test_ski_aki_linkage);
+    qtest prop_dn_roundtrip;
+    qtest prop_dn_string_injective_enough;
+    qtest prop_issued_leaves_validate;
+    qtest prop_oid_der_roundtrip;
+  ]

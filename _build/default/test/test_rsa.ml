@@ -1,0 +1,138 @@
+(* Tests for the RSA substrate. *)
+
+module B = Tangled_numeric.Bigint
+module Rsa = Tangled_crypto.Rsa
+module Dk = Tangled_hash.Digest_kind
+module Prng = Tangled_util.Prng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* A shared keypair keeps the suite fast; individual tests that need a
+   fresh key make their own. *)
+let key512 = lazy (Rsa.generate ~mr_rounds:8 (Prng.create 1001) ~bits:512)
+let key384 = lazy (Rsa.generate ~mr_rounds:8 (Prng.create 1002) ~bits:384)
+
+let test_keygen_structure () =
+  let key = Lazy.force key512 in
+  check Alcotest.int "modulus bits" 512 (B.bit_length key.Rsa.pub.Rsa.n);
+  check Alcotest.int "key size bytes" 64 (Rsa.key_size_bytes key.Rsa.pub);
+  (* n = p * q *)
+  Alcotest.(check bool) "n = p*q" true
+    (B.equal key.Rsa.pub.Rsa.n (B.mul key.Rsa.p key.Rsa.q));
+  (* e*d = 1 mod phi *)
+  let phi = B.mul (B.sub key.Rsa.p B.one) (B.sub key.Rsa.q B.one) in
+  Alcotest.(check bool) "ed = 1 mod phi" true
+    (B.equal B.one (B.erem (B.mul key.Rsa.pub.Rsa.e key.Rsa.d) phi));
+  (* CRT components consistent *)
+  Alcotest.(check bool) "dp" true
+    (B.equal key.Rsa.dp (B.erem key.Rsa.d (B.sub key.Rsa.p B.one)));
+  Alcotest.(check bool) "qinv" true
+    (B.equal B.one (B.erem (B.mul key.Rsa.qinv key.Rsa.q) key.Rsa.p))
+
+let test_keygen_too_small () =
+  Alcotest.check_raises "below 64" (Invalid_argument "Rsa.generate: modulus below 64 bits")
+    (fun () -> ignore (Rsa.generate (Prng.create 1) ~bits:32))
+
+let test_sign_verify () =
+  let key = Lazy.force key512 in
+  let msg = "the tangled mass of android root stores" in
+  List.iter
+    (fun digest ->
+      let signature = Rsa.sign key ~digest msg in
+      check Alcotest.int "signature length" 64 (String.length signature);
+      Alcotest.(check bool) "verifies" true
+        (Rsa.verify key.Rsa.pub ~digest ~msg ~signature);
+      Alcotest.(check bool) "rejects other message" false
+        (Rsa.verify key.Rsa.pub ~digest ~msg:(msg ^ "!") ~signature);
+      Alcotest.(check bool) "rejects other digest" false
+        (Rsa.verify key.Rsa.pub
+           ~digest:(if digest = Dk.SHA256 then Dk.SHA1 else Dk.SHA256)
+           ~msg ~signature))
+    [ Dk.MD5; Dk.SHA1; Dk.SHA256 ]
+
+let test_verify_malformed () =
+  let key = Lazy.force key512 in
+  let msg = "m" in
+  let signature = Rsa.sign key ~digest:Dk.SHA256 msg in
+  (* wrong length *)
+  Alcotest.(check bool) "short sig" false
+    (Rsa.verify key.Rsa.pub ~digest:Dk.SHA256 ~msg ~signature:(String.sub signature 0 10));
+  (* bit-flipped signature *)
+  let tampered = Bytes.of_string signature in
+  Bytes.set tampered 10 (Char.chr (Char.code (Bytes.get tampered 10) lxor 0x40));
+  Alcotest.(check bool) "tampered sig" false
+    (Rsa.verify key.Rsa.pub ~digest:Dk.SHA256 ~msg ~signature:(Bytes.to_string tampered));
+  (* signature value >= n *)
+  let huge = String.make 64 '\xff' in
+  Alcotest.(check bool) "oversized value" false
+    (Rsa.verify key.Rsa.pub ~digest:Dk.SHA256 ~msg ~signature:huge)
+
+let test_cross_key_rejection () =
+  let k1 = Lazy.force key512 in
+  let k2 = Rsa.generate ~mr_rounds:8 (Prng.create 1003) ~bits:512 in
+  let msg = "cross" in
+  let signature = Rsa.sign k1 ~digest:Dk.SHA256 msg in
+  Alcotest.(check bool) "other key rejects" false
+    (Rsa.verify k2.Rsa.pub ~digest:Dk.SHA256 ~msg ~signature)
+
+let test_384_sha1 () =
+  (* the simulation's default configuration *)
+  let key = Lazy.force key384 in
+  let msg = "small key, era digest" in
+  let signature = Rsa.sign key ~digest:Dk.SHA1 msg in
+  Alcotest.(check bool) "verifies" true (Rsa.verify key.Rsa.pub ~digest:Dk.SHA1 ~msg ~signature)
+
+let test_384_sha256_too_small () =
+  let key = Lazy.force key384 in
+  try
+    ignore (Rsa.sign key ~digest:Dk.SHA256 "x");
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_raw_roundtrip () =
+  let key = Lazy.force key512 in
+  let msg = "\x01secret payload" in
+  let ct = Rsa.encrypt_raw key.Rsa.pub msg in
+  check Alcotest.string "roundtrip" msg (Rsa.decrypt_raw key ct)
+
+let test_modulus_bytes () =
+  let key = Lazy.force key512 in
+  let m = Rsa.modulus_bytes key.Rsa.pub in
+  check Alcotest.int "length" 64 (String.length m);
+  Alcotest.(check bool) "matches n" true (B.equal key.Rsa.pub.Rsa.n (B.of_bytes_be m))
+
+let test_deterministic_keygen () =
+  let k1 = Rsa.generate ~mr_rounds:8 (Prng.create 555) ~bits:384 in
+  let k2 = Rsa.generate ~mr_rounds:8 (Prng.create 555) ~bits:384 in
+  Alcotest.(check bool) "same seed, same key" true (B.equal k1.Rsa.pub.Rsa.n k2.Rsa.pub.Rsa.n)
+
+let prop_sign_verify =
+  QCheck.Test.make ~name:"sign/verify roundtrip" ~count:30 QCheck.string (fun msg ->
+      let key = Lazy.force key512 in
+      let signature = Rsa.sign key ~digest:Dk.SHA256 msg in
+      Rsa.verify key.Rsa.pub ~digest:Dk.SHA256 ~msg ~signature)
+
+let prop_signature_unique_per_message =
+  QCheck.Test.make ~name:"distinct messages, distinct signatures" ~count:30
+    (QCheck.pair QCheck.string QCheck.string)
+    (fun (m1, m2) ->
+      QCheck.assume (m1 <> m2);
+      let key = Lazy.force key512 in
+      Rsa.sign key ~digest:Dk.SHA256 m1 <> Rsa.sign key ~digest:Dk.SHA256 m2)
+
+let suite =
+  [
+    ("keygen structure", `Quick, test_keygen_structure);
+    ("keygen minimum size", `Quick, test_keygen_too_small);
+    ("sign and verify (all digests)", `Quick, test_sign_verify);
+    ("verify rejects malformed input", `Quick, test_verify_malformed);
+    ("cross-key rejection", `Quick, test_cross_key_rejection);
+    ("384-bit with SHA-1", `Quick, test_384_sha1);
+    ("384-bit refuses SHA-256", `Quick, test_384_sha256_too_small);
+    ("raw encrypt/decrypt", `Quick, test_raw_roundtrip);
+    ("modulus bytes", `Quick, test_modulus_bytes);
+    ("deterministic keygen", `Quick, test_deterministic_keygen);
+    qtest prop_sign_verify;
+    qtest prop_signature_unique_per_message;
+  ]

@@ -1,0 +1,181 @@
+(* Tests for the TLS layer: endpoint world, handshakes, the proxy. *)
+
+module PD = Tangled_pki.Paper_data
+module BP = Tangled_pki.Blueprint
+module Rs = Tangled_store.Root_store
+module C = Tangled_x509.Certificate
+module Endpoint = Tangled_tls.Endpoint
+module Proxy = Tangled_tls.Proxy
+module Handshake = Tangled_tls.Handshake
+module Chain = Tangled_validation.Chain
+module Ts = Tangled_util.Timestamp
+
+let check = Alcotest.check
+
+let universe = lazy (Lazy.force BP.default)
+let world = lazy (Endpoint.build_world ~seed:3 (Lazy.force universe))
+let proxy =
+  lazy
+    (Proxy.create ~seed:3 ~interceptor:(Lazy.force universe).BP.interceptor
+       (Lazy.force universe))
+
+let now = Ts.paper_epoch
+let store () = (Lazy.force universe).BP.aosp PD.V4_4
+
+let test_world_covers_probe_list () =
+  let w = Lazy.force world in
+  let expected =
+    PD.intercepted_domains @ PD.whitelisted_domains |> List.sort_uniq compare
+  in
+  check Alcotest.int "all probe targets" (List.length expected)
+    (List.length (Endpoint.probe_targets w));
+  List.iter
+    (fun (host, port) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s:%d exists" host port)
+        true
+        (Endpoint.lookup w ~host ~port <> None))
+    expected
+
+let test_endpoint_chains_valid () =
+  let w = Lazy.force world in
+  List.iter
+    (fun (e : Endpoint.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s validates" e.Endpoint.host)
+        true
+        (Chain.validate_ok ~now ~store:(store ()) e.Endpoint.chain))
+    (Endpoint.endpoints w)
+
+let test_direct_handshake () =
+  let w = Lazy.force world in
+  match
+    Handshake.connect (Handshake.Direct w) ~store:(store ()) ~now ~host:"gmail.com"
+      ~port:443
+  with
+  | Some o ->
+      Alcotest.(check bool) "trusted" true
+        (match o.Handshake.verdict with Ok _ -> true | Error _ -> false);
+      Alcotest.(check bool) "not intercepted" false o.Handshake.intercepted
+  | None -> Alcotest.fail "gmail unreachable"
+
+let test_unknown_host () =
+  let w = Lazy.force world in
+  Alcotest.(check bool) "unknown host" true
+    (Handshake.connect (Handshake.Direct w) ~store:(store ()) ~now
+       ~host:"nonexistent.example" ~port:443
+    = None)
+
+let test_proxy_whitelist () =
+  let p = Lazy.force proxy in
+  Alcotest.(check bool) "supl whitelisted" true
+    (Proxy.is_whitelisted p ~host:"supl.google.com" ~port:7275);
+  Alcotest.(check bool) "facebook chat whitelisted" true
+    (Proxy.is_whitelisted p ~host:"orcart.facebook.com" ~port:8883);
+  Alcotest.(check bool) "gmail not whitelisted" false
+    (Proxy.is_whitelisted p ~host:"gmail.com" ~port:443);
+  (* same host, different port: 443 intercepted, 8883 not (Table 6) *)
+  Alcotest.(check bool) "facebook 443 intercepted" false
+    (Proxy.is_whitelisted p ~host:"orcart.facebook.com" ~port:443)
+
+let test_proxy_resigns () =
+  let w = Lazy.force world and p = Lazy.force proxy in
+  let e = Option.get (Endpoint.lookup w ~host:"gmail.com" ~port:443) in
+  match Proxy.terminate p e with
+  | forged :: _ ->
+      (* subject preserved, signer replaced *)
+      Alcotest.(check bool) "same subject" true
+        (Tangled_x509.Dn.equal forged.C.subject (List.hd e.Endpoint.chain).C.subject);
+      Alcotest.(check bool) "issued by MITM CA" true
+        (Tangled_x509.Dn.common_name forged.C.issuer = Some "Reality Mine MITM CA");
+      Alcotest.(check bool) "bytes differ" true
+        (C.byte_identity forged <> C.byte_identity (List.hd e.Endpoint.chain))
+  | [] -> Alcotest.fail "empty forged chain"
+
+let test_proxy_cache () =
+  let w = Lazy.force world and p = Lazy.force proxy in
+  let e = Option.get (Endpoint.lookup w ~host:"www.chase.com" ~port:443) in
+  let c1 = Proxy.terminate p e and c2 = Proxy.terminate p e in
+  Alcotest.(check bool) "cached chain reused" true
+    (C.byte_identity (List.hd c1) = C.byte_identity (List.hd c2))
+
+let test_proxy_passthrough () =
+  let w = Lazy.force world and p = Lazy.force proxy in
+  let e = Option.get (Endpoint.lookup w ~host:"www.facebook.com" ~port:443) in
+  let chain = Proxy.terminate p e in
+  Alcotest.(check bool) "whitelisted untouched" true
+    (C.byte_identity (List.hd chain) = C.byte_identity (List.hd e.Endpoint.chain))
+
+let test_proxied_handshake_detection () =
+  let w = Lazy.force world and p = Lazy.force proxy in
+  let t = Handshake.Proxied (w, p) in
+  (* intercepted: forged chain, untrusted, flagged *)
+  (match Handshake.connect t ~store:(store ()) ~now ~host:"www.yahoo.com" ~port:443 with
+  | Some o ->
+      Alcotest.(check bool) "flagged" true o.Handshake.intercepted;
+      Alcotest.(check bool) "untrusted" true
+        (match o.Handshake.verdict with Error _ -> true | Ok _ -> false)
+  | None -> Alcotest.fail "yahoo unreachable");
+  (* whitelisted: original chain, trusted, unflagged *)
+  match Handshake.connect t ~store:(store ()) ~now ~host:"www.google.com" ~port:443 with
+  | Some o ->
+      Alcotest.(check bool) "not flagged" false o.Handshake.intercepted;
+      Alcotest.(check bool) "trusted" true
+        (match o.Handshake.verdict with Ok _ -> true | Error _ -> false)
+  | None -> Alcotest.fail "google unreachable"
+
+let test_forged_chain_trusted_if_root_installed () =
+  (* the §6+§7 interaction: install the interceptor root (privileged
+     app) and the forged chains become trusted *)
+  let w = Lazy.force world and p = Lazy.force proxy in
+  let u = Lazy.force universe in
+  let compromised =
+    match
+      Rs.add (store ()) (Rs.Privileged_app "spyware") (Rs.App "spyware")
+        (Proxy.root p)
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Rs.error_to_string e)
+  in
+  ignore u;
+  match
+    Handshake.connect (Handshake.Proxied (w, p)) ~store:compromised ~now
+      ~host:"www.yahoo.com" ~port:443
+  with
+  | Some o ->
+      Alcotest.(check bool) "still detected as intercepted" true o.Handshake.intercepted;
+      Alcotest.(check bool) "but now trusted" true
+        (match o.Handshake.verdict with Ok _ -> true | Error _ -> false)
+  | None -> Alcotest.fail "unreachable"
+
+let test_table6_partition () =
+  (* driving the probe list through the proxy reproduces Table 6's
+     exact intercepted/whitelisted partition *)
+  let w = Lazy.force world and p = Lazy.force proxy in
+  let outcomes =
+    Handshake.probe_all (Handshake.Proxied (w, p)) ~store:(store ()) ~now
+  in
+  List.iter
+    (fun (o : Handshake.outcome) ->
+      let expected_intercepted =
+        List.mem (o.Handshake.host, o.Handshake.port) PD.intercepted_domains
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s:%d" o.Handshake.host o.Handshake.port)
+        expected_intercepted o.Handshake.intercepted)
+    outcomes
+
+let suite =
+  [
+    ("world covers probe list", `Quick, test_world_covers_probe_list);
+    ("endpoint chains valid", `Quick, test_endpoint_chains_valid);
+    ("direct handshake", `Quick, test_direct_handshake);
+    ("unknown host", `Quick, test_unknown_host);
+    ("proxy whitelist", `Quick, test_proxy_whitelist);
+    ("proxy re-signs", `Quick, test_proxy_resigns);
+    ("proxy certificate cache", `Quick, test_proxy_cache);
+    ("proxy passthrough", `Quick, test_proxy_passthrough);
+    ("proxied handshake detection", `Quick, test_proxied_handshake_detection);
+    ("forged chain trusted after root install", `Quick, test_forged_chain_trusted_if_root_installed);
+    ("Table 6 partition", `Quick, test_table6_partition);
+  ]

@@ -1,0 +1,280 @@
+(* Tests for lib/util: hex, prng, stats, text rendering, csv, timestamps. *)
+
+open Tangled_util
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- hex ------------------------------------------------------------- *)
+
+let test_hex_roundtrip () =
+  check Alcotest.string "encode" "00ff10" (Hex.encode "\x00\xff\x10");
+  check Alcotest.string "decode" "\x00\xff\x10" (Hex.decode "00ff10");
+  check Alcotest.string "decode upper" "\xab\xcd" (Hex.decode "ABCD");
+  check Alcotest.string "empty" "" (Hex.encode "");
+  check Alcotest.string "colon" "de:ad:be:ef" (Hex.encode_colon "\xde\xad\xbe\xef")
+
+let test_hex_errors () =
+  Alcotest.check_raises "odd length" (Invalid_argument "Hex.decode: odd length")
+    (fun () -> ignore (Hex.decode "abc"));
+  (try
+     ignore (Hex.decode "zz");
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:200 QCheck.string (fun s ->
+      Hex.decode (Hex.encode s) = s)
+
+(* --- prng ------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_split_independent () =
+  let parent = Prng.create 7 in
+  let c1 = Prng.split parent "alpha" in
+  let c2 = Prng.split parent "beta" in
+  (* different labels give different streams *)
+  Alcotest.(check bool) "distinct" true (Prng.next_int64 c1 <> Prng.next_int64 c2);
+  (* splitting does not advance the parent *)
+  let p1 = Prng.create 7 in
+  ignore (Prng.split p1 "alpha");
+  check Alcotest.int64 "parent unperturbed" (Prng.next_int64 (Prng.create 7))
+    (Prng.next_int64 p1)
+
+let test_prng_bounds () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng 5 9 in
+    Alcotest.(check bool) "in closed range" true (v >= 5 && v <= 9)
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int rng 0))
+
+let test_prng_uniformish () =
+  let rng = Prng.create 11 in
+  let counts = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let i = Prng.int rng 10 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "within 10% of uniform" true
+        (abs (c - (n / 10)) < n / 10))
+    counts
+
+let test_prng_bernoulli () =
+  let rng = Prng.create 19 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.bernoulli rng 0.3 then incr hits
+  done;
+  Alcotest.(check bool) "~30%" true (abs (!hits - 3000) < 300)
+
+let test_prng_choose_weighted () =
+  let rng = Prng.create 23 in
+  let a = ref 0 and b = ref 0 in
+  for _ = 1 to 10_000 do
+    match Prng.choose_weighted rng [| ("a", 9.0); ("b", 1.0) |] with
+    | "a" -> incr a
+    | _ -> incr b
+  done;
+  Alcotest.(check bool) "9:1 split" true (!a > 8 * !b)
+
+let test_prng_sample_distinct () =
+  let rng = Prng.create 31 in
+  let a = Array.init 20 Fun.id in
+  let s = Prng.sample rng a 10 in
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  let distinct = Array.to_list sorted |> List.sort_uniq compare |> List.length in
+  check Alcotest.int "all distinct" 10 distinct
+
+let test_prng_zipf () =
+  let rng = Prng.create 37 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 20_000 do
+    let i = Prng.zipf rng 10 1.0 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true (counts.(0) > counts.(5));
+  Alcotest.(check bool) "monotone-ish head" true (counts.(0) > counts.(1))
+
+let prop_geometric_nonneg =
+  QCheck.Test.make ~name:"geometric non-negative" ~count:200
+    QCheck.(pair small_int (float_range 0.01 1.0))
+    (fun (seed, p) ->
+      let rng = Prng.create seed in
+      Prng.geometric rng p >= 0)
+
+(* --- stats ------------------------------------------------------------ *)
+
+let test_stats_basics () =
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check (Alcotest.float 1e-9) "median even" 2.5 (Stats.median [| 4.0; 1.0; 3.0; 2.0 |]);
+  check (Alcotest.float 1e-9) "median odd" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |]);
+  check (Alcotest.float 1e-9) "variance" 1.25 (Stats.variance [| 1.0; 2.0; 3.0; 4.0 |]);
+  check (Alcotest.float 1e-9) "empty mean" 0.0 (Stats.mean [||]);
+  check (Alcotest.float 1e-9) "fraction" 0.5
+    (Stats.fraction (fun x -> x > 2) [| 1; 2; 3; 4 |])
+
+let test_stats_percentile () =
+  let a = Array.init 101 float_of_int in
+  check (Alcotest.float 1e-9) "p50" 50.0 (Stats.percentile a 50.0);
+  check (Alcotest.float 1e-9) "p0" 0.0 (Stats.percentile a 0.0);
+  check (Alcotest.float 1e-9) "p100" 100.0 (Stats.percentile a 100.0);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty array")
+    (fun () -> ignore (Stats.percentile [||] 50.0))
+
+let test_ecdf () =
+  let e = Stats.Ecdf.of_values [| 0.0; 0.0; 1.0; 5.0 |] in
+  check (Alcotest.float 1e-9) "P(X<=0)" 0.5 (Stats.Ecdf.eval e 0.0);
+  check (Alcotest.float 1e-9) "P(X<=1)" 0.75 (Stats.Ecdf.eval e 1.0);
+  check (Alcotest.float 1e-9) "P(X<=10)" 1.0 (Stats.Ecdf.eval e 10.0);
+  check (Alcotest.float 1e-9) "P(X<=-1)" 0.0 (Stats.Ecdf.eval e (-1.0));
+  check (Alcotest.float 1e-9) "zero offset" 0.5 (Stats.Ecdf.value_at_zero e);
+  check Alcotest.int "count" 4 (Stats.Ecdf.count e);
+  check Alcotest.int "steps" 3 (Array.length (Stats.Ecdf.support e))
+
+let prop_ecdf_monotone =
+  QCheck.Test.make ~name:"ecdf monotone" ~count:100
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_range (-100.) 100.))
+    (fun values ->
+      let e = Stats.Ecdf.of_values values in
+      let steps = Stats.Ecdf.support e in
+      let ok = ref true in
+      Array.iteri
+        (fun i (x, p) ->
+          if i > 0 then begin
+            let x', p' = steps.(i - 1) in
+            if x' >= x || p' >= p then ok := false
+          end)
+        steps;
+      !ok && snd steps.(Array.length steps - 1) = 1.0)
+
+(* --- text table -------------------------------------------------------- *)
+
+let test_table_render () =
+  let s =
+    Text_table.render ~header:[ "a"; "b" ] [ [ "1"; "22" ]; [ "333"; "4" ] ]
+  in
+  Alcotest.(check bool) "has rule" true (String.length s > 0 && s.[0] = '+');
+  (* all lines same width *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let widths = List.map String.length lines |> List.sort_uniq compare in
+  check Alcotest.int "uniform width" 1 (List.length widths)
+
+let test_table_mismatch () =
+  try
+    ignore (Text_table.render ~header:[ "a"; "b" ] [ [ "1" ] ]);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_fmt_helpers () =
+  check Alcotest.string "fmt_int" "744,069" (Text_table.fmt_int 744069);
+  check Alcotest.string "fmt_int small" "42" (Text_table.fmt_int 42);
+  check Alcotest.string "fmt_int negative" "-1,234" (Text_table.fmt_int (-1234));
+  check Alcotest.string "fmt_pct" "39.0%" (Text_table.fmt_pct 0.39);
+  check Alcotest.string "fmt_float" "3.14" (Text_table.fmt_float 3.14159)
+
+(* --- csv ---------------------------------------------------------------- *)
+
+let test_csv_escape () =
+  check Alcotest.string "plain" "abc" (Csv.escape "abc");
+  check Alcotest.string "comma" "\"a,b\"" (Csv.escape "a,b");
+  check Alcotest.string "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+  check Alcotest.string "row" "a,\"b,c\",d" (Csv.row [ "a"; "b,c"; "d" ])
+
+let test_csv_render () =
+  let doc = Csv.render ~header:[ "x"; "y" ] [ [ "1"; "2" ] ] in
+  check Alcotest.string "doc" "x,y\n1,2\n" doc
+
+(* --- timestamp ----------------------------------------------------------- *)
+
+let test_timestamp_civil_roundtrip () =
+  let t = Timestamp.of_date ~hour:13 ~minute:45 ~second:12 2014 4 1 in
+  check
+    (Alcotest.testable
+       (fun fmt (a, b, c, d, e, f) -> Format.fprintf fmt "%d-%d-%d %d:%d:%d" a b c d e f)
+       ( = ))
+    "civil" (2014, 4, 1, 13, 45, 12) (Timestamp.to_civil t)
+
+let test_timestamp_epoch () =
+  check Alcotest.int "unix epoch" 0 (Timestamp.of_date 1970 1 1);
+  check Alcotest.int "one day" 86400 (Timestamp.of_date 1970 1 2)
+
+let test_timestamp_leap () =
+  let t = Timestamp.of_date 2012 2 29 in
+  let y, m, d, _, _, _ = Timestamp.to_civil (Timestamp.add_years t 1) in
+  check Alcotest.int "clamped year" 2013 y;
+  check Alcotest.int "clamped month" 2 m;
+  check Alcotest.int "clamped day" 28 d
+
+let test_timestamp_asn1 () =
+  let t = Timestamp.of_date ~hour:23 ~minute:59 ~second:59 2013 10 24 in
+  check Alcotest.string "utctime" "131024235959Z" (Timestamp.to_asn1_utctime t);
+  check Alcotest.string "generalized" "20131024235959Z" (Timestamp.to_asn1_generalized t);
+  check (Alcotest.option Alcotest.int) "utc parse" (Some t)
+    (Timestamp.of_asn1_utctime "131024235959Z");
+  check (Alcotest.option Alcotest.int) "gen parse" (Some t)
+    (Timestamp.of_asn1_generalized "20131024235959Z");
+  check (Alcotest.option Alcotest.int) "bad" None (Timestamp.of_asn1_utctime "xx");
+  (* pre-2000 pivot *)
+  let t99 = Timestamp.of_date 1999 1 1 in
+  check (Alcotest.option Alcotest.int) "pivot 99" (Some t99)
+    (Timestamp.of_asn1_utctime "990101000000Z")
+
+let test_timestamp_validation () =
+  Alcotest.check_raises "bad month" (Invalid_argument "Timestamp.of_date: invalid month")
+    (fun () -> ignore (Timestamp.of_date 2014 13 1));
+  Alcotest.check_raises "bad day" (Invalid_argument "Timestamp.of_date: invalid day")
+    (fun () -> ignore (Timestamp.of_date 2014 2 30))
+
+let prop_timestamp_roundtrip =
+  QCheck.Test.make ~name:"timestamp civil roundtrip" ~count:300
+    QCheck.(int_range (-2_000_000_000) 2_000_000_000)
+    (fun t ->
+      let y, m, d, hh, mm, ss = Timestamp.to_civil t in
+      Timestamp.of_date ~hour:hh ~minute:mm ~second:ss y m d = t)
+
+let suite =
+  [
+    ("hex roundtrip", `Quick, test_hex_roundtrip);
+    ("hex errors", `Quick, test_hex_errors);
+    ("prng deterministic", `Quick, test_prng_deterministic);
+    ("prng split independence", `Quick, test_prng_split_independent);
+    ("prng bounds", `Quick, test_prng_bounds);
+    ("prng uniformity", `Quick, test_prng_uniformish);
+    ("prng bernoulli", `Quick, test_prng_bernoulli);
+    ("prng weighted choice", `Quick, test_prng_choose_weighted);
+    ("prng sample distinct", `Quick, test_prng_sample_distinct);
+    ("prng zipf", `Quick, test_prng_zipf);
+    ("stats basics", `Quick, test_stats_basics);
+    ("stats percentile", `Quick, test_stats_percentile);
+    ("ecdf", `Quick, test_ecdf);
+    ("table render", `Quick, test_table_render);
+    ("table mismatch", `Quick, test_table_mismatch);
+    ("format helpers", `Quick, test_fmt_helpers);
+    ("csv escape", `Quick, test_csv_escape);
+    ("csv render", `Quick, test_csv_render);
+    ("timestamp civil roundtrip", `Quick, test_timestamp_civil_roundtrip);
+    ("timestamp epoch", `Quick, test_timestamp_epoch);
+    ("timestamp leap clamp", `Quick, test_timestamp_leap);
+    ("timestamp asn1 forms", `Quick, test_timestamp_asn1);
+    ("timestamp validation", `Quick, test_timestamp_validation);
+    qtest prop_hex_roundtrip;
+    qtest prop_geometric_nonneg;
+    qtest prop_ecdf_monotone;
+    qtest prop_timestamp_roundtrip;
+  ]
