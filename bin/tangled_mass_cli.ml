@@ -190,8 +190,8 @@ let stores_cmd =
 let analyze_cmd =
   let which =
     let doc =
-      "Which analysis to run: minimization (§5.3), scoping (§8), pinning (§7); \
-       defaults to all."
+      "Which analysis to run: minimization (§5.3), scoping (§8), pinning (§7), \
+       ingest (export→import reconciliation); defaults to all."
     in
     Arg.(value & opt (some string) None & info [ "a"; "analysis" ] ~docv:"NAME" ~doc)
   in
@@ -229,23 +229,176 @@ let export_cmd =
     let doc = "Truncate record lists to the first N entries." in
     Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc)
   in
-  let run () seed sessions leaves key_bits what out limit =
-    let world = build_world seed sessions leaves key_bits in
-    let json =
-      match what with
-      | "sessions" -> Tangled_core.Export.sessions_json ?limit world
-      | "notary" -> Tangled_core.Export.notary_json ?limit world
-      | "stores" -> Tangled_core.Export.stores_json world
-      | other -> invalid_arg ("unknown export kind " ^ other)
+  let format_arg =
+    let doc =
+      "Output format: $(b,json) (one pretty document) or $(b,jsonl) (manifest \
+       line followed by one record per line — the form the ingestion layer \
+       prefers)."
     in
-    let path = Option.value ~default:(what ^ ".json") out in
-    Tangled_core.Export.write_file path json;
+    Arg.(value
+         & opt (enum [ ("json", "json"); ("jsonl", "jsonl") ]) "json"
+         & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let run () seed sessions leaves key_bits what out limit format =
+    let world = build_world seed sessions leaves key_bits in
+    let module Export = Tangled_core.Export in
+    let ext, contents =
+      match (what, format) with
+      | "sessions", "json" ->
+          (".json", Tangled_util.Json.to_string ~pretty:true
+                      (Export.sessions_json ?limit world) ^ "\n")
+      | "notary", "json" ->
+          (".json", Tangled_util.Json.to_string ~pretty:true
+                      (Export.notary_json ?limit world) ^ "\n")
+      | "stores", "json" ->
+          (".json", Tangled_util.Json.to_string ~pretty:true
+                      (Export.stores_json world) ^ "\n")
+      | "sessions", "jsonl" -> (".jsonl", Export.sessions_jsonl ?limit world)
+      | "notary", "jsonl" -> (".jsonl", Export.notary_jsonl ?limit world)
+      | "stores", "jsonl" -> (".jsonl", Export.stores_jsonl world)
+      | _, ("json" | "jsonl") -> invalid_arg ("unknown export kind " ^ what)
+      | _ -> invalid_arg ("unknown export format " ^ format)
+    in
+    let path = Option.value ~default:(what ^ ext) out in
+    Export.write_text path contents;
     Logs.app (fun m -> m "wrote %s" path)
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export the datasets as JSON (session log, notary DB, stores)")
     Term.(const run $ logs_term $ seed_arg $ sessions_arg $ leaves_arg
-          $ key_bits_arg $ what_arg $ out_arg $ limit_arg)
+          $ key_bits_arg $ what_arg $ out_arg $ limit_arg $ format_arg)
+
+(* --- ingest ------------------------------------------------------------- *)
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let ingest_cmd =
+  let module Ingest = Tangled_ingest.Ingest in
+  let module J = Tangled_util.Json in
+  let module T = Tangled_util.Text_table in
+  let file_arg =
+    let doc = "Dataset to ingest: a .json document or .jsonl record stream." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let kind_arg =
+    let doc = "Record schema: sessions, notary, stores, or auto (detect)." in
+    Arg.(value & opt string "auto" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let detect_kind input =
+    (* the manifest's "kind" tag, wherever the manifest lives *)
+    let header_kind json =
+      match J.member "kind" json with Some (J.String k) -> Some k | _ -> None
+    in
+    let from_doc json =
+      match header_kind json with
+      | Some k -> Some k
+      | None ->
+          if J.member "sessions" json <> None then Some "sessions"
+          else if J.member "chains" json <> None then Some "notary"
+          else if J.member "stores" json <> None then Some "stores"
+          else None
+    in
+    match J.parse input with
+    | Ok json -> from_doc json
+    | Error _ -> (
+        match String.index_opt input '\n' with
+        | None -> None
+        | Some i -> (
+            match J.parse (String.sub input 0 i) with
+            | Ok json -> from_doc json
+            | Error _ -> None))
+  in
+  let run () file kind =
+    let input = read_whole_file file in
+    let kind =
+      match kind with
+      | "auto" -> (
+          match detect_kind input with
+          | Some k -> k
+          | None ->
+              Logs.warn (fun m ->
+                  m "cannot detect dataset kind; assuming sessions");
+              "sessions")
+      | k -> k
+    in
+    match kind with
+    | "sessions" ->
+        let r = Ingest.sessions_of_string input in
+        print_endline (Ingest.render_stats ~title:("Session-log ingest: " ^ file) r);
+        print_endline
+          (T.render_kv ~title:"Recomputed headline aggregates"
+             [
+               ("sessions", T.fmt_int (Ingest.total_sessions r));
+               ("estimated handsets", T.fmt_int (Ingest.estimated_handsets r));
+               ("extended-store fraction", T.fmt_pct (Ingest.extended_fraction r));
+               ("rooted fraction", T.fmt_pct (Ingest.rooted_fraction r));
+               ("intercepted sessions", T.fmt_int (Ingest.intercepted_sessions r));
+             ])
+    | "notary" ->
+        let r = Ingest.notary_of_string input in
+        print_endline (Ingest.render_stats ~title:("Notary-DB ingest: " ^ file) r);
+        print_endline
+          (T.render_kv ~title:"Recomputed headline aggregates"
+             [
+               ("chains", T.fmt_int (Ingest.total_chains r));
+               ("unexpired", T.fmt_int (Ingest.unexpired r));
+               ("validated fraction", T.fmt_pct (Ingest.validated_fraction r));
+               ( "via-intermediate fraction",
+                 T.fmt_pct (Ingest.via_intermediate_fraction r) );
+             ])
+    | "stores" ->
+        let r = Ingest.stores_of_string input in
+        print_endline (Ingest.render_stats ~title:("Store-dump ingest: " ^ file) r);
+        print_endline
+          (T.render ~title:"Store sizes (Table 1 from ingested data)"
+             ~aligns:[ T.Left; T.Right ]
+             ~header:[ "store"; "certificates" ]
+             (List.map
+                (fun (s, n) -> [ s; string_of_int n ])
+                (Ingest.store_sizes r)))
+    | other -> invalid_arg ("unknown ingest kind " ^ other)
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:
+         "Re-ingest an exported dataset record-by-record: validate, \
+          quarantine, dedup, reconcile against the manifest")
+    Term.(const run $ logs_term $ file_arg $ kind_arg)
+
+(* --- chaos --------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let rate_arg =
+    let doc = "Per-record fault probability." in
+    Arg.(value & opt float 0.05 & info [ "rate" ] ~docv:"P" ~doc)
+  in
+  let fault_seed_arg =
+    let doc = "Seed of the fault-injection PRNG (independent of the world seed)." in
+    Arg.(value & opt int 12 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+  in
+  let tolerance_arg =
+    let doc = "Maximum relative drift allowed in the headline numbers." in
+    Arg.(value & opt float 0.01 & info [ "tolerance" ] ~docv:"T" ~doc)
+  in
+  let run () seed sessions leaves key_bits rate fault_seed tolerance =
+    let world = build_world seed sessions leaves key_bits in
+    let outcome =
+      Tangled_core.Chaos.run ~seed:fault_seed ~rate ~tolerance world
+    in
+    print_string (Tangled_core.Chaos.render outcome);
+    if not outcome.Tangled_core.Chaos.ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Export the world, inject seeded faults, re-ingest, and audit that \
+          every fault is quarantined and the headline numbers survive")
+    Term.(const run $ logs_term $ seed_arg $ sessions_arg $ leaves_arg
+          $ key_bits_arg $ rate_arg $ fault_seed_arg $ tolerance_arg)
 
 (* --- sensitivity ---------------------------------------------------------- *)
 
@@ -359,6 +512,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "tangled-mass" ~version:"1.0.0" ~doc)
     [ tables_cmd; figures_cmd; report_cmd; analyze_cmd; audit_cmd; export_cmd;
-      sensitivity_cmd; stores_cmd; intercept_cmd ]
+      ingest_cmd; chaos_cmd; sensitivity_cmd; stores_cmd; intercept_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

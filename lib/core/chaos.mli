@@ -1,0 +1,61 @@
+(** End-to-end chaos harness: export the world, damage the exports
+    with {!Tangled_fault.Fault}, re-ingest with
+    {!Tangled_ingest.Ingest}, then audit the result two ways —
+
+    {ul
+    {- {e accounting}: every injected fault must be individually
+       visible in the ingestion output (the right quarantine taxonomy
+       label at the right line, or a reconciled missing record for
+       drops);}
+    {- {e tolerance}: the headline analysis numbers recomputed from
+       the damaged-then-ingested data must stay within a relative
+       tolerance of the clean run (Table 1 store sizes, Table 2
+       device/manufacturer shares, the extended-store fraction and the
+       Notary fractions).}}
+
+    Faults are injected into the field data (session log and Notary
+    DB); the store dump is reference data shipped with the instrument
+    and is ingested clean, so Table 1 must survive exactly. *)
+
+type accounting_row = {
+  dataset : string;  (** "sessions" | "notary" *)
+  injection : Tangled_fault.Fault.injection;
+  observed : string;  (** what ingestion reported for this fault *)
+  accounted : bool;
+}
+
+type tolerance_row = {
+  metric : string;
+  clean : float;
+  chaotic : float;
+  rel_delta : float;
+  gating : bool;
+      (** Gating rows (Table 2 shares, extended-store fraction) must
+          stay within tolerance for the run to pass; the rest are
+          informational diagnostics whose support at quick scale is too
+          small for a 1% relative bound to be statistically meaningful. *)
+}
+
+type outcome = {
+  seed : int;
+  rate : float;
+  tolerance : float;
+  sessions : Tangled_ingest.Ingest.session_view Tangled_ingest.Ingest.ingest;
+  notary : Tangled_ingest.Ingest.chain_view Tangled_ingest.Ingest.ingest;
+  stores : Tangled_ingest.Ingest.cert_view Tangled_ingest.Ingest.ingest;
+  accounting : accounting_row list;
+  tolerances : tolerance_row list;
+  table1_exact : bool;  (** ingested store sizes equal Table 1 exactly *)
+  accounted_all : bool;
+  within_tolerance : bool;
+  ok : bool;
+}
+
+val run : ?seed:int -> ?rate:float -> ?tolerance:float -> Pipeline.t -> outcome
+(** Defaults: seed 12, rate 0.05, tolerance 0.01 (1% relative).
+    Deterministic in [seed]; never raises.  The tolerance bound is
+    sampling-noise-limited: record-destroying faults subsample the
+    session log, so gating shares need a few hundred sessions of
+    support each — 20,000 sessions comfortably clears 1%. *)
+
+val render : outcome -> string

@@ -29,10 +29,19 @@ let probe_json (o : Handshake.outcome) =
       ("chain_length", J.Int (List.length o.Handshake.presented));
     ]
 
+(* Deterministic per-session upload time, spread over the paper's
+   collection window (Nov 2012 – Apr 2014) by a fixed multiplicative
+   hash so exports never perturb the simulation's PRNG streams. *)
+let session_timestamp (s : Net.session) =
+  let window_start = Ts.of_date 2012 11 1 in
+  let span = Ts.paper_epoch - window_start in
+  window_start + (s.Net.session_id * 104_729 mod span)
+
 let session_json (s : Net.session) =
   J.Obj
     [
       ("session_id", J.Int s.Net.session_id);
+      ("timestamp", J.String (Ts.to_utc_string (session_timestamp s)));
       ("handset_id", J.Int s.Net.handset_id);
       ("network", J.String s.Net.identity.Net.network);
       ("public_ip", J.String s.Net.identity.Net.public_ip);
@@ -50,19 +59,32 @@ let session_json (s : Net.session) =
       ("probes", J.List (List.map probe_json s.Net.probes));
     ]
 
+let exported_count limit full = match limit with Some n -> min n full | None -> full
+
+let sessions_meta ?limit (w : Pipeline.t) =
+  let d = w.Pipeline.dataset in
+  [
+    ("kind", J.String "sessions");
+    ("tool", J.String "netalyzr-for-android (synthetic)");
+    ("seed", J.Int w.Pipeline.config.Pipeline.seed);
+    ("collected_at", J.String (Ts.to_utc_string Ts.paper_epoch));
+    ("total_sessions", J.Int (Net.total_sessions d));
+    (* the manifest's control total: how many records this document
+       claims to carry — ingestion reconciles against it *)
+    ("exported_sessions", J.Int (exported_count limit (Net.total_sessions d)));
+    ("estimated_handsets", J.Int (Net.estimated_handsets d));
+    ("unique_roots", J.Int (Net.unique_root_keys d));
+  ]
+
 let sessions_json ?limit (w : Pipeline.t) =
   let d = w.Pipeline.dataset in
   J.Obj
-    [
-      ("tool", J.String "netalyzr-for-android (synthetic)");
-      ("seed", J.Int w.Pipeline.config.Pipeline.seed);
-      ("collected_at", J.String (Ts.to_utc_string Ts.paper_epoch));
-      ("total_sessions", J.Int (Net.total_sessions d));
-      ("estimated_handsets", J.Int (Net.estimated_handsets d));
-      ("unique_roots", J.Int (Net.unique_root_keys d));
-      ( "sessions",
-        J.List (take limit (Array.to_list d.Net.sessions) |> List.map session_json) );
-    ]
+    (sessions_meta ?limit w
+    @ [
+        ( "sessions",
+          J.List (take limit (Array.to_list d.Net.sessions) |> List.map session_json)
+        );
+      ])
 
 let chain_json (c : Notary.chain) =
   J.Obj
@@ -79,7 +101,7 @@ let chain_json (c : Notary.chain) =
         | None -> J.Null );
     ]
 
-let notary_json ?limit (w : Pipeline.t) =
+let notary_meta ?limit (w : Pipeline.t) =
   let n = w.Pipeline.notary in
   let u = w.Pipeline.universe in
   let store_counts =
@@ -93,16 +115,25 @@ let notary_json ?limit (w : Pipeline.t) =
         ("ios7", J.Int (Notary.validated_by_store n u.BP.ios7));
       ]
   in
+  [
+    ("kind", J.String "notary");
+    ("source", J.String "icsi-certificate-notary (synthetic)");
+    ("unexpired", J.Int (Notary.unexpired n));
+    ("total", J.Int (Notary.total n));
+    ("exported_chains", J.Int (exported_count limit (Notary.total n)));
+    ("scale_vs_paper", J.Float n.Notary.scale);
+    ("validated_by_store", J.Obj store_counts);
+  ]
+
+let notary_json ?limit (w : Pipeline.t) =
+  let n = w.Pipeline.notary in
   J.Obj
-    [
-      ("source", J.String "icsi-certificate-notary (synthetic)");
-      ("unexpired", J.Int (Notary.unexpired n));
-      ("total", J.Int (Notary.total n));
-      ("scale_vs_paper", J.Float n.Notary.scale);
-      ("validated_by_store", J.Obj store_counts);
-      ( "chains",
-        J.List (take limit (Array.to_list n.Notary.chains) |> List.map chain_json) );
-    ]
+    (notary_meta ?limit w
+    @ [
+        ( "chains",
+          J.List (take limit (Array.to_list n.Notary.chains) |> List.map chain_json)
+        );
+      ])
 
 let cert_json cert =
   J.Obj
@@ -113,8 +144,20 @@ let cert_json cert =
       ("not_after", J.String (Ts.to_utc_string cert.C.not_after));
     ]
 
-let stores_json (w : Pipeline.t) =
+let official_stores (w : Pipeline.t) =
   let u = w.Pipeline.universe in
+  List.map (fun v -> u.BP.aosp v) PD.android_versions @ [ u.BP.mozilla; u.BP.ios7 ]
+
+let stores_meta (w : Pipeline.t) =
+  let stores = official_stores w in
+  [
+    ("kind", J.String "stores");
+    ( "total_certificates",
+      J.Int (List.fold_left (fun acc s -> acc + Rs.cardinal s) 0 stores) );
+    ("sizes", J.Obj (List.map (fun s -> (Rs.name s, J.Int (Rs.cardinal s))) stores));
+  ]
+
+let stores_json (w : Pipeline.t) =
   let store_json store =
     J.Obj
       [
@@ -123,13 +166,41 @@ let stores_json (w : Pipeline.t) =
         ("certificates", J.List (List.map cert_json (Rs.certs store)));
       ]
   in
-  J.Obj
-    [
-      ( "stores",
-        J.List
-          (List.map (fun v -> store_json (u.BP.aosp v)) PD.android_versions
-          @ [ store_json u.BP.mozilla; store_json u.BP.ios7 ]) );
-    ]
+  J.Obj (stores_meta w @ [ ("stores", J.List (List.map store_json (official_stores w))) ])
+
+(* --- JSONL: one manifest line, then one record per line ---------------- *)
+
+let jsonl header records =
+  let b = Buffer.create 65_536 in
+  Buffer.add_string b (J.to_string (J.Obj header));
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string b (J.to_string r);
+      Buffer.add_char b '\n')
+    records;
+  Buffer.contents b
+
+let sessions_jsonl ?limit (w : Pipeline.t) =
+  let d = w.Pipeline.dataset in
+  jsonl (sessions_meta ?limit w)
+    (take limit (Array.to_list d.Net.sessions) |> List.map session_json)
+
+let notary_jsonl ?limit (w : Pipeline.t) =
+  let n = w.Pipeline.notary in
+  jsonl (notary_meta ?limit w)
+    (take limit (Array.to_list n.Notary.chains) |> List.map chain_json)
+
+let stores_jsonl (w : Pipeline.t) =
+  let cert_record store cert =
+    match cert_json cert with
+    | J.Obj fields -> J.Obj (("store", J.String (Rs.name store)) :: fields)
+    | other -> other
+  in
+  jsonl (stores_meta w)
+    (List.concat_map
+       (fun s -> List.map (cert_record s) (Rs.certs s))
+       (official_stores w))
 
 let write_file path json =
   let oc = open_out_bin path in
@@ -138,3 +209,7 @@ let write_file path json =
     (fun () ->
       output_string oc (J.to_string ~pretty:true json);
       output_char oc '\n')
+
+let write_text path text =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)

@@ -15,4 +15,20 @@ val stores_json : Pipeline.t -> Tangled_util.Json.t
 (** The official stores: per store, the list of certificate subjects
     with their hash ids and fingerprints. *)
 
+(** {1 JSONL}
+
+    The record-oriented form the ingestion layer prefers: line 1 is a
+    manifest object carrying the metadata and an
+    [exported_sessions] / [exported_chains] / [total_certificates]
+    control total, then one record per line.  Per-record framing means
+    one damaged record quarantines one record, never the document. *)
+
+val official_stores : Pipeline.t -> Tangled_store.Root_store.t list
+(** Every official store the study compares, in Table 1 order. *)
+
+val sessions_jsonl : ?limit:int -> Pipeline.t -> string
+val notary_jsonl : ?limit:int -> Pipeline.t -> string
+val stores_jsonl : Pipeline.t -> string
+
 val write_file : string -> Tangled_util.Json.t -> unit
+val write_text : string -> string -> unit

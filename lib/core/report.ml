@@ -3,9 +3,9 @@ let artefact_names =
     "figure1"; "figure2"; "figure3" ]
 
 (* The extension analyses beyond the paper's own artefacts: §5.3 store
-   minimization, the §8 scoped-trust counterfactual and the §7 pinning
-   counterfactual. *)
-let extension_names = [ "minimization"; "scoping"; "pinning" ]
+   minimization, the §8 scoped-trust counterfactual, the §7 pinning
+   counterfactual, and the export→ingest reconciliation stats. *)
+let extension_names = [ "minimization"; "scoping"; "pinning"; "ingest" ]
 
 let render_one world = function
   | "table1" -> Table1.render (Table1.compute world)
@@ -20,6 +20,7 @@ let render_one world = function
   | "minimization" -> Minimization.render (Minimization.compute world)
   | "scoping" -> Scoping.render (Scoping.compute world)
   | "pinning" -> Pinning_study.render (Pinning_study.compute world)
+  | "ingest" -> Ingest_report.render (Ingest_report.compute world)
   | other -> invalid_arg ("Report.render_one: unknown artefact " ^ other)
 
 let csv_one world = function
@@ -35,6 +36,7 @@ let csv_one world = function
   | "minimization" -> Minimization.csv (Minimization.compute world)
   | "scoping" -> Scoping.csv (Scoping.compute world)
   | "pinning" -> Pinning_study.csv (Pinning_study.compute world)
+  | "ingest" -> Ingest_report.csv (Ingest_report.compute world)
   | other -> invalid_arg ("Report.csv_one: unknown artefact " ^ other)
 
 let run_all ?csv_dir ?(extensions = true) world =

@@ -1,0 +1,55 @@
+(** Deterministic fault injection over serialized datasets.
+
+    The measurement pipeline's field data — Netalyzr session uploads
+    and Notary chain records — arrives truncated, duplicated,
+    clock-skewed and malformed in the real world.  This module turns a
+    pristine JSONL export (one manifest line followed by one record
+    per line, see {!Tangled_core.Export}) into a realistically damaged
+    one, deterministically from a seed, and returns a ledger tagging
+    every injected fault so the ingestion layer's quarantine can be
+    audited fault-by-fault. *)
+
+type kind =
+  | Bit_flip
+      (** one bit of the serialized record flipped in transit.  The
+          flip lands in the record's structural prefix so corruption is
+          always {e detectable} (broken syntax or a renamed required
+          field); silent payload-content flips are a data-integrity
+          threat model, not a robustness one, and are out of scope. *)
+  | Truncate  (** the upload stopped mid-record: a strict prefix survives *)
+  | Drop  (** the record never arrived *)
+  | Duplicate  (** a replayed upload: the record arrives twice *)
+  | Missing_field  (** a required field is absent from the record *)
+  | Type_confusion  (** a field carries a value of the wrong JSON type *)
+  | Clock_skew
+      (** the record's timestamp is far outside the plausible
+          collection window (a device with a broken clock) *)
+  | Identity_conflict
+      (** a replayed session id carrying a {e different} identity
+          tuple — two uploads that cannot both be true *)
+
+val all_kinds : kind list
+val kind_to_string : kind -> string
+
+type injection = {
+  seq : int;  (** injection ordinal, 0-based *)
+  kind : kind;
+  record : int;  (** 0-based index of the victim in the clean record stream *)
+  key : string option;
+      (** the record's identity (session id / subject) when parseable *)
+  field : string option;  (** field targeted by field-level faults *)
+  out_line : int option;
+      (** 1-based line of the faulty record in the corrupted document
+          (the manifest is line 1); [None] for {!Drop} *)
+  note : string;  (** human-readable description of what was done *)
+}
+
+val inject :
+  seed:int -> rate:float -> ?kinds:kind list -> string -> string * injection list
+(** [inject ~seed ~rate doc] corrupts the JSONL document [doc]: each
+    record independently suffers one fault with probability [rate],
+    the kind drawn uniformly from [kinds] (default {!all_kinds})
+    filtered to those applicable to the record.  The manifest line is
+    never touched.  Deterministic in [seed]; [rate = 0] is the
+    identity.  Returns the corrupted document and the ledger in
+    record order. *)

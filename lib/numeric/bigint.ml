@@ -185,6 +185,12 @@ let shr_mag a k =
     r
   end
 
+(* The remaining [invalid_arg] sites in this module (shifts, pow,
+   modpow, mod_inverse, to_bytes_be, random_bits, random_below) guard
+   preconditions
+   whose arguments are computed by our own arithmetic and key-size
+   logic, never parsed from untrusted bytes; violating one is a bug in
+   the caller, so a noisy exception is the right contract there. *)
 let shift_left t k =
   if k < 0 then invalid_arg "Bigint.shift_left: negative shift";
   if is_zero t || k = 0 then t else make t.neg (shl_mag t.mag k)
@@ -369,22 +375,27 @@ let to_bytes_be t =
     Bytes.unsafe_to_string b
   end
 
+(* Text parsing is the one place this module meets untrusted input
+   (operator-supplied key material, config files), so of_hex and
+   of_string return [result] rather than raising. *)
 let of_hex h =
   let h, neg = if String.length h > 0 && h.[0] = '-' then (String.sub h 1 (String.length h - 1), true) else (h, false) in
-  if String.length h = 0 then invalid_arg "Bigint.of_hex: empty";
-  let acc = ref zero in
-  String.iter
-    (fun c ->
-      let v =
+  if String.length h = 0 then Error "Bigint.of_hex: empty"
+  else begin
+    let acc = ref zero in
+    let bad = ref None in
+    String.iter
+      (fun c ->
         match c with
-        | '0' .. '9' -> Char.code c - Char.code '0'
-        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
-        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
-        | _ -> invalid_arg "Bigint.of_hex: invalid character"
-      in
-      acc := add (shift_left !acc 4) (of_int v))
-    h;
-  if neg && not (is_zero !acc) then { !acc with neg = true } else !acc
+        | '0' .. '9' -> acc := add (shift_left !acc 4) (of_int (Char.code c - Char.code '0'))
+        | 'a' .. 'f' -> acc := add (shift_left !acc 4) (of_int (Char.code c - Char.code 'a' + 10))
+        | 'A' .. 'F' -> acc := add (shift_left !acc 4) (of_int (Char.code c - Char.code 'A' + 10))
+        | c -> if !bad = None then bad := Some c)
+      h;
+    match !bad with
+    | Some c -> Error (Printf.sprintf "Bigint.of_hex: invalid character %C" c)
+    | None -> Ok (if neg && not (is_zero !acc) then { !acc with neg = true } else !acc)
+  end
 
 let to_hex t =
   if is_zero t then "0"
@@ -401,19 +412,27 @@ let to_hex t =
 
 let of_string s =
   let n = String.length s in
-  if n = 0 then invalid_arg "Bigint.of_string: empty";
-  let neg = s.[0] = '-' in
-  let start = if neg || s.[0] = '+' then 1 else 0 in
-  if start >= n then invalid_arg "Bigint.of_string: no digits";
-  let acc = ref zero in
-  let ten = of_int 10 in
-  for i = start to n - 1 do
-    match s.[i] with
-    | '0' .. '9' ->
-        acc := add (mul !acc ten) (of_int (Char.code s.[i] - Char.code '0'))
-    | _ -> invalid_arg "Bigint.of_string: invalid character"
-  done;
-  if neg && not (is_zero !acc) then { !acc with neg = true } else !acc
+  if n = 0 then Error "Bigint.of_string: empty"
+  else begin
+    let neg = s.[0] = '-' in
+    let start = if neg || s.[0] = '+' then 1 else 0 in
+    if start >= n then Error "Bigint.of_string: no digits"
+    else begin
+      let acc = ref zero in
+      let ten = of_int 10 in
+      let bad = ref None in
+      for i = start to n - 1 do
+        match s.[i] with
+        | '0' .. '9' ->
+            acc := add (mul !acc ten) (of_int (Char.code s.[i] - Char.code '0'))
+        | c -> if !bad = None then bad := Some c
+      done;
+      match !bad with
+      | Some c -> Error (Printf.sprintf "Bigint.of_string: invalid character %C" c)
+      | None ->
+          Ok (if neg && not (is_zero !acc) then { !acc with neg = true } else !acc)
+    end
+  end
 
 let to_string t =
   if is_zero t then "0"

@@ -16,16 +16,17 @@ val of_int : int -> t
 val to_int_opt : t -> int option
 (** [to_int_opt t] is [Some n] when [t] fits native [int]. *)
 
-val of_string : string -> t
-(** Decimal parsing, with optional leading ['-'].
-    @raise Invalid_argument on malformed input. *)
+val of_string : string -> (t, string) result
+(** Decimal parsing, with optional leading ['-'] or ['+'].  Total:
+    malformed input is an [Error] with a diagnostic, never an
+    exception — text is where untrusted input enters this module. *)
 
 val to_string : t -> string
 (** Decimal rendering. *)
 
-val of_hex : string -> t
-(** Hexadecimal parsing (no [0x] prefix).
-    @raise Invalid_argument on malformed input. *)
+val of_hex : string -> (t, string) result
+(** Hexadecimal parsing (no [0x] prefix), same contract as
+    {!of_string}. *)
 
 val to_hex : t -> string
 (** Lowercase hexadecimal rendering of the magnitude, ["-"]-prefixed

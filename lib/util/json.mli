@@ -1,6 +1,5 @@
-(** Minimal JSON emission (RFC 8259 subset) for machine-readable
-    dataset exports.  Writing only — the simulation never consumes
-    JSON. *)
+(** Minimal JSON (RFC 8259 subset) for machine-readable dataset
+    exports and their re-ingestion. *)
 
 type t =
   | Null
@@ -16,3 +15,17 @@ val to_string : ?pretty:bool -> t -> string
 
 val escape_string : string -> string
 (** The quoted, escaped form of a string literal. *)
+
+val parse : string -> (t, string) result
+(** Total recursive-descent parser: never raises, whatever the input.
+    Integral numbers in native range become [Int]; everything else
+    numeric becomes [Float].  Nesting beyond 256 levels, trailing
+    garbage and unescaped control characters are errors. *)
+
+val error_is_truncation : string -> bool
+(** Whether a {!parse} error message denotes input that ended
+    mid-value — the signature of a partial (truncated) upload, as
+    opposed to structural malformation. *)
+
+val member : string -> t -> t option
+(** [member key json] is the field [key] of an [Obj], else [None]. *)

@@ -108,4 +108,19 @@ let of_asn1_generalized s =
          with Invalid_argument _ -> None)
     | _ -> None
 
+let of_utc_string s =
+  (* inverse of [to_utc_string]: "YYYY-MM-DD HH:MM:SS UTC" *)
+  if String.length s <> 23 || String.sub s 19 4 <> " UTC" then None
+  else if s.[4] <> '-' || s.[7] <> '-' || s.[10] <> ' ' || s.[13] <> ':' || s.[16] <> ':'
+  then None
+  else
+    match
+      ( parse_digits s 0 4, parse_digits s 5 2, parse_digits s 8 2,
+        parse_digits s 11 2, parse_digits s 14 2, parse_digits s 17 2 )
+    with
+    | Some y, Some m, Some d, Some hh, Some mm, Some ss ->
+        (try Some (of_date ~hour:hh ~minute:mm ~second:ss y m d)
+         with Invalid_argument _ -> None)
+    | _ -> None
+
 let pp fmt t = Format.pp_print_string fmt (to_utc_string t)

@@ -31,6 +31,10 @@ val compare : t -> t -> int
 val to_utc_string : t -> string
 (** ["YYYY-MM-DD HH:MM:SS UTC"]. *)
 
+val of_utc_string : string -> t option
+(** Inverse of {!to_utc_string}; [None] on any malformation.  Never
+    raises — ingestion feeds it untrusted field data. *)
+
 val to_asn1_utctime : t -> string
 (** ["YYMMDDHHMMSSZ"] — the X.509 UTCTime body used for dates in
     1950–2049.

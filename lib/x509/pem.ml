@@ -58,6 +58,10 @@ let base64_decode s =
   else begin
     let out = Buffer.create (body_len * 3 / 4) in
     let acc = ref 0 and nbits = ref 0 in
+    (* [Exit] never escapes: it is purely local control flow breaking
+       out of the scan on the first bad character, converted to an
+       [Error] two lines below — malformed base64 can never raise out
+       of this function. *)
     (try
        for i = 0 to body_len - 1 do
          match decode_char s.[i] with

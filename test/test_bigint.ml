@@ -9,7 +9,15 @@ let qtest = QCheck_alcotest.to_alcotest
 
 let big = Alcotest.testable B.pp B.equal
 
-let b = B.of_string
+let b s =
+  match B.of_string s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "of_string %S: %s" s e
+
+let h s =
+  match B.of_hex s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "of_hex %S: %s" s e
 
 let test_of_to_string () =
   check Alcotest.string "zero" "0" (B.to_string B.zero);
@@ -18,7 +26,12 @@ let test_of_to_string () =
   let huge = "123456789012345678901234567890123456789" in
   check Alcotest.string "huge roundtrip" huge (B.to_string (b huge));
   check big "plus sign" (B.of_int 5) (b "+5");
-  (try ignore (b "12x3"); Alcotest.fail "expected failure" with Invalid_argument _ -> ())
+  (match B.of_string "12x3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error on malformed decimal");
+  (match B.of_string "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error on empty string")
 
 let test_of_int_extremes () =
   check Alcotest.string "max_int" (string_of_int max_int) (B.to_string (B.of_int max_int));
@@ -67,9 +80,12 @@ let test_bytes () =
 
 let test_hex () =
   check Alcotest.string "to_hex" "ff" (B.to_hex (B.of_int 255));
-  check big "of_hex" (B.of_int 255) (B.of_hex "ff");
-  check big "of_hex upper" (B.of_int 255) (B.of_hex "FF");
-  check Alcotest.string "hex zero" "0" (B.to_hex B.zero)
+  check big "of_hex" (B.of_int 255) (h "ff");
+  check big "of_hex upper" (B.of_int 255) (h "FF");
+  check Alcotest.string "hex zero" "0" (B.to_hex B.zero);
+  (match B.of_hex "fg" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error on malformed hex")
 
 let test_pow_modpow () =
   check big "pow" (b "1267650600228229401496703205376") (B.pow B.two 100);
@@ -147,7 +163,15 @@ let prop_divmod_identity =
 
 let prop_string_roundtrip =
   QCheck.Test.make ~name:"decimal roundtrip" ~count:200 gen_big (fun a ->
-      B.equal a (B.of_string (B.to_string a)))
+      match B.of_string (B.to_string a) with
+      | Ok b -> B.equal a b
+      | Error _ -> false)
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:200 gen_big (fun a ->
+      match B.of_hex (B.to_hex a) with
+      | Ok b -> B.equal a b
+      | Error _ -> false)
 
 let prop_bytes_roundtrip =
   QCheck.Test.make ~name:"bytes roundtrip" ~count:200 gen_big (fun a ->
@@ -217,6 +241,7 @@ let suite =
     qtest prop_mul_distributes;
     qtest prop_divmod_identity;
     qtest prop_string_roundtrip;
+    qtest prop_hex_roundtrip;
     qtest prop_bytes_roundtrip;
     qtest prop_shift_mul;
     qtest prop_modpow_matches_naive;

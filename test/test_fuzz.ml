@@ -83,6 +83,110 @@ let prop_validate_total =
       | Ok _ -> false (* empty store can never anchor *)
       | Error _ -> true)
 
+(* The ingestion stack is total: arbitrary bytes through the JSON
+   parser and every ingest entry point yield a value, never an
+   exception. *)
+
+module J = Tangled_util.Json
+module B = Tangled_numeric.Bigint
+module Ingest = Tangled_ingest.Ingest
+
+let prop_json_parse_total =
+  QCheck.Test.make ~name:"Json.parse never raises" ~count:2000 QCheck.string
+    (fun s -> match J.parse s with Ok _ | Error _ -> true)
+
+(* Structured JSON round-trips exactly (floats excluded: rendering is
+   %.12g, not shortest-roundtrip). *)
+let gen_json =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun i -> J.Int i) int;
+        map (fun s -> J.String s) (string_size ~gen:printable (0 -- 12));
+      ]
+  in
+  let key = string_size ~gen:(char_range 'a' 'z') (1 -- 8) in
+  sized @@ fix (fun self n ->
+      if n <= 0 then scalar
+      else
+        frequency
+          [
+            (2, scalar);
+            (1, map (fun l -> J.List l) (list_size (0 -- 4) (self (n / 2))));
+            ( 1,
+              map
+                (fun kvs ->
+                  (* duplicate keys would not round-trip through assoc *)
+                  let seen = Hashtbl.create 8 in
+                  J.Obj
+                    (List.filter
+                       (fun (k, _) ->
+                         if Hashtbl.mem seen k then false
+                         else (Hashtbl.add seen k (); true))
+                       kvs))
+                (list_size (0 -- 4) (pair key (self (n / 2)))) );
+          ])
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"Json print/parse roundtrip" ~count:500
+    (QCheck.make ~print:J.to_string gen_json)
+    (fun j ->
+      match J.parse (J.to_string j) with
+      | Ok j' -> j = j'
+      | Error _ -> false)
+
+let prop_json_pretty_roundtrip =
+  QCheck.Test.make ~name:"Json pretty-print/parse roundtrip" ~count:500
+    (QCheck.make ~print:J.to_string gen_json)
+    (fun j ->
+      match J.parse (J.to_string ~pretty:true j) with
+      | Ok j' -> j = j'
+      | Error _ -> false)
+
+let prop_ingest_total =
+  QCheck.Test.make ~name:"Ingest entry points never raise" ~count:600
+    QCheck.string (fun s ->
+      let ok : 'a. 'a Ingest.ingest -> bool =
+       fun r ->
+        r.Ingest.stats.Ingest.accepted >= 0
+        && r.Ingest.stats.Ingest.quarantined_total
+           = List.length r.Ingest.quarantine
+      in
+      ok (Ingest.sessions_of_string s)
+      && ok (Ingest.notary_of_string s)
+      && ok (Ingest.stores_of_string s))
+
+(* A harsher corpus than uniform junk: take a valid export and smash it
+   with the fault operators at high rates — ingestion must stay total
+   and every quarantined record must carry a taxonomy label. *)
+let export_fixture =
+  lazy
+    (let w = Lazy.force Tangled_core.Pipeline.quick in
+     Tangled_core.Export.sessions_jsonl ~limit:60 w)
+
+let prop_ingest_total_on_faulted_exports =
+  QCheck.Test.make ~name:"Ingest total on fault-injected exports" ~count:100
+    QCheck.(pair (int_range 0 100_000) (int_range 1 10))
+    (fun (seed, rate_i) ->
+      let doc = Lazy.force export_fixture in
+      let damaged, _ledger =
+        Tangled_fault.Fault.inject ~seed ~rate:(0.1 *. float_of_int rate_i) doc
+      in
+      let r = Ingest.sessions_of_string damaged in
+      List.for_all
+        (fun (q : Ingest.quarantined) ->
+          String.length (Ingest.reason_label q.Ingest.reason) > 0)
+        r.Ingest.quarantine)
+
+let prop_bigint_parse_total =
+  QCheck.Test.make ~name:"Bigint.of_string/of_hex never raise" ~count:1000
+    QCheck.string (fun s ->
+      (match B.of_string s with Ok _ | Error _ -> true)
+      && match B.of_hex s with Ok _ | Error _ -> true)
+
 let suite =
   [
     qtest prop_der_decode_total;
@@ -91,4 +195,10 @@ let suite =
     qtest prop_base64_decode_total;
     qtest prop_mutated_cert_rejected_or_unverifiable;
     qtest prop_validate_total;
+    qtest prop_json_parse_total;
+    qtest prop_json_roundtrip;
+    qtest prop_json_pretty_roundtrip;
+    qtest prop_ingest_total;
+    qtest prop_ingest_total_on_faulted_exports;
+    qtest prop_bigint_parse_total;
   ]

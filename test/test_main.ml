@@ -22,6 +22,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("fuzz", Test_fuzz.suite);
       ("persistence", Test_persistence.suite);
+      ("ingest", Test_ingest.suite);
       ("plotting", Test_plotting.suite);
       ("properties", Test_properties.suite);
     ]
