@@ -2,9 +2,18 @@
 
    One Bechamel test per paper artefact (the analysis that regenerates
    each table/figure over the shared quick world), one per substrate
-   hot path, and the DESIGN.md ablation benches.  After timing, the
-   harness prints every artefact itself so bench output doubles as a
-   compact reproduction report. *)
+   hot path, the DESIGN.md ablation benches, and the notary_queries
+   group that isolates the coverage-index query path against the
+   pre-index chain-array scan.  After timing, the harness prints every
+   artefact itself so bench output doubles as a compact reproduction
+   report, and writes the measurements to a JSON file (BENCH_2.json by
+   default) so later PRs have a perf baseline to diff against.
+
+   Flags:
+     --quick      smoke mode for the @check gate: substrate and
+                  notary_queries groups only, short quota, no report
+     --out FILE   where to write the JSON (default BENCH_2.json)
+     --no-json    skip the JSON dump *)
 
 open Bechamel
 open Toolkit
@@ -22,6 +31,8 @@ module Rsa = Tangled_crypto.Rsa
 module Dk = Tangled_hash.Digest_kind
 module Prng = Tangled_util.Prng
 module Ts = Tangled_util.Timestamp
+module Timing = Tangled_engine.Timing
+module J = Tangled_util.Json
 
 let world = lazy (Lazy.force Pipeline.quick)
 
@@ -82,6 +93,47 @@ let substrate_tests () =
     Test.make ~name:"notary_validated_by_store"
       (Staged.stage (fun () ->
            ignore (Notary.validated_by_store w.Pipeline.notary (u.BP.aosp PD.V4_4))));
+  ]
+
+(* --- notary_queries: coverage index vs chain-array scan ------------------ *)
+
+(* The pre-index implementation, kept verbatim as the reference the
+   index is measured against. *)
+let scan_validated_by_store (n : Notary.t) store =
+  Array.fold_left
+    (fun acc (c : Notary.chain) ->
+      match c.Notary.anchor with
+      | Some key when (not c.Notary.expired) && Rs.mem_key store key -> acc + 1
+      | _ -> acc)
+    0 n.Notary.chains
+
+let scan_per_root_counts (n : Notary.t) =
+  let tbl = Hashtbl.create 512 in
+  Array.iter
+    (fun (c : Notary.chain) ->
+      match c.Notary.anchor with
+      | Some key when not c.Notary.expired ->
+          Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+      | _ -> ())
+    n.Notary.chains;
+  tbl
+
+let notary_query_tests () =
+  let w = Lazy.force world in
+  let n = w.Pipeline.notary in
+  let store = w.Pipeline.universe.BP.aosp PD.V4_4 in
+  let ids = Notary.store_ids n store in
+  [
+    Test.make ~name:"scan_validated_by_store"
+      (Staged.stage (fun () -> ignore (scan_validated_by_store n store)));
+    Test.make ~name:"index_validated_by_store"
+      (Staged.stage (fun () -> ignore (Notary.validated_by_store n store)));
+    Test.make ~name:"index_validated_by_ids"
+      (Staged.stage (fun () -> ignore (Notary.validated_by_ids n ids)));
+    Test.make ~name:"scan_per_root_counts"
+      (Staged.stage (fun () -> ignore (scan_per_root_counts n)));
+    Test.make ~name:"index_per_root_counts"
+      (Staged.stage (fun () -> ignore (Notary.per_root_counts n)));
   ]
 
 (* --- scaling benches: substrate cost vs input size ----------------------- *)
@@ -163,10 +215,13 @@ let ablation_tests () =
 
 (* --- harness -------------------------------------------------------------- *)
 
-let run_group label tests =
+(* every estimate lands here as (group, test, ns/run) for the JSON dump *)
+let measurements : (string * string * float) list ref = ref []
+
+let run_group ?(quota = 0.5) label tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false () in
   Printf.printf "--- %s %s\n%!" label
     (String.make (Stdlib.max 1 (60 - String.length label)) '-');
   List.iter
@@ -177,6 +232,7 @@ let run_group label tests =
           let est = Analyze.one ols Instance.monotonic_clock raw in
           match Analyze.OLS.estimates est with
           | Some [ ns ] ->
+              measurements := (label, name, ns) :: !measurements;
               let pretty =
                 if ns >= 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
                 else if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
@@ -188,15 +244,84 @@ let run_group label tests =
         results)
     tests
 
+let find_ns group name =
+  List.find_map
+    (fun (g, n, ns) -> if g = group && n = name then Some ns else None)
+    !measurements
+
+let json_report () =
+  let w = Lazy.force world in
+  let groups =
+    !measurements
+    |> List.fold_left
+         (fun acc (g, n, ns) ->
+           let rows = Option.value ~default:[] (List.assoc_opt g acc) in
+           (g, (n, J.Float ns) :: rows) :: List.remove_assoc g acc)
+         []
+    |> List.map (fun (g, rows) -> (g, J.Obj (List.rev rows)))
+  in
+  let timings =
+    List.map (fun (s : Timing.span) -> (s.Timing.stage, J.Float s.Timing.seconds))
+      w.Pipeline.timings
+  in
+  let speedup =
+    match
+      ( find_ns "notary_queries" "scan_validated_by_store",
+        find_ns "notary_queries" "index_validated_by_ids" )
+    with
+    | Some scan, Some index when index > 0.0 -> [ ("coverage_query_speedup", J.Float (scan /. index)) ]
+    | _ -> []
+  in
+  J.Obj
+    ([
+       ("pr", J.Int 2);
+       ("world", J.String "quick");
+       ("unit", J.String "ns_per_run");
+       ("jobs", J.Int w.Pipeline.jobs);
+       ("stage_timings_seconds", J.Obj timings);
+     ]
+    @ speedup
+    @ [ ("benches", J.Obj groups) ])
+
 let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let no_json = Array.exists (( = ) "--no-json") Sys.argv in
+  let out =
+    let rec find i =
+      if i + 1 >= Array.length Sys.argv then "BENCH_2.json"
+      else if Sys.argv.(i) = "--out" then Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
   let t0 = Unix.gettimeofday () in
   Printf.printf "building the shared world (quick config)...\n%!";
   ignore (Lazy.force world);
   Printf.printf "world ready in %.1fs\n\n%!" (Unix.gettimeofday () -. t0);
-  run_group "paper artefacts (Tables 1-6, Figures 1-3) + extensions" (artefact_tests ());
-  run_group "substrates" (substrate_tests ());
-  run_group "substrate scaling" (scaling_tests ());
-  run_group "ablations" (ablation_tests ());
-  (* the artefacts themselves, so bench output records the reproduction *)
+  print_string (Pipeline.render_timings (Lazy.force world));
   print_newline ();
-  print_string (Report.run_all (Lazy.force world))
+  let quota = if quick then 0.1 else 0.5 in
+  if not quick then
+    run_group ~quota "paper artefacts (Tables 1-6, Figures 1-3) + extensions"
+      (artefact_tests ());
+  run_group ~quota "substrates" (substrate_tests ());
+  run_group ~quota "notary_queries" (notary_query_tests ());
+  if not quick then begin
+    run_group ~quota "substrate scaling" (scaling_tests ());
+    run_group ~quota "ablations" (ablation_tests ())
+  end;
+  (match (find_ns "notary_queries" "scan_validated_by_store",
+          find_ns "notary_queries" "index_validated_by_ids") with
+  | Some scan, Some index when index > 0.0 ->
+      Printf.printf "\ncoverage-query speedup (scan/index): %.1fx\n%!" (scan /. index)
+  | _ -> ());
+  if not no_json then begin
+    let contents = J.to_string ~pretty:true (json_report ()) ^ "\n" in
+    Tangled_core.Export.write_text out contents;
+    Printf.printf "wrote %s\n%!" out
+  end;
+  if not quick then begin
+    (* the artefacts themselves, so bench output records the reproduction *)
+    print_newline ();
+    print_string (Report.run_all (Lazy.force world))
+  end

@@ -43,25 +43,35 @@ let key_bits_arg =
   let doc = "RSA modulus size for every generated key." in
   Arg.(value & opt int 384 & info [ "key-bits" ] ~docv:"BITS" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the Notary build phase; 0 (the default) picks \
+     automatically from the machine's core count.  Output is byte-identical \
+     at any value."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let csv_dir_arg =
   let doc = "Also dump each artefact's data as CSV into this directory." in
   Arg.(value & opt (some string) None & info [ "csv-dir" ] ~docv:"DIR" ~doc)
 
-let config_of seed sessions leaves key_bits =
+let config_of seed sessions leaves key_bits jobs =
   {
     Pipeline.default_config with
     Pipeline.seed;
     sessions;
     notary_leaves = leaves;
     key_bits;
+    jobs;
   }
 
-let build_world seed sessions leaves key_bits =
+let build_world ?(jobs = 0) seed sessions leaves key_bits =
   Logs.app (fun m -> m "building world (seed %d, %d sessions, %d leaves, %d-bit keys)..."
                seed sessions leaves key_bits);
   let t0 = Unix.gettimeofday () in
-  let world = Pipeline.run ~config:(config_of seed sessions leaves key_bits) () in
-  Logs.app (fun m -> m "world ready in %.1fs" (Unix.gettimeofday () -. t0));
+  let world = Pipeline.run ~config:(config_of seed sessions leaves key_bits jobs) () in
+  Logs.app (fun m -> m "world ready in %.1fs (jobs %d)"
+               (Unix.gettimeofday () -. t0) world.Pipeline.jobs);
   world
 
 (* --- tables / figures ------------------------------------------------ *)
@@ -119,14 +129,16 @@ let figures_cmd =
           $ key_bits_arg $ which $ csv_dir_arg)
 
 let report_cmd =
-  let run () seed sessions leaves key_bits csv_dir =
-    let world = build_world seed sessions leaves key_bits in
-    print_string (Report.run_all ?csv_dir world)
+  let run () seed sessions leaves key_bits jobs csv_dir =
+    let world = build_world ~jobs seed sessions leaves key_bits in
+    print_string (Report.run_all ?csv_dir world);
+    print_newline ();
+    print_string (Pipeline.render_timings world)
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Run the whole study: every table and figure")
     Term.(const run $ logs_term $ seed_arg $ sessions_arg $ leaves_arg
-          $ key_bits_arg $ csv_dir_arg)
+          $ key_bits_arg $ jobs_arg $ csv_dir_arg)
 
 (* --- stores ----------------------------------------------------------- *)
 
@@ -195,8 +207,8 @@ let analyze_cmd =
     in
     Arg.(value & opt (some string) None & info [ "a"; "analysis" ] ~docv:"NAME" ~doc)
   in
-  let run () seed sessions leaves key_bits which csv_dir =
-    let world = build_world seed sessions leaves key_bits in
+  let run () seed sessions leaves key_bits jobs which csv_dir =
+    let world = build_world ~jobs seed sessions leaves key_bits in
     let names =
       match which with
       | Some n when List.mem n Report.extension_names -> [ n ]
@@ -206,13 +218,14 @@ let analyze_cmd =
                (String.concat ", " Report.extension_names))
       | None -> Report.extension_names
     in
-    render_artefacts world names csv_dir
+    render_artefacts world names csv_dir;
+    print_string (Pipeline.render_timings world)
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the extension analyses (store minimization, trust scoping, pinning)")
     Term.(const run $ logs_term $ seed_arg $ sessions_arg $ leaves_arg
-          $ key_bits_arg $ which $ csv_dir_arg)
+          $ key_bits_arg $ jobs_arg $ which $ csv_dir_arg)
 
 (* --- export ------------------------------------------------------------- *)
 
@@ -384,8 +397,8 @@ let chaos_cmd =
     let doc = "Maximum relative drift allowed in the headline numbers." in
     Arg.(value & opt float 0.01 & info [ "tolerance" ] ~docv:"T" ~doc)
   in
-  let run () seed sessions leaves key_bits rate fault_seed tolerance =
-    let world = build_world seed sessions leaves key_bits in
+  let run () seed sessions leaves key_bits jobs rate fault_seed tolerance =
+    let world = build_world ~jobs seed sessions leaves key_bits in
     let outcome =
       Tangled_core.Chaos.run ~seed:fault_seed ~rate ~tolerance world
     in
@@ -398,7 +411,7 @@ let chaos_cmd =
          "Export the world, inject seeded faults, re-ingest, and audit that \
           every fault is quarantined and the headline numbers survive")
     Term.(const run $ logs_term $ seed_arg $ sessions_arg $ leaves_arg
-          $ key_bits_arg $ rate_arg $ fault_seed_arg $ tolerance_arg)
+          $ key_bits_arg $ jobs_arg $ rate_arg $ fault_seed_arg $ tolerance_arg)
 
 (* --- sensitivity ---------------------------------------------------------- *)
 

@@ -14,11 +14,14 @@ type row = {
 }
 
 let minimized_store (w : Pipeline.t) store =
-  let counts = Notary.per_root_counts w.Pipeline.notary in
+  let notary = w.Pipeline.notary in
+  let interner = notary.Notary.interner in
   List.fold_left
     (fun acc cert ->
       let validates =
-        Option.value ~default:0 (Hashtbl.find_opt counts (C.equivalence_key cert)) > 0
+        match Tangled_engine.Interner.find interner (C.equivalence_key cert) with
+        | Some id -> Notary.count_for_id notary id > 0
+        | None -> false
       in
       if validates then acc
       else
@@ -38,8 +41,12 @@ let compute (w : Pipeline.t) =
   List.map
     (fun (name, store) ->
       let minimized = minimized_store w store in
-      let before = Notary.validated_by_store notary store in
-      let after = Notary.validated_by_store notary minimized in
+      (* one coverage reduction per id set; the pre-index path scanned
+         the full chain array once for each *)
+      let before = Notary.validated_by_ids notary (Notary.store_ids notary store) in
+      let after =
+        Notary.validated_by_ids notary (Notary.store_ids notary minimized)
+      in
       {
         store = name;
         total = Rs.cardinal store;

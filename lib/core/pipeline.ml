@@ -3,6 +3,8 @@ module Pop = Tangled_device.Population
 module Net = Tangled_netalyzr.Netalyzr
 module Notary = Tangled_notary.Notary
 module PD = Tangled_pki.Paper_data
+module Timing = Tangled_engine.Timing
+module Parallel = Tangled_engine.Parallel
 
 type config = {
   seed : int;
@@ -11,6 +13,7 @@ type config = {
   expired_fraction : float;
   key_bits : int;
   probe_sample : float;
+  jobs : int;
 }
 
 let default_config =
@@ -21,6 +24,7 @@ let default_config =
     expired_fraction = 0.10;
     key_bits = 384;
     probe_sample = 0.05;
+    jobs = 0;
   }
 
 let quick_config =
@@ -28,29 +32,46 @@ let quick_config =
 
 type t = {
   config : config;
+  jobs : int;
   universe : BP.t;
   population : Pop.t;
   dataset : Net.dataset;
   notary : Notary.t;
+  timings : Timing.span list;
 }
 
 let run ?(config = default_config) ?universe () =
+  let jobs = Parallel.resolve config.jobs in
+  let tm = Timing.create () in
   let universe =
-    match universe with
-    | Some u -> u
-    | None -> BP.build ~key_bits:config.key_bits ~seed:config.seed ()
+    Timing.time tm "universe" (fun () ->
+        match universe with
+        | Some u -> u
+        | None -> BP.build ~key_bits:config.key_bits ~seed:config.seed ())
   in
   let population =
-    Pop.generate ~target_sessions:config.sessions ~seed:(config.seed + 1) universe
+    Timing.time tm "population" (fun () ->
+        Pop.generate ~target_sessions:config.sessions ~seed:(config.seed + 1)
+          universe)
   in
   let dataset =
-    Net.collect ~probe_sample:config.probe_sample ~seed:(config.seed + 2) population
+    Timing.time tm "netalyzr" (fun () ->
+        Net.collect ~probe_sample:config.probe_sample ~seed:(config.seed + 2)
+          population)
   in
-  let notary =
-    Notary.generate ~leaves:config.notary_leaves
-      ~expired_fraction:config.expired_fraction ~seed:(config.seed + 3) universe
+  let raw =
+    Timing.time tm "notary" (fun () ->
+        Notary.generate_raw ~leaves:config.notary_leaves
+          ~expired_fraction:config.expired_fraction ~jobs
+          ~seed:(config.seed + 3) universe)
   in
-  { config; universe; population; dataset; notary }
+  let notary = Timing.time tm "index" (fun () -> Notary.index raw) in
+  { config; jobs; universe; population; dataset; notary; timings = Timing.spans tm }
 
 let quick =
   lazy (run ~config:quick_config ~universe:(Lazy.force BP.default) ())
+
+let render_timings t =
+  Timing.render
+    ~title:(Printf.sprintf "Stage timings (jobs=%d)" t.jobs)
+    t.timings

@@ -1,0 +1,44 @@
+type t = {
+  n_ids : int;
+  counts : int array;
+  anchors : int array;
+  expired : Bytes.t;
+  total : int;
+  unexpired : int;
+}
+
+let build ~n_ids ~total ~anchor ~expired =
+  let counts = Array.make (Stdlib.max 1 n_ids) 0 in
+  let anchors = Array.make (Stdlib.max 1 total) (-1) in
+  let expired_bits = Bytes.make (Stdlib.max 1 ((total + 7) / 8)) '\000' in
+  let unexpired = ref 0 in
+  for i = 0 to total - 1 do
+    let a = anchor i in
+    anchors.(i) <- a;
+    if expired i then begin
+      let byte = Char.code (Bytes.get expired_bits (i / 8)) in
+      Bytes.set expired_bits (i / 8) (Char.chr (byte lor (1 lsl (i mod 8))))
+    end
+    else begin
+      incr unexpired;
+      if a >= 0 && a < n_ids then counts.(a) <- counts.(a) + 1
+    end
+  done;
+  { n_ids; counts; anchors; expired = expired_bits; total; unexpired = !unexpired }
+
+let count t id = if id >= 0 && id < t.n_ids then t.counts.(id) else 0
+
+let validated_by t set =
+  let acc = ref 0 in
+  for id = 0 to t.n_ids - 1 do
+    if t.counts.(id) > 0 && Id_set.mem set id then acc := !acc + t.counts.(id)
+  done;
+  !acc
+
+let anchor t i = t.anchors.(i)
+
+let chain_expired t i =
+  Char.code (Bytes.get t.expired (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let total t = t.total
+let unexpired t = t.unexpired

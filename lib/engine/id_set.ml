@@ -1,0 +1,45 @@
+type t = { mutable bits : Bytes.t }
+
+let create capacity =
+  { bits = Bytes.make (Stdlib.max 1 ((capacity + 7) / 8)) '\000' }
+
+let ensure t id =
+  let need = (id / 8) + 1 in
+  if need > Bytes.length t.bits then begin
+    let bits = Bytes.make (Stdlib.max need (2 * Bytes.length t.bits)) '\000' in
+    Bytes.blit t.bits 0 bits 0 (Bytes.length t.bits);
+    t.bits <- bits
+  end
+
+let add t id =
+  if id >= 0 then begin
+    ensure t id;
+    let byte = Char.code (Bytes.get t.bits (id / 8)) in
+    Bytes.set t.bits (id / 8) (Char.chr (byte lor (1 lsl (id mod 8))))
+  end
+
+let mem t id =
+  id >= 0
+  && id / 8 < Bytes.length t.bits
+  && Char.code (Bytes.get t.bits (id / 8)) land (1 lsl (id mod 8)) <> 0
+
+let cardinal t =
+  let n = ref 0 in
+  Bytes.iter
+    (fun c ->
+      let byte = Char.code c in
+      for bit = 0 to 7 do
+        if byte land (1 lsl bit) <> 0 then incr n
+      done)
+    t.bits;
+  !n
+
+let iter f t =
+  for id = 0 to (8 * Bytes.length t.bits) - 1 do
+    if mem t id then f id
+  done
+
+let of_list ids =
+  let t = create 64 in
+  List.iter (add t) ids;
+  t

@@ -1,0 +1,28 @@
+(** Mutable bitsets over interned ids.
+
+    A store's membership, projected onto {!Interner} ids, becomes one
+    of these: a few hundred bits instead of a string-keyed map, so the
+    coverage joins are word-wide membership tests.  Out-of-range
+    queries answer [false] and [add] grows the set, so a set built
+    against an older interner snapshot keeps working after more ids are
+    minted. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is an empty set ready for ids in
+    [0 .. capacity - 1] (it grows on demand beyond that). *)
+
+val add : t -> int -> unit
+(** Insert an id (ignores negative ids). *)
+
+val mem : t -> int -> bool
+(** Membership; [false] for negative or never-added ids. *)
+
+val cardinal : t -> int
+(** Number of distinct ids in the set. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Apply to every member in increasing id order. *)
+
+val of_list : int list -> t

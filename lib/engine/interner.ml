@@ -1,0 +1,37 @@
+type t = {
+  ids : (string, int) Hashtbl.t;
+  mutable keys : string array;  (* id -> key; grown geometrically *)
+  mutable n : int;
+}
+
+let create ?(capacity = 1024) () =
+  {
+    ids = Hashtbl.create capacity;
+    keys = Array.make (Stdlib.max 1 capacity) "";
+    n = 0;
+  }
+
+let grow t =
+  let keys = Array.make (2 * Array.length t.keys) "" in
+  Array.blit t.keys 0 keys 0 t.n;
+  t.keys <- keys
+
+let intern t key =
+  match Hashtbl.find_opt t.ids key with
+  | Some id -> id
+  | None ->
+      let id = t.n in
+      if id = Array.length t.keys then grow t;
+      t.keys.(id) <- key;
+      Hashtbl.add t.ids key id;
+      t.n <- id + 1;
+      id
+
+let find t key = Hashtbl.find_opt t.ids key
+
+let key t id =
+  if id < 0 || id >= t.n then
+    invalid_arg (Printf.sprintf "Interner.key: id %d not minted (have %d)" id t.n)
+  else t.keys.(id)
+
+let cardinal t = t.n

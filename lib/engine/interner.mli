@@ -1,0 +1,37 @@
+(** Dense integer ids for root identities.
+
+    The paper's certificate identity — the (subject, RSA modulus)
+    equivalence key — is a string, and the seed implementation threaded
+    those strings through every coverage join: string-keyed [Hashtbl]s
+    in the blueprint, the stores, the Notary and the validator.  The
+    interner mints one dense [int] id per distinct key, once, at
+    blueprint build; every later join ([validated_by_store],
+    [per_root_counts], minimization, scoping) then runs over [int
+    array]s and bitsets instead of hashed strings.
+
+    Ids are assigned in interning order starting at 0, so the table is
+    exactly as deterministic as the sequence of [intern] calls.  The
+    structure is mutable and {e not} thread-safe: all interning happens
+    in the sequential phases of the pipeline (blueprint build, plan
+    construction, indexing); the domain-parallel phases only read. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An empty table.  [capacity] pre-sizes the internal structures
+    (default 1024). *)
+
+val intern : t -> string -> int
+(** [intern t key] is the id of [key], minting the next dense id when
+    the key is new. *)
+
+val find : t -> string -> int option
+(** [find t key] is [key]'s id, without minting.  Safe to call
+    concurrently with other reads (but not with [intern]). *)
+
+val key : t -> int -> string
+(** [key t id] is the interned key for [id].
+    @raise Invalid_argument when [id] was never minted. *)
+
+val cardinal : t -> int
+(** Number of ids minted so far; valid ids are [0 .. cardinal - 1]. *)

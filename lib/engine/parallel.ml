@@ -1,0 +1,29 @@
+let max_jobs = 8
+
+let default_jobs () = Stdlib.min max_jobs (Domain.recommended_domain_count ())
+
+let resolve jobs =
+  if jobs <= 0 then default_jobs () else Stdlib.min jobs max_jobs
+
+(* Below this many items per worker, domain spawn overhead dominates. *)
+let min_slice = 32
+
+let tabulate ~jobs n f =
+  if n < 0 then invalid_arg "Parallel.tabulate: negative length";
+  let jobs = Stdlib.max 1 (Stdlib.min jobs (n / min_slice)) in
+  if jobs <= 1 then Array.init n f
+  else begin
+    (* contiguous slices: worker k owns [bounds k, bounds (k+1)) *)
+    let bounds k = k * n / jobs in
+    let slice k =
+      let lo = bounds k and hi = bounds (k + 1) in
+      Array.init (hi - lo) (fun i -> f (lo + i))
+    in
+    let workers =
+      List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> slice (k + 1)))
+    in
+    let first = slice 0 in
+    Array.concat (first :: List.map Domain.join workers)
+  end
+
+let map ~jobs f a = tabulate ~jobs (Array.length a) (fun i -> f a.(i))

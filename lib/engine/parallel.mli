@@ -1,0 +1,29 @@
+(** Domain-parallel bulk computation with deterministic results.
+
+    OCaml 5 domains, no extra dependencies.  The contract mirrors
+    [Array.init]: the result at index [i] is [f i], whatever the worker
+    count — workers own contiguous slices and the slices are
+    concatenated in order, so parallelism is invisible in the output.
+    [f] must be pure with respect to shared state (the pipeline
+    arranges this by drawing all randomness in a sequential planning
+    pass first). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] capped at {!max_jobs} — the
+    worker count used when the config asks for auto ([jobs = 0]). *)
+
+val max_jobs : int
+(** Upper cap on worker counts (8): beyond this the per-domain spawn
+    cost outweighs chunk shrinkage for our workloads. *)
+
+val resolve : int -> int
+(** [resolve jobs] is the effective worker count: [jobs] clamped to
+    [1 .. max_jobs], with [jobs <= 0] meaning {!default_jobs}. *)
+
+val tabulate : jobs:int -> int -> (int -> 'a) -> 'a array
+(** [tabulate ~jobs n f] is [Array.init n f] computed by up to [jobs]
+    domains over contiguous index slices.  [jobs <= 1] (or tiny [n])
+    runs inline without spawning. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f a] is [Array.map f a] via {!tabulate}. *)

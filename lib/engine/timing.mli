@@ -1,0 +1,34 @@
+(** Stage-timing observability.
+
+    Each pipeline stage (universe, population, netalyzr, notary, index)
+    runs under {!time}, which records a wall-clock span.  The spans are
+    surfaced by the [report]/[analyze] CLI sections and the bench
+    harness, so every future perf PR has per-stage numbers to compare
+    against.
+
+    Spans use [Unix.gettimeofday]; on this codebase's run lengths
+    (milliseconds to minutes) wall clock is the quantity of interest
+    and clock steps are noise we accept rather than take a dependency
+    for. *)
+
+type span = { stage : string; seconds : float }
+
+type t
+(** A mutable collector; one per pipeline run. *)
+
+val create : unit -> t
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t stage f] runs [f], records how long it took under [stage],
+    and returns [f]'s result.  Exceptions propagate without recording
+    a span. *)
+
+val spans : t -> span list
+(** Recorded spans, oldest first. *)
+
+val total : span list -> float
+(** Sum of the spans' seconds. *)
+
+val render : ?title:string -> span list -> string
+(** A small fixed-width table: one line per stage with seconds and the
+    share of the total. *)

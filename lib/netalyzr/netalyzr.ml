@@ -55,18 +55,14 @@ let measure_store (universe : BP.t) (h : Pop.handset) =
   let store_keys = Rs.certs h.Pop.store |> List.map C.equivalence_key in
   let aosp_present = Rs.cardinal baseline - List.length missing in
   let additional_ids =
+    (* interned-id lookup; the old path folded over every extra per
+       addition *)
     additions
     |> List.filter_map (fun c ->
-           let key = C.equivalence_key c in
-           Hashtbl.fold
-             (fun id (r : BP.root) acc ->
-               if acc <> None then acc
-               else if
-                 C.equivalence_key r.BP.authority.Tangled_x509.Authority.certificate
-                 = key
-               then Some id
-               else acc)
-             universe.BP.extra_by_id None)
+           match BP.find_root_by_key universe (C.equivalence_key c) with
+           | Some r ->
+               Option.map (fun (x : PD.extra_cert) -> x.PD.xc_id) r.BP.extra
+           | None -> None)
   in
   let app_added =
     Rs.entries h.Pop.store

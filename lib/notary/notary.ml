@@ -8,6 +8,10 @@ module Authority = Tangled_x509.Authority
 module Rsa = Tangled_crypto.Rsa
 module Rs = Tangled_store.Root_store
 module Chain = Tangled_validation.Chain
+module Interner = Tangled_engine.Interner
+module Id_set = Tangled_engine.Id_set
+module Coverage = Tangled_engine.Coverage
+module Parallel = Tangled_engine.Parallel
 
 type chain = {
   leaf : C.t;
@@ -16,11 +20,14 @@ type chain = {
   anchor : string option;
 }
 
+type raw = { r_universe : BP.t; r_chains : chain array; r_scale : float }
+
 type t = {
   universe : BP.t;
   chains : chain array;
   scale : float;
-  root_index : (string, BP.root) Hashtbl.t;
+  interner : Interner.t;
+  coverage : Coverage.t;
 }
 
 let key_pool_size = 32
@@ -73,7 +80,21 @@ let verify_chain ~now ~issuer_root chain_certs leaf =
   ignore now;
   walk leaf chain_certs
 
-let generate ?(leaves = 10_000) ?(expired_fraction = 0.10) ~seed universe =
+(* Everything random about one chain, drawn in the sequential planning
+   pass.  Construction from a plan is pure, so the expensive build
+   (RSA-sign the leaf, verify the chain) parallelises across domains
+   without perturbing the PRNG stream: any worker count produces the
+   same bytes the old single-pass generator did. *)
+type plan = {
+  p_issuer : int;
+  p_via_intermediate : bool;
+  p_serial : int;
+  p_leaf_no : int;
+  p_expired : bool;
+}
+
+let generate_raw ?(leaves = 10_000) ?(expired_fraction = 0.10) ?(jobs = 1) ~seed
+    universe =
   let master = Prng.create seed in
   let rng_keys = Prng.split master "notary-keys" in
   let rng_issue = Prng.split master "notary-issue" in
@@ -96,10 +117,14 @@ let generate ?(leaves = 10_000) ?(expired_fraction = 0.10) ~seed universe =
   let issuers = Array.of_list (public_issuers @ Array.to_list universe.BP.private_cas) in
   let weights = Array.map snd issuers in
   let counts = apportion weights leaves in
-  (* one intermediate per issuer, shared by ~half its leaves *)
+  (* one intermediate per issuer, shared by ~half its leaves.  The
+     issuing key comes from the pool, so construction draws nothing:
+     safe to build across domains.  [null_rng] satisfies the issuance
+     signatures; with every key supplied it is never advanced. *)
+  let null_rng () = Prng.create 0 in
   let intermediates =
-    Array.mapi
-      (fun i (authority, _) ->
+    Parallel.tabulate ~jobs (Array.length issuers) (fun i ->
+        let authority, _ = issuers.(i) in
         let key = inter_keys.(i mod key_pool_size) in
         let parent_cn =
           Option.value ~default:"CA"
@@ -107,91 +132,119 @@ let generate ?(leaves = 10_000) ?(expired_fraction = 0.10) ~seed universe =
         in
         Authority.issue_intermediate ~bits ~digest ~key
           ~serial:(Tangled_numeric.Bigint.of_int (50_000 + i))
-          rng_issue ~parent:authority
+          (null_rng ()) ~parent:authority
           (Dn.make ~o:parent_cn (parent_cn ^ " Issuing CA")))
-      issuers
   in
-  let chains = ref [] in
+  (* sequential planning pass: replicates the seed generator's draw
+     order exactly (one bool per chain; one issuer pick per expired
+     chain) *)
+  let plans = ref [] in
   let serial = ref 1_000_000 in
   let leaf_no = ref 0 in
-  let issue_one ~expired issuer_i =
-    let authority, _ = issuers.(issuer_i) in
+  let plan_one ~expired issuer_i =
     let via_intermediate = Prng.bool rng_issue in
-    let parent = if via_intermediate then intermediates.(issuer_i) else authority in
     incr serial;
     incr leaf_no;
-    let domain = Printf.sprintf "www.site%06d.example" !leaf_no in
-    let not_before, not_after =
-      if expired then (Ts.of_date 2010 1 1, Ts.add_days Ts.notary_start (-30))
-      else (Ts.of_date 2012 6 1, Ts.add_years now 2)
-    in
-    let leaf =
-      Authority.issue_leaf ~bits ~digest
-        ~key:leaf_keys.(!leaf_no mod key_pool_size)
-        ~serial:(Tangled_numeric.Bigint.of_int !serial)
-        ~not_before ~not_after rng_issue ~parent ~dns_names:[ domain ]
-        (Dn.make domain)
-    in
-    let inters = if via_intermediate then [ parent.Authority.certificate ] else [] in
-    let anchor =
-      verify_chain ~now ~issuer_root:authority.Authority.certificate inters leaf
-    in
-    chains := { leaf; intermediates = inters; expired; anchor } :: !chains
+    plans :=
+      {
+        p_issuer = issuer_i;
+        p_via_intermediate = via_intermediate;
+        p_serial = !serial;
+        p_leaf_no = !leaf_no;
+        p_expired = expired;
+      }
+      :: !plans
   in
   Array.iteri
     (fun i n ->
       for _ = 1 to n do
-        issue_one ~expired:false i
+        plan_one ~expired:false i
       done)
     counts;
   let n_expired = int_of_float (float_of_int leaves *. expired_fraction) in
   for _ = 1 to n_expired do
-    issue_one ~expired:true (Prng.int rng_issue (Array.length issuers))
+    plan_one ~expired:true (Prng.int rng_issue (Array.length issuers))
   done;
-  let root_index = Hashtbl.create 512 in
-  Array.iter
-    (fun (r : BP.root) ->
-      Hashtbl.replace root_index
-        (C.equivalence_key r.BP.authority.Authority.certificate)
-        r)
-    universe.BP.roots;
+  let plans = Array.of_list (List.rev !plans) in
+  (* parallel build + verify: pure per plan *)
+  let build (p : plan) =
+    let authority, _ = issuers.(p.p_issuer) in
+    let parent = if p.p_via_intermediate then intermediates.(p.p_issuer) else authority in
+    let domain = Printf.sprintf "www.site%06d.example" p.p_leaf_no in
+    let not_before, not_after =
+      if p.p_expired then (Ts.of_date 2010 1 1, Ts.add_days Ts.notary_start (-30))
+      else (Ts.of_date 2012 6 1, Ts.add_years now 2)
+    in
+    let leaf =
+      Authority.issue_leaf ~bits ~digest
+        ~key:leaf_keys.(p.p_leaf_no mod key_pool_size)
+        ~serial:(Tangled_numeric.Bigint.of_int p.p_serial)
+        ~not_before ~not_after (null_rng ()) ~parent ~dns_names:[ domain ]
+        (Dn.make domain)
+    in
+    let inters = if p.p_via_intermediate then [ parent.Authority.certificate ] else [] in
+    let anchor =
+      verify_chain ~now ~issuer_root:authority.Authority.certificate inters leaf
+    in
+    { leaf; intermediates = inters; expired = p.p_expired; anchor }
+  in
+  let chains = Parallel.tabulate ~jobs (Array.length plans) (fun i -> build plans.(i)) in
   {
-    universe;
-    chains = Array.of_list (List.rev !chains);
-    scale = float_of_int leaves /. float_of_int PD.notary_unexpired_certs;
-    root_index;
+    r_universe = universe;
+    r_chains = chains;
+    r_scale = float_of_int leaves /. float_of_int PD.notary_unexpired_certs;
   }
 
-let unexpired t =
-  Array.fold_left (fun acc c -> if c.expired then acc else acc + 1) 0 t.chains
+let index raw =
+  let universe = raw.r_universe in
+  let interner = universe.BP.interner in
+  let chains = raw.r_chains in
+  (* anchors are issuer identities interned at blueprint build; intern
+     defensively so an unexpected anchor still gets counted *)
+  let anchor_ids =
+    Array.map
+      (fun c ->
+        match c.anchor with Some key -> Interner.intern interner key | None -> -1)
+      chains
+  in
+  let coverage =
+    Coverage.build
+      ~n_ids:(Interner.cardinal interner)
+      ~total:(Array.length chains)
+      ~anchor:(fun i -> anchor_ids.(i))
+      ~expired:(fun i -> chains.(i).expired)
+  in
+  { universe; chains; scale = raw.r_scale; interner; coverage }
+
+let generate ?leaves ?expired_fraction ?jobs ~seed universe =
+  index (generate_raw ?leaves ?expired_fraction ?jobs ~seed universe)
+
+let unexpired t = Coverage.unexpired t.coverage
 
 let total t = Array.length t.chains
 
-let validated_by_store t store =
-  Array.fold_left
-    (fun acc c ->
-      match c.anchor with
-      | Some key when (not c.expired) && Rs.mem_key store key -> acc + 1
-      | _ -> acc)
-    0 t.chains
+let store_ids t store = Rs.id_set t.interner store
+
+let validated_by_ids t set = Coverage.validated_by t.coverage set
+
+let validated_by_store t store = validated_by_ids t (store_ids t store)
+
+let count_for_id t id = Coverage.count t.coverage id
 
 let per_root_counts t =
   let tbl = Hashtbl.create 512 in
-  Array.iter
-    (fun c ->
-      match c.anchor with
-      | Some key when not c.expired ->
-          Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
-      | _ -> ())
-    t.chains;
+  for id = 0 to Interner.cardinal t.interner - 1 do
+    let c = Coverage.count t.coverage id in
+    if c > 0 then Hashtbl.replace tbl (Interner.key t.interner id) c
+  done;
   tbl
 
 let counts_for_certs t certs =
-  let counts = per_root_counts t in
   certs
   |> List.map (fun cert ->
-         float_of_int
-           (Option.value ~default:0 (Hashtbl.find_opt counts (C.equivalence_key cert))))
+         match Interner.find t.interner (C.equivalence_key cert) with
+         | Some id -> float_of_int (Coverage.count t.coverage id)
+         | None -> 0.0)
   |> Array.of_list
 
 let has_record t cert =
@@ -204,7 +257,7 @@ let has_record t cert =
        PD.android_versions
   ||
   (* or seen anchoring live traffic *)
-  match Hashtbl.find_opt t.root_index key with
+  match BP.find_root_by_key t.universe key with
   | Some r -> r.BP.traffic_weight > 0.0
   | None -> false
 
@@ -220,15 +273,21 @@ let classify t cert =
 let crosscheck t store ~sample ~seed =
   let rng = Prng.create seed in
   let now = Ts.paper_epoch in
+  let ids = store_ids t store in
   let ok = ref true in
   for _ = 1 to sample do
-    let c = t.chains.(Prng.int rng (Array.length t.chains)) in
+    let i = Prng.int rng (Array.length t.chains) in
+    let c = t.chains.(i) in
+    (* the production path: anchor-id membership against the index *)
     let fast =
-      (not c.expired)
-      && match c.anchor with Some k -> Rs.mem_key store k | None -> false
+      (not (Coverage.chain_expired t.coverage i))
+      && Id_set.mem ids (Coverage.anchor t.coverage i)
     in
     let slow =
-      Chain.validate_ok ~now ~store (c.leaf :: c.intermediates)
+      (not c.expired)
+      && Chain.anchor_id ~interner:t.interner ~now ~store
+           (c.leaf :: c.intermediates)
+         <> None
     in
     if fast <> slow then ok := false
   done;

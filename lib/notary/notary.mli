@@ -6,7 +6,18 @@
     roots, with per-root volumes proportional to the traffic weights
     the blueprint derived from Table 3, then {e measures} everything
     the paper measures — cryptographically verifying every chain once
-    and aggregating per-root and per-store validation counts. *)
+    and aggregating per-root and per-store validation counts.
+
+    Generation is split into two phases: a sequential {e planning} pass
+    that performs every PRNG draw in the same order the original
+    single-pass generator did, and a pure {e build} pass (RSA issuance
+    and chain verification) that fans out across domains.  Seeded
+    output is therefore byte-identical at any [jobs] count.
+
+    After generation the chains are folded once into a
+    {!Tangled_engine.Coverage} index keyed by the universe's interned
+    root ids; every aggregate query below is an array reduction over
+    that index rather than a scan of the chain array. *)
 
 type chain = {
   leaf : Tangled_x509.Certificate.t;
@@ -17,16 +28,45 @@ type chain = {
           signature chain does not verify *)
 }
 
+type raw = {
+  r_universe : Tangled_pki.Blueprint.t;
+  r_chains : chain array;
+  r_scale : float;
+}
+(** Generated chains before indexing — what {!generate_raw} produces
+    and {!index} consumes; split out so the pipeline can time the two
+    stages separately. *)
+
 type t = {
   universe : Tangled_pki.Blueprint.t;
   chains : chain array;
   scale : float;  (** leaves here per paper leaf (~1 M) *)
-  root_index : (string, Tangled_pki.Blueprint.root) Hashtbl.t;
-      (** every public root by equivalence key *)
+  interner : Tangled_engine.Interner.t;
+      (** the universe's root-identity table (shared, not a copy) *)
+  coverage : Tangled_engine.Coverage.t;
+      (** per-root validated counts + per-chain anchor ids *)
 }
 
+val generate_raw :
+  ?leaves:int ->
+  ?expired_fraction:float ->
+  ?jobs:int ->
+  seed:int ->
+  Tangled_pki.Blueprint.t ->
+  raw
+(** Generation without the index; see {!generate}. *)
+
+val index : raw -> t
+(** One pass over the chains: resolve each verified anchor to its
+    interned id and build the {!Tangled_engine.Coverage} index. *)
+
 val generate :
-  ?leaves:int -> ?expired_fraction:float -> seed:int -> Tangled_pki.Blueprint.t -> t
+  ?leaves:int ->
+  ?expired_fraction:float ->
+  ?jobs:int ->
+  seed:int ->
+  Tangled_pki.Blueprint.t ->
+  t
 (** [generate ~seed universe] issues [leaves] (default 10,000) unexpired
     chains plus an [expired_fraction] (default 0.10; the paper's
     population is 47% expired — the default trades that for speed and
@@ -34,18 +74,35 @@ val generate :
     Per-root leaf counts use largest-remainder apportionment of the
     traffic weights so every active root validates at least one
     certificate.  About half the chains go through an intermediate CA.
-    Deterministic in [seed]. *)
+    [jobs] (default 1) bounds the worker domains used for the build
+    phase.  Deterministic in [seed], independent of [jobs]. *)
 
 val unexpired : t -> int
 val total : t -> int
 
+val store_ids : t -> Tangled_store.Root_store.t -> Tangled_engine.Id_set.t
+(** The store's enabled membership as interned root ids — compute once,
+    query {!validated_by_ids} many times (the minimization loop's
+    pattern). *)
+
+val validated_by_ids : t -> Tangled_engine.Id_set.t -> int
+(** Unexpired chains anchored by any id in the set: a single reduction
+    over the per-root count array. *)
+
 val validated_by_store : t -> Tangled_store.Root_store.t -> int
 (** Unexpired chains whose verified anchor is an enabled member of the
-    store — Table 3's per-store count. *)
+    store — Table 3's per-store count.  Equivalent to
+    [validated_by_ids t (store_ids t store)]. *)
+
+val count_for_id : t -> int -> int
+(** Unexpired validated-chain count for one interned root id (0 for
+    ids the Notary never saw anchor, or out of range). *)
 
 val per_root_counts : t -> (string, int) Hashtbl.t
 (** Unexpired validated-chain count per root equivalence key — the raw
-    series behind Figure 3. *)
+    series behind Figure 3.  Materialised from the index for callers
+    that want string keys; id-based callers should use
+    {!count_for_id}. *)
 
 val counts_for_certs : t -> Tangled_x509.Certificate.t list -> float array
 (** Per-certificate validation counts for a root population (0 for
@@ -63,6 +120,6 @@ val classify :
 
 val crosscheck : t -> Tangled_store.Root_store.t -> sample:int -> seed:int -> bool
 (** Validate [sample] random chains with the full path-building
-    validator and compare with the anchor-membership shortcut; [true]
-    when they agree everywhere.  Used by the test suite to justify the
-    fast counting path. *)
+    validator and compare with the index's anchor-id membership
+    shortcut; [true] when they agree everywhere.  Used by the test
+    suite to justify the fast counting path. *)

@@ -6,8 +6,10 @@ module Authority = Tangled_x509.Authority
 module C = Tangled_x509.Certificate
 module Rs = Tangled_store.Root_store
 module B = Tangled_numeric.Bigint
+module Interner = Tangled_engine.Interner
 
 type root = {
+  id : int;
   authority : Authority.t;
   display_name : string;
   in_aosp : PD.android_version list;
@@ -29,6 +31,8 @@ type t = {
   mozilla : Rs.t;
   ios7 : Rs.t;
   extra_by_id : (string, root) Hashtbl.t;
+  interner : Interner.t;
+  root_of_id : root option array;
 }
 
 (* Composition constants derived in DESIGN.md §4 from Tables 1/3/4.
@@ -99,6 +103,7 @@ let build ?(key_bits = 384) ~seed () =
           else mk_authority (dn_of_name name)
         in
         {
+          id = -1;  (* minted once the full root array is assembled *)
           authority;
           display_name;
           in_aosp;
@@ -246,6 +251,7 @@ let build ?(key_bits = 384) ~seed () =
           else Dn.make ~o:x.xc_name x.xc_name
         in
         {
+          id = -1;
           authority = mk_authority dn;
           display_name = x.xc_name;
           in_aosp = [];
@@ -279,6 +285,16 @@ let build ?(key_bits = 384) ~seed () =
         else r)
       roots
   in
+  (* --- identity interning --------------------------------------------- *)
+  (* mint dense ids in root-array order; Mozilla re-issues share their
+     base root's (subject, modulus) key so no extra ids appear *)
+  let interner = Interner.create ~capacity:1024 () in
+  let roots =
+    Array.map
+      (fun r ->
+        { r with id = Interner.intern interner (C.equivalence_key r.authority.Authority.certificate) })
+      roots
+  in
   (* --- traffic-only private CAs -------------------------------------- *)
   let assigned = Array.fold_left (fun acc r -> acc +. r.traffic_weight) 0.0 roots in
   let private_mass = Stdlib.max 0.0 (1.0 -. assigned) in
@@ -298,6 +314,14 @@ let build ?(key_bits = 384) ~seed () =
   let interceptor =
     mk_authority (Dn.make ~o:PD.interceptor_name (PD.interceptor_name ^ " Root CA"))
   in
+  (* every identity that can anchor a chain or appear in a device store
+     gets an id: private CAs, rooted-device CAs, the interceptor *)
+  let intern_authority (a : Authority.t) =
+    ignore (Interner.intern interner (C.equivalence_key a.Authority.certificate))
+  in
+  Array.iter (fun (a, _) -> intern_authority a) private_cas;
+  Array.iter (fun (_, a) -> intern_authority a) rooted_authorities;
+  intern_authority interceptor;
   (* --- official stores ------------------------------------------------ *)
   let aosp_store v =
     let members =
@@ -339,6 +363,8 @@ let build ?(key_bits = 384) ~seed () =
       | Some x -> Hashtbl.replace extra_by_id x.PD.xc_id r
       | None -> ())
     roots;
+  let root_of_id = Array.make (Interner.cardinal interner) None in
+  Array.iter (fun r -> root_of_id.(r.id) <- Some r) roots;
   {
     seed;
     key_bits;
@@ -350,12 +376,19 @@ let build ?(key_bits = 384) ~seed () =
     mozilla;
     ios7;
     extra_by_id;
+    interner;
+    root_of_id;
   }
 
 let default = lazy (build ~seed:1 ())
 
 let find_root_by_name t name =
   Array.to_seq t.roots |> Seq.find (fun r -> r.display_name = name)
+
+let find_root_by_key t key =
+  match Interner.find t.interner key with
+  | Some id when id < Array.length t.root_of_id -> t.root_of_id.(id)
+  | _ -> None
 
 let category_labels = List.map (fun (l, _, _) -> l) PD.table4_rows
 

@@ -10,6 +10,9 @@
 module PD := Paper_data
 
 type root = {
+  id : int;
+      (** dense {!Tangled_engine.Interner} id of the root's equivalence
+          key, minted at build — the index every coverage join runs on *)
   authority : Tangled_x509.Authority.t;
   display_name : string;
   in_aosp : PD.android_version list;
@@ -40,6 +43,16 @@ type t = {
   ios7 : Tangled_store.Root_store.t;
   extra_by_id : (string, root) Hashtbl.t;
       (** Figure 2 extras indexed by their bracketed hash id *)
+  interner : Tangled_engine.Interner.t;
+      (** the universe's identity table: every root, private CA,
+          rooted-device CA and the interceptor, interned at build.
+          Shared mutable state — later sequential phases may mint more
+          ids (e.g. for user-added device certificates); the
+          domain-parallel phases only read. *)
+  root_of_id : root option array;
+      (** public root per interned id ([None] for ids that are private
+          CAs or other non-store identities) — the id-indexed
+          replacement for the Notary's string-keyed root table *)
 }
 
 val build : ?key_bits:int -> seed:int -> unit -> t
@@ -51,6 +64,10 @@ val default : t Lazy.t
 
 val find_root_by_name : t -> string -> root option
 (** Lookup by display name (first match). *)
+
+val find_root_by_key : t -> string -> root option
+(** Lookup by equivalence key, through the interner and the id-indexed
+    table — [O(1)]. *)
 
 val store_of_category : t -> string -> Tangled_x509.Certificate.t list
 (** The certificate population of a Table 4 category, by its paper row

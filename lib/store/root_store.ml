@@ -163,6 +163,21 @@ let mem_key t key =
   | Some entry -> entry.enabled
   | None -> false
 
+let id_set interner t =
+  let module I = Tangled_engine.Interner in
+  let module S = Tangled_engine.Id_set in
+  let set = S.create (I.cardinal interner) in
+  Smap.iter
+    (fun key entry ->
+      if entry.enabled then
+        (* keys the universe never interned (e.g. user-imported PEM)
+           can anchor nothing the coverage index knows about *)
+        match I.find interner key with
+        | Some id -> S.add set id
+        | None -> ())
+    t.by_key;
+  set
+
 let mem t cert = mem_key t (key_of cert)
 
 let entries t =

@@ -67,6 +67,12 @@ val mem : t -> Tangled_x509.Certificate.t -> bool
 val mem_key : t -> string -> bool
 (** Membership by a precomputed {!Tangled_x509.Certificate.equivalence_key}. *)
 
+val id_set : Tangled_engine.Interner.t -> t -> Tangled_engine.Id_set.t
+(** The enabled membership projected onto interned root ids — the form
+    every coverage-index query consumes.  Keys unknown to the interner
+    (certificates the universe never minted, e.g. user imports) are
+    dropped: they cannot anchor an indexed chain. *)
+
 val find_by_subject : t -> Tangled_x509.Dn.t -> entry list
 (** All enabled entries whose certificate subject matches — chain
     building's issuer lookup. *)

@@ -144,3 +144,8 @@ let anchor_key ~now ~store chain =
   match (validate ~now ~store chain).verdict with
   | Ok root -> Some (C.equivalence_key root)
   | Error _ -> None
+
+let anchor_id ~interner ~now ~store chain =
+  match (validate ~now ~store chain).verdict with
+  | Ok root -> Tangled_engine.Interner.find interner (C.equivalence_key root)
+  | Error _ -> None

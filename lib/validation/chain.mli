@@ -63,3 +63,13 @@ val anchor_key :
   string option
 (** On success, the equivalence key of the anchoring root — what the
     Notary aggregates per-root validation counts by. *)
+
+val anchor_id :
+  interner:Tangled_engine.Interner.t ->
+  now:Tangled_util.Timestamp.t ->
+  store:Tangled_store.Root_store.t ->
+  Tangled_x509.Certificate.t list ->
+  int option
+(** {!anchor_key} projected onto the universe's interned root ids —
+    the form the coverage index consumes.  [None] when the chain does
+    not validate or the anchoring root was never interned. *)

@@ -1,0 +1,120 @@
+(* The refactor's central contract: the domain-parallel build phase
+   must be invisible in the output.  Every artefact the study produces
+   has to be byte-identical whatever the worker count, and the coverage
+   index has to agree with a direct fold over the raw chain array for
+   arbitrary sub-stores. *)
+
+module PD = Tangled_pki.Paper_data
+module BP = Tangled_pki.Blueprint
+module Rs = Tangled_store.Root_store
+module C = Tangled_x509.Certificate
+module Authority = Tangled_x509.Authority
+module Notary = Tangled_notary.Notary
+module Pipeline = Tangled_core.Pipeline
+module Report = Tangled_core.Report
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let world = lazy (Lazy.force Pipeline.quick)
+
+let world_with_jobs jobs =
+  Pipeline.run
+    ~config:{ Pipeline.quick_config with Pipeline.jobs }
+    ~universe:(Lazy.force BP.default) ()
+
+(* the reference implementation the index replaced: one pass over the
+   raw chain array per query *)
+let scan_validated_by (n : Notary.t) store =
+  Array.fold_left
+    (fun acc (c : Notary.chain) ->
+      match c.Notary.anchor with
+      | Some key when (not c.Notary.expired) && Rs.mem_key store key -> acc + 1
+      | _ -> acc)
+    0 n.Notary.chains
+
+let test_report_identical_across_jobs () =
+  (* the full study, rendered twice: --jobs 1 vs --jobs 4 *)
+  let w1 = world_with_jobs 1 in
+  let w4 = world_with_jobs 4 in
+  check Alcotest.int "resolved jobs differ" 4 w4.Pipeline.jobs;
+  check Alcotest.string "report bytes" (Report.run_all w1) (Report.run_all w4)
+
+let test_chains_identical_across_jobs () =
+  let w1 = world_with_jobs 1 in
+  let w4 = world_with_jobs 4 in
+  let fingerprint (n : Notary.t) =
+    Array.map
+      (fun (c : Notary.chain) ->
+        ( C.byte_identity c.Notary.leaf,
+          List.map C.byte_identity c.Notary.intermediates,
+          c.Notary.expired,
+          c.Notary.anchor ))
+      n.Notary.chains
+  in
+  Alcotest.(check bool) "chain arrays byte-identical" true
+    (fingerprint w1.Pipeline.notary = fingerprint w4.Pipeline.notary)
+
+let test_index_agrees_with_scan_on_official_stores () =
+  let w = Lazy.force world in
+  let n = w.Pipeline.notary in
+  let u = w.Pipeline.universe in
+  let stores =
+    List.map (fun v -> u.BP.aosp v) PD.android_versions
+    @ [ u.BP.mozilla; u.BP.ios7 ]
+  in
+  List.iter
+    (fun store ->
+      check Alcotest.int
+        ("index vs scan: " ^ Rs.name store)
+        (scan_validated_by n store)
+        (Notary.validated_by_store n store))
+    stores
+
+(* Random sub-stores of the full root population: the index-backed
+   count must equal the raw fold whatever subset of roots is enabled. *)
+let prop_index_matches_scan =
+  QCheck.Test.make ~name:"coverage index equals chain-array fold" ~count:60
+    QCheck.(make Gen.(pair (int_bound 1_000_000) (map (fun p -> float_of_int p /. 100.0) (int_bound 100))))
+    (fun (salt, keep) ->
+      let w = Lazy.force world in
+      let n = w.Pipeline.notary in
+      let u = w.Pipeline.universe in
+      (* deterministic pseudo-random subset driven by the generated salt *)
+      let pick i = float_of_int ((((i + salt) * 2654435761) land 0xFFFF)) /. 65536.0 < keep in
+      let certs =
+        Array.to_list u.BP.roots
+        |> List.filteri (fun i _ -> pick i)
+        |> List.map (fun (r : BP.root) -> r.BP.authority.Authority.certificate)
+      in
+      let store = Rs.of_certs "random-sub-store" Rs.Aosp certs in
+      scan_validated_by n store = Notary.validated_by_store n store)
+
+let test_crosscheck_fast_path () =
+  let w = Lazy.force world in
+  let n = w.Pipeline.notary in
+  let u = w.Pipeline.universe in
+  Alcotest.(check bool) "index membership agrees with full validator" true
+    (Notary.crosscheck n (u.BP.aosp PD.V4_4) ~sample:200 ~seed:9)
+
+let test_timings_cover_stages () =
+  let w = Lazy.force world in
+  let stages = List.map (fun (s : Tangled_engine.Timing.span) -> s.stage) w.Pipeline.timings in
+  check
+    Alcotest.(list string)
+    "pipeline stage order"
+    [ "universe"; "population"; "netalyzr"; "notary"; "index" ]
+    stages
+
+let suite =
+  [
+    Alcotest.test_case "report byte-identical: jobs 1 vs 4" `Slow
+      test_report_identical_across_jobs;
+    Alcotest.test_case "chains byte-identical: jobs 1 vs 4" `Slow
+      test_chains_identical_across_jobs;
+    Alcotest.test_case "index vs scan on official stores" `Quick
+      test_index_agrees_with_scan_on_official_stores;
+    qtest prop_index_matches_scan;
+    Alcotest.test_case "crosscheck fast path" `Quick test_crosscheck_fast_path;
+    Alcotest.test_case "timings cover stages" `Quick test_timings_cover_stages;
+  ]

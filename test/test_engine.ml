@@ -1,0 +1,134 @@
+(* Unit tests for the measurement-engine substrate: the interned
+   identity table, the id bitset, the one-pass coverage index, the
+   deterministic domain fan-out, and the stage-timing collector. *)
+
+module Interner = Tangled_engine.Interner
+module Id_set = Tangled_engine.Id_set
+module Coverage = Tangled_engine.Coverage
+module Parallel = Tangled_engine.Parallel
+module Timing = Tangled_engine.Timing
+
+let test_interner_dense_ids () =
+  let t = Interner.create ~capacity:2 () in
+  Alcotest.(check int) "first id" 0 (Interner.intern t "alpha");
+  Alcotest.(check int) "second id" 1 (Interner.intern t "beta");
+  Alcotest.(check int) "re-intern is stable" 0 (Interner.intern t "alpha");
+  Alcotest.(check int) "cardinal" 2 (Interner.cardinal t);
+  Alcotest.(check (option int)) "find known" (Some 1) (Interner.find t "beta");
+  Alcotest.(check (option int)) "find unknown" None (Interner.find t "gamma");
+  Alcotest.(check string) "key roundtrip" "beta" (Interner.key t 1);
+  Alcotest.check_raises "key out of range"
+    (Invalid_argument "Interner.key: id 9 not minted (have 2)") (fun () ->
+      ignore (Interner.key t 9))
+
+let test_interner_growth () =
+  let t = Interner.create ~capacity:1 () in
+  for i = 0 to 999 do
+    Alcotest.(check int) "sequential ids" i (Interner.intern t (string_of_int i))
+  done;
+  Alcotest.(check int) "cardinal after growth" 1000 (Interner.cardinal t);
+  Alcotest.(check string) "key survives growth" "512" (Interner.key t 512)
+
+let test_id_set_basics () =
+  let s = Id_set.create 8 in
+  Alcotest.(check int) "empty" 0 (Id_set.cardinal s);
+  Id_set.add s 3;
+  Id_set.add s 3;
+  Id_set.add s 0;
+  Alcotest.(check bool) "mem 3" true (Id_set.mem s 3);
+  Alcotest.(check bool) "mem 1" false (Id_set.mem s 1);
+  Alcotest.(check int) "cardinal dedups" 2 (Id_set.cardinal s);
+  Id_set.add s (-5);
+  Alcotest.(check int) "negative ignored" 2 (Id_set.cardinal s);
+  Alcotest.(check bool) "out of range mem" false (Id_set.mem s 1000);
+  Id_set.add s 1000;
+  Alcotest.(check bool) "auto-grows" true (Id_set.mem s 1000);
+  let seen = ref [] in
+  Id_set.iter (fun i -> seen := i :: !seen) s;
+  Alcotest.(check (list int)) "iter ascending" [ 0; 3; 1000 ] (List.rev !seen)
+
+let test_coverage_counts () =
+  (* chains: anchor ids [0;1;1;-1;2;1], chain 4 expired *)
+  let anchors = [| 0; 1; 1; -1; 2; 1 |] in
+  let expired = [| false; false; false; false; true; false |] in
+  let cov =
+    Coverage.build ~n_ids:3 ~total:6
+      ~anchor:(fun i -> anchors.(i))
+      ~expired:(fun i -> expired.(i))
+  in
+  Alcotest.(check int) "total" 6 (Coverage.total cov);
+  Alcotest.(check int) "unexpired" 5 (Coverage.unexpired cov);
+  Alcotest.(check int) "count id 0" 1 (Coverage.count cov 0);
+  Alcotest.(check int) "count id 1" 3 (Coverage.count cov 1);
+  Alcotest.(check int) "count id 2" 0 (Coverage.count cov 2);
+  Alcotest.(check int) "count out of range" 0 (Coverage.count cov 99);
+  Alcotest.(check int) "anchor passthrough" (-1) (Coverage.anchor cov 3);
+  Alcotest.(check bool) "expired passthrough" true (Coverage.chain_expired cov 4);
+  let set = Id_set.of_list [ 0; 1 ] in
+  Alcotest.(check int) "validated_by sums member counts" 4
+    (Coverage.validated_by cov set);
+  let empty = Id_set.create 3 in
+  Alcotest.(check int) "validated_by empty" 0 (Coverage.validated_by cov empty)
+
+let test_parallel_matches_sequential () =
+  let f i = (i * 37) mod 101 in
+  let reference = Array.init 1000 f in
+  List.iter
+    (fun jobs ->
+      let got = Parallel.tabulate ~jobs 1000 f in
+      Alcotest.(check (array int))
+        (Printf.sprintf "tabulate jobs=%d" jobs)
+        reference got)
+    [ 1; 2; 3; 4; 7; 8 ];
+  (* sizes around the slice boundaries *)
+  List.iter
+    (fun n ->
+      let reference = Array.init n f in
+      Alcotest.(check (array int))
+        (Printf.sprintf "tabulate n=%d" n)
+        reference
+        (Parallel.tabulate ~jobs:4 n f))
+    [ 0; 1; 31; 32; 33; 129 ]
+
+let test_parallel_map () =
+  let input = Array.init 257 string_of_int in
+  let got = Parallel.map ~jobs:3 String.length input in
+  Alcotest.(check (array int)) "map" (Array.map String.length input) got
+
+let test_parallel_resolve () =
+  Alcotest.(check int) "explicit survives" 3 (Parallel.resolve 3);
+  Alcotest.(check int) "capped" Parallel.max_jobs (Parallel.resolve 99);
+  let auto = Parallel.resolve 0 in
+  Alcotest.(check bool) "auto in range" true (auto >= 1 && auto <= Parallel.max_jobs)
+
+let test_timing_spans () =
+  let tm = Timing.create () in
+  let x = Timing.time tm "first" (fun () -> 41 + 1) in
+  Alcotest.(check int) "value returned" 42 x;
+  ignore (Timing.time tm "second" (fun () -> ()));
+  let spans = Timing.spans tm in
+  Alcotest.(check (list string)) "ordered stages" [ "first"; "second" ]
+    (List.map (fun (s : Timing.span) -> s.Timing.stage) spans);
+  Alcotest.(check bool) "non-negative" true
+    (List.for_all (fun (s : Timing.span) -> s.Timing.seconds >= 0.0) spans);
+  Alcotest.(check bool) "total sums" true (Timing.total spans >= 0.0);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let rendered = Timing.render ~title:"T" spans in
+  Alcotest.(check bool) "render mentions stage" true (contains rendered "first")
+
+let suite =
+  [
+    Alcotest.test_case "interner dense ids" `Quick test_interner_dense_ids;
+    Alcotest.test_case "interner growth" `Quick test_interner_growth;
+    Alcotest.test_case "id_set basics" `Quick test_id_set_basics;
+    Alcotest.test_case "coverage counts" `Quick test_coverage_counts;
+    Alcotest.test_case "parallel tabulate deterministic" `Quick
+      test_parallel_matches_sequential;
+    Alcotest.test_case "parallel map" `Quick test_parallel_map;
+    Alcotest.test_case "parallel resolve" `Quick test_parallel_resolve;
+    Alcotest.test_case "timing spans" `Quick test_timing_spans;
+  ]

@@ -25,4 +25,6 @@ let () =
       ("ingest", Test_ingest.suite);
       ("plotting", Test_plotting.suite);
       ("properties", Test_properties.suite);
+      ("engine", Test_engine.suite);
+      ("determinism", Test_determinism.suite);
     ]
