@@ -4,15 +4,19 @@
    each table/figure over the shared quick world), one per substrate
    hot path, the DESIGN.md ablation benches, and the notary_queries
    group that isolates the coverage-index query path against the
-   pre-index chain-array scan.  After timing, the harness prints every
-   artefact itself so bench output doubles as a compact reproduction
-   report, and writes the measurements to a JSON file (BENCH_2.json by
-   default) so later PRs have a perf baseline to diff against.
+   pre-index chain-array scan.  The scaling group pairs the legacy
+   division-based modpow against the Montgomery fixed-window modpow at
+   each operand size, and the substrate group pairs cold vs cached
+   chain validation around the signature-verification memo.  After
+   timing, the harness prints every artefact itself so bench output
+   doubles as a compact reproduction report, and writes the
+   measurements to a JSON file (BENCH_3.json by default) so later PRs
+   have a perf baseline to diff against.
 
    Flags:
      --quick      smoke mode for the @check gate: substrate and
                   notary_queries groups only, short quota, no report
-     --out FILE   where to write the JSON (default BENCH_2.json)
+     --out FILE   where to write the JSON (default BENCH_3.json)
      --no-json    skip the JSON dump *)
 
 open Bechamel
@@ -88,6 +92,14 @@ let substrate_tests () =
     Test.make ~name:"x509_decode" (Staged.stage (fun () -> ignore (C.decode der)));
     Test.make ~name:"chain_validate"
       (Staged.stage (fun () -> ignore (Chain.validate ~now ~store chain)));
+    (* the verification-memo pair: cold re-verifies every signature on
+       the path, cached collapses them all to memo lookups *)
+    Test.make ~name:"chain_validate_cold"
+      (Staged.stage (fun () ->
+           Chain.clear_verify_cache ();
+           ignore (Chain.validate ~now ~store chain)));
+    Test.make ~name:"chain_validate_cached"
+      (Staged.stage (fun () -> ignore (Chain.validate ~now ~store chain)));
     Test.make ~name:"store_diff"
       (Staged.stage (fun () -> ignore (Rs.diff device_store (u.BP.aosp PD.V4_4))));
     Test.make ~name:"notary_validated_by_store"
@@ -160,14 +172,21 @@ let scaling_tests () =
       [ 64; 1024; 16384 ]
   in
   let modpow_tests =
-    List.map
+    List.concat_map
       (fun bits ->
         let module B = Tangled_numeric.Bigint in
+        let module Mont = Tangled_numeric.Montgomery in
         let m = Tangled_numeric.Prime.generate ~rounds:6 rng ~bits in
         let base = B.random_below rng m in
         let e = B.random_below rng m in
-        Test.make ~name:(Printf.sprintf "modpow_%dbit" bits)
-          (Staged.stage (fun () -> ignore (B.modpow base e m))))
+        (* context built once, as the RSA key caches do *)
+        let ctx = Mont.create m in
+        [
+          Test.make ~name:(Printf.sprintf "modpow_%dbit" bits)
+            (Staged.stage (fun () -> ignore (B.modpow base e m)));
+          Test.make ~name:(Printf.sprintf "modpow_mont_%dbit" bits)
+            (Staged.stage (fun () -> ignore (Mont.modpow ctx base e)));
+        ])
       [ 256; 512; 1024 ]
   in
   sign_tests @ hash_tests @ modpow_tests
@@ -264,21 +283,32 @@ let json_report () =
     List.map (fun (s : Timing.span) -> (s.Timing.stage, J.Float s.Timing.seconds))
       w.Pipeline.timings
   in
-  let speedup =
-    match
-      ( find_ns "notary_queries" "scan_validated_by_store",
-        find_ns "notary_queries" "index_validated_by_ids" )
-    with
-    | Some scan, Some index when index > 0.0 -> [ ("coverage_query_speedup", J.Float (scan /. index)) ]
+  let ratio name num den =
+    match (find_ns num.(0) num.(1), find_ns den.(0) den.(1)) with
+    | Some a, Some b when b > 0.0 -> [ (name, J.Float (a /. b)) ]
     | _ -> []
   in
+  let speedup =
+    ratio "coverage_query_speedup"
+      [| "notary_queries"; "scan_validated_by_store" |]
+      [| "notary_queries"; "index_validated_by_ids" |]
+    @ ratio "modpow_mont_speedup_1024"
+        [| "substrate scaling"; "modpow_1024bit" |]
+        [| "substrate scaling"; "modpow_mont_1024bit" |]
+    @ ratio "chain_validate_cache_speedup"
+        [| "substrates"; "chain_validate_cold" |]
+        [| "substrates"; "chain_validate_cached" |]
+  in
+  let hits, misses = Chain.verify_cache_stats () in
   J.Obj
     ([
-       ("pr", J.Int 2);
+       ("pr", J.Int 3);
        ("world", J.String "quick");
        ("unit", J.String "ns_per_run");
        ("jobs", J.Int w.Pipeline.jobs);
        ("stage_timings_seconds", J.Obj timings);
+       ( "verify_cache",
+         J.Obj [ ("hits", J.Int hits); ("misses", J.Int misses) ] );
      ]
     @ speedup
     @ [ ("benches", J.Obj groups) ])
@@ -288,7 +318,7 @@ let () =
   let no_json = Array.exists (( = ) "--no-json") Sys.argv in
   let out =
     let rec find i =
-      if i + 1 >= Array.length Sys.argv then "BENCH_2.json"
+      if i + 1 >= Array.length Sys.argv then "BENCH_3.json"
       else if Sys.argv.(i) = "--out" then Sys.argv.(i + 1)
       else find (i + 1)
     in
@@ -315,6 +345,25 @@ let () =
   | Some scan, Some index when index > 0.0 ->
       Printf.printf "\ncoverage-query speedup (scan/index): %.1fx\n%!" (scan /. index)
   | _ -> ());
+  List.iter
+    (fun bits ->
+      match
+        ( find_ns "substrate scaling" (Printf.sprintf "modpow_%dbit" bits),
+          find_ns "substrate scaling" (Printf.sprintf "modpow_mont_%dbit" bits) )
+      with
+      | Some legacy, Some mont when mont > 0.0 ->
+          Printf.printf "modpow %d-bit speedup (legacy/montgomery): %.1fx\n%!" bits
+            (legacy /. mont)
+      | _ -> ())
+    [ 256; 512; 1024 ];
+  (match (find_ns "substrates" "chain_validate_cold",
+          find_ns "substrates" "chain_validate_cached") with
+  | Some cold, Some cached when cached > 0.0 ->
+      Printf.printf "chain-validate verify-cache speedup (cold/cached): %.1fx\n%!"
+        (cold /. cached)
+  | _ -> ());
+  (let hits, misses = Chain.verify_cache_stats () in
+   Printf.printf "verify cache: %d hits / %d misses\n%!" hits misses);
   if not no_json then begin
     let contents = J.to_string ~pretty:true (json_report ()) ^ "\n" in
     Tangled_core.Export.write_text out contents;

@@ -133,7 +133,8 @@ let report_cmd =
     let world = build_world ~jobs seed sessions leaves key_bits in
     print_string (Report.run_all ?csv_dir world);
     print_newline ();
-    print_string (Pipeline.render_timings world)
+    print_string (Pipeline.render_timings world);
+    print_string (Tangled_engine.Metrics.render ~title:"Counters (process-wide)" ())
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Run the whole study: every table and figure")
@@ -219,7 +220,8 @@ let analyze_cmd =
       | None -> Report.extension_names
     in
     render_artefacts world names csv_dir;
-    print_string (Pipeline.render_timings world)
+    print_string (Pipeline.render_timings world);
+    print_string (Tangled_engine.Metrics.render ~title:"Counters (process-wide)" ())
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -509,6 +511,82 @@ let audit_cmd =
        ~doc:"Diff a PEM root-store dump against an AOSP baseline (the Netalyzr measurement, offline)")
     Term.(const run $ logs_term $ seed_arg $ key_bits_arg $ pem_file $ baseline_arg)
 
+(* --- selfcheck --------------------------------------------------------- *)
+
+(* The regression gate behind `dune build @check`: (1) cross-check the
+   Montgomery exponentiation against the legacy division-based modpow
+   on deterministic random inputs, and (2) rebuild the quick world at
+   --jobs 1 and compare the SHA-256 of the full rendered report against
+   the golden digest committed in test/ — any drift in the study's
+   bytes fails the build. *)
+
+let selfcheck_cmd =
+  let module B = Tangled_numeric.Bigint in
+  let module Mont = Tangled_numeric.Montgomery in
+  let module Prng = Tangled_util.Prng in
+  let golden_arg =
+    let doc = "File holding the expected report digest (hex SHA-256)." in
+    Arg.(required & opt (some string) None & info [ "golden" ] ~docv:"FILE" ~doc)
+  in
+  let update_arg =
+    let doc = "Rewrite the golden file with the current digest instead of comparing." in
+    Arg.(value & flag & info [ "update" ] ~doc)
+  in
+  let mont_crosscheck () =
+    let rng = Prng.create 271828 in
+    let trials = 150 in
+    let failures = ref 0 in
+    for i = 1 to trials do
+      let bits = [| 64; 128; 256; 384; 512; 1024 |].(i mod 6) in
+      let m =
+        (* random odd modulus > 1 of roughly [bits] bits *)
+        let v = B.random_bits rng bits in
+        let v = if B.is_odd v then v else B.add v B.one in
+        if B.compare v B.one <= 0 then B.of_int 3 else v
+      in
+      let base = B.random_bits rng (bits + 13) (* deliberately >= m sometimes *) in
+      let e = B.random_bits rng bits in
+      let want = B.modpow base e m in
+      let got = Mont.modpow (Mont.create m) base e in
+      if not (B.equal want got) then begin
+        incr failures;
+        Printf.eprintf "selfcheck: montgomery mismatch at trial %d (%d bits)\n" i bits
+      end
+    done;
+    Printf.printf "montgomery-vs-oracle: %d/%d trials ok\n%!" (trials - !failures) trials;
+    !failures = 0
+  in
+  let run () golden update =
+    let ok_mont = mont_crosscheck () in
+    let world =
+      Pipeline.run
+        ~config:{ Pipeline.quick_config with Pipeline.jobs = 1 }
+        ~universe:(Lazy.force Tangled_pki.Blueprint.default) ()
+    in
+    let digest =
+      Tangled_util.Hex.encode (Tangled_hash.Sha256.digest (Report.run_all world))
+    in
+    if update then begin
+      Tangled_core.Export.write_text golden (digest ^ "\n");
+      Printf.printf "wrote %s (%s)\n%!" golden digest;
+      if not ok_mont then exit 1
+    end
+    else begin
+      let expected = String.trim (In_channel.with_open_text golden In_channel.input_all) in
+      let ok_digest = String.equal expected digest in
+      if ok_digest then Printf.printf "report digest (jobs 1): %s — matches golden\n%!" digest
+      else
+        Printf.eprintf
+          "selfcheck: report digest drifted\n  golden:  %s\n  current: %s\n%!"
+          expected digest;
+      if not (ok_mont && ok_digest) then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "selfcheck"
+       ~doc:"Montgomery-vs-oracle cross-check + golden report-digest regression gate")
+    Term.(const run $ logs_term $ golden_arg $ update_arg)
+
 (* --- intercept --------------------------------------------------------- *)
 
 let intercept_cmd =
@@ -525,6 +603,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "tangled-mass" ~version:"1.0.0" ~doc)
     [ tables_cmd; figures_cmd; report_cmd; analyze_cmd; audit_cmd; export_cmd;
-      ingest_cmd; chaos_cmd; sensitivity_cmd; stores_cmd; intercept_cmd ]
+      ingest_cmd; chaos_cmd; sensitivity_cmd; stores_cmd; intercept_cmd;
+      selfcheck_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

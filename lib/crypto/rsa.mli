@@ -10,6 +10,9 @@
 type public = {
   n : Tangled_numeric.Bigint.t;  (** modulus *)
   e : Tangled_numeric.Bigint.t;  (** public exponent *)
+  mutable mont_n : Tangled_numeric.Montgomery.t option;
+      (** lazily-built Montgomery context for [n]; build with
+          {!make_public} and leave this field to the library *)
 }
 
 type private_key = {
@@ -20,9 +23,15 @@ type private_key = {
   dp : Tangled_numeric.Bigint.t;   (** d mod (p-1), for CRT signing *)
   dq : Tangled_numeric.Bigint.t;   (** d mod (q-1) *)
   qinv : Tangled_numeric.Bigint.t; (** q^-1 mod p *)
+  mutable mont_p : Tangled_numeric.Montgomery.t option;
+  mutable mont_q : Tangled_numeric.Montgomery.t option;
 }
 
 type keypair = private_key
+
+val make_public : n:Tangled_numeric.Bigint.t -> e:Tangled_numeric.Bigint.t -> public
+(** A public key with an empty Montgomery cache; the context is built
+    on the first verification against the key and reused after. *)
 
 val generate : ?mr_rounds:int -> Tangled_util.Prng.t -> bits:int -> keypair
 (** [generate rng ~bits] makes a fresh keypair with a [bits]-bit

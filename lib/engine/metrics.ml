@@ -1,0 +1,53 @@
+(* Named atomic counters.
+
+   Cheap enough for hot paths (one Atomic.incr per event), aggregated
+   across worker domains, and rendered alongside the stage timings.
+   Counters are observability only: they never feed back into the
+   study's outputs, so worker-count-dependent values (per-domain cache
+   hit rates) are fine here where they would break determinism in a
+   report. *)
+
+type t = { name : string; value : int Atomic.t }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+let lock = Mutex.create ()
+
+let counter name =
+  Mutex.lock lock;
+  let c =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { name; value = Atomic.make 0 } in
+        Hashtbl.add registry name c;
+        c
+  in
+  Mutex.unlock lock;
+  c
+
+let incr c = Atomic.incr c.value
+let add c n = ignore (Atomic.fetch_and_add c.value n)
+let get c = Atomic.get c.value
+let name c = c.name
+
+let reset_all () =
+  Mutex.lock lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.value 0) registry;
+  Mutex.unlock lock
+
+let snapshot () =
+  Mutex.lock lock;
+  let rows = Hashtbl.fold (fun _ c acc -> (c.name, Atomic.get c.value) :: acc) registry [] in
+  Mutex.unlock lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) rows
+
+let render ?(title = "Counters") () =
+  match snapshot () with
+  | [] -> ""
+  | rows ->
+      let b = Buffer.create 128 in
+      Buffer.add_string b (title ^ "\n");
+      List.iter
+        (fun (name, v) -> Buffer.add_string b (Printf.sprintf "  %-32s %12d\n" name v))
+        rows;
+      Buffer.contents b

@@ -1,0 +1,29 @@
+(** Named atomic counters — hit/miss and similar event counts from hot
+    paths, aggregated across worker domains and surfaced next to the
+    stage timings by the CLI and the bench harness.
+
+    Counters are process-global observability.  They deliberately stay
+    out of {e report} artefacts: per-domain caches make their values
+    depend on the worker count, which the study's byte-identical
+    output contract forbids. *)
+
+type t
+
+val counter : string -> t
+(** [counter name] is the process-wide counter registered under
+    [name], created at zero on first request.  Thread-safe. *)
+
+val incr : t -> unit
+val add : t -> int -> unit
+val get : t -> int
+val name : t -> string
+
+val reset_all : unit -> unit
+(** Zero every registered counter (bench cold/warm sections). *)
+
+val snapshot : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val render : ?title:string -> unit -> string
+(** A fixed-width table of {!snapshot}, [""] when nothing is
+    registered. *)

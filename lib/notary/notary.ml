@@ -65,17 +65,18 @@ let apportion weights total =
 
 let verify_chain ~now ~issuer_root chain_certs leaf =
   (* one full cryptographic walk per chain; store counting afterwards is
-     pure anchor-set membership *)
+     pure anchor-set membership.  Verifications go through the
+     domain-local memo: each issuer signs every leaf over the same
+     intermediate, so all but the first walk per (issuer, intermediate)
+     pair hit the cache. *)
   let rec walk cert rest =
     match rest with
     | [] ->
         let root = issuer_root in
-        if C.verify_signature cert ~issuer_key:root.C.public_key then
-          Some (C.equivalence_key root)
+        if Chain.verify_cert ~issuer:root cert then Some (C.equivalence_key root)
         else None
     | inter :: tail ->
-        if C.verify_signature cert ~issuer_key:inter.C.public_key then walk inter tail
-        else None
+        if Chain.verify_cert ~issuer:inter cert then walk inter tail else None
   in
   ignore now;
   walk leaf chain_certs

@@ -343,10 +343,26 @@ let mod_inverse a m =
   let g, x, _ = extended_gcd (erem a m) m in
   if not (equal g one) then None else Some (erem x m)
 
+(* Direct limb packing: each input byte lands at bit offset 8*i from
+   the little end, touching at most two limbs.  The old per-byte
+   [shift_left]+[add] fold re-copied the accumulator per byte, an
+   O(n²) construction that showed up in every DER decode. *)
 let of_bytes_be s =
-  let acc = ref zero in
-  String.iter (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c))) s;
-  !acc
+  let nbytes = String.length s in
+  if nbytes = 0 then zero
+  else begin
+    let nlimbs = ((nbytes * 8) + limb_bits - 1) / limb_bits in
+    let mag = Array.make nlimbs 0 in
+    for idx = 0 to nbytes - 1 do
+      let b = Char.code (String.unsafe_get s (nbytes - 1 - idx)) in
+      let bit = idx * 8 in
+      let limb = bit / limb_bits and off = bit mod limb_bits in
+      mag.(limb) <- mag.(limb) lor ((b lsl off) land limb_mask);
+      if off > limb_bits - 8 then
+        mag.(limb + 1) <- mag.(limb + 1) lor (b lsr (limb_bits - off))
+    done;
+    make false mag
+  end
 
 let to_int_opt t =
   let n = Array.length t.mag in
@@ -360,17 +376,27 @@ let to_int_opt t =
   end
   else None
 
+(* Inverse of [of_bytes_be]'s packing: read each output byte straight
+   out of the limb array instead of the previous
+   divide-by-256-per-byte loop (a full short division each step). *)
 let to_bytes_be t =
   if t.neg then invalid_arg "Bigint.to_bytes_be: negative value";
   if is_zero t then ""
   else begin
     let nbytes = (bit_length t + 7) / 8 in
     let b = Bytes.create nbytes in
-    let v = ref t in
-    for i = nbytes - 1 downto 0 do
-      let q, r = divmod !v (of_int 256) in
-      Bytes.set b i (Char.chr (Option.get (to_int_opt r)));
-      v := q
+    let mag = t.mag in
+    let nlimbs = Array.length mag in
+    for idx = 0 to nbytes - 1 do
+      let bit = idx * 8 in
+      let limb = bit / limb_bits and off = bit mod limb_bits in
+      let v = mag.(limb) lsr off in
+      let v =
+        if off > limb_bits - 8 && limb + 1 < nlimbs then
+          v lor (mag.(limb + 1) lsl (limb_bits - off))
+        else v
+      in
+      Bytes.unsafe_set b (nbytes - 1 - idx) (Char.unsafe_chr (v land 0xff))
     done;
     Bytes.unsafe_to_string b
   end
@@ -469,3 +495,9 @@ let random_below rng bound =
   go ()
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Internal = struct
+  let limb_bits = limb_bits
+  let mag t = Array.copy t.mag
+  let of_mag m = make false (Array.copy m)
+end

@@ -98,3 +98,18 @@ val random_below : Tangled_util.Prng.t -> t -> t
     @raise Invalid_argument unless [bound > 0]. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Escape hatch for sibling modules (the Montgomery layer) that
+    operate on the raw limb representation.  Not for general use: the
+    limb layout is an implementation detail of this library. *)
+module Internal : sig
+  val limb_bits : int
+  (** Bits per limb (26). *)
+
+  val mag : t -> int array
+  (** A copy of the magnitude, little-endian limbs, no leading zeros. *)
+
+  val of_mag : int array -> t
+  (** The non-negative value with the given little-endian limbs;
+      leading zeros are tolerated and stripped. *)
+end

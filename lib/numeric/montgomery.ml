@@ -1,0 +1,222 @@
+(* Montgomery-form modular arithmetic on Bigint's 26-bit limbs.
+
+   The legacy Bigint.modpow pays a full Knuth division per square or
+   multiply.  A Montgomery context trades that for division-free
+   product-scanning (FIPS) reductions: each output column accumulates
+   all of its partial products — a_j·b_{i-j} and mu_j·m_{i-j} — into a
+   single native-int accumulator with one multiply-add per product,
+   then spends one shift and one store for the whole column.  The
+   quotient digit mu_i falls out of the column sum as it completes, so
+   multiplication and reduction fuse into one pass with no
+   intermediate 2k-limb product.
+
+   Word size is the bignum's 26-bit limb: a partial product is below
+   2^52, so a column of 2k of them plus the inter-column carry stays
+   below 2^(52 + log2 2k) — for any modulus this simulation can reach
+   (k ≤ 500 limbs, i.e. 13 000 bits) that is inside OCaml's 63-bit
+   native int, and the inner loops are pure int arithmetic.
+
+   Squaring gets a dedicated kernel: the operand half of each column
+   is symmetric (a_j·a_{i-j} = a_{i-j}·a_j), so it sums each pair once
+   and doubles, cutting that half's multiplies from k² to ~k²/2.
+   Fixed-window exponentiation is ~80 % squarings, so this is the
+   single biggest lever on modpow latency. *)
+
+module B = Bigint
+
+let limb_bits = B.Internal.limb_bits
+let base = 1 lsl limb_bits
+let limb_mask = base - 1
+
+type t = {
+  modulus : B.t;  (* for boundary reductions of operands *)
+  mm : int array; (* modulus magnitude, exactly k limbs *)
+  k : int;
+  m0' : int;      (* -modulus^{-1} mod 2^limb_bits *)
+  r2 : int array; (* R² mod m — carries values into Montgomery form *)
+  one_m : int array; (* R mod m — Montgomery form of 1 *)
+}
+
+(* Both kernels leave a k-limb result plus a high unit such that
+   r + high·2^(26k) < 2m; one conditional subtraction reduces fully
+   (any final borrow cancels against the high unit). *)
+let reduce_final ~mm ~k r high =
+  let ge =
+    high <> 0
+    ||
+    let rec go j =
+      if j < 0 then true
+      else if Array.unsafe_get r j <> Array.unsafe_get mm j then
+        Array.unsafe_get r j > Array.unsafe_get mm j
+      else go (j - 1)
+    in
+    go (k - 1)
+  in
+  if ge then begin
+    let borrow = ref 0 in
+    for j = 0 to k - 1 do
+      let d = r.(j) - mm.(j) - !borrow in
+      if d < 0 then begin
+        r.(j) <- d + base;
+        borrow := 1
+      end
+      else begin
+        r.(j) <- d;
+        borrow := 0
+      end
+    done
+  end;
+  r
+
+(* r := a·b·R^{-1} mod m by finely-integrated product scanning; both
+   inputs k limbs, result k limbs, fully reduced below m. *)
+let mont_mul ~mm ~k ~m0' a b =
+  let mu = Array.make k 0 in
+  let r = Array.make k 0 in
+  let acc = ref 0 in
+  (* low columns 0..k-1: the column sum fixes mu_i, which zeroes it *)
+  for i = 0 to k - 1 do
+    let s = ref !acc in
+    for j = 0 to i do
+      s := !s + (Array.unsafe_get a j * Array.unsafe_get b (i - j))
+    done;
+    for j = 0 to i - 1 do
+      s := !s + (Array.unsafe_get mu j * Array.unsafe_get mm (i - j))
+    done;
+    let mi = !s * m0' land limb_mask in
+    Array.unsafe_set mu i mi;
+    acc := (!s + (mi * Array.unsafe_get mm 0)) lsr limb_bits
+  done;
+  (* high columns k..2k-1 land directly in the shifted result *)
+  for i = k to (2 * k) - 1 do
+    let s = ref !acc in
+    for j = i - k + 1 to k - 1 do
+      s :=
+        !s
+        + (Array.unsafe_get a j * Array.unsafe_get b (i - j))
+        + (Array.unsafe_get mu j * Array.unsafe_get mm (i - j))
+    done;
+    Array.unsafe_set r (i - k) (!s land limb_mask);
+    acc := !s lsr limb_bits
+  done;
+  reduce_final ~mm ~k r !acc
+
+(* r := a²·R^{-1} mod m — as mont_mul with b = a, but each symmetric
+   pair a_j·a_{i-j} (j < i-j) is computed once and doubled; the
+   diagonal a_{i/2}² joins even columns undoubled.  The mu·m half has
+   no symmetry and stays a full scan. *)
+let mont_sqr ~mm ~k ~m0' a =
+  let mu = Array.make k 0 in
+  let r = Array.make k 0 in
+  let acc = ref 0 in
+  for i = 0 to k - 1 do
+    (* (i-1) asr 1 is -1 at i=0, keeping the pair loop empty there *)
+    let half = (i - 1) asr 1 in
+    let p = ref 0 in
+    for j = 0 to half do
+      p := !p + (Array.unsafe_get a j * Array.unsafe_get a (i - j))
+    done;
+    let s = ref (!acc + (!p lsl 1)) in
+    if i land 1 = 0 then begin
+      let d = Array.unsafe_get a (i asr 1) in
+      s := !s + (d * d)
+    end;
+    for j = 0 to i - 1 do
+      s := !s + (Array.unsafe_get mu j * Array.unsafe_get mm (i - j))
+    done;
+    let mi = !s * m0' land limb_mask in
+    Array.unsafe_set mu i mi;
+    acc := (!s + (mi * Array.unsafe_get mm 0)) lsr limb_bits
+  done;
+  for i = k to (2 * k) - 1 do
+    let lo = i - k + 1 in
+    let half = (i - 1) asr 1 in
+    let p = ref 0 in
+    for j = lo to half do
+      p := !p + (Array.unsafe_get a j * Array.unsafe_get a (i - j))
+    done;
+    let s = ref (!acc + (!p lsl 1)) in
+    if i land 1 = 0 && i asr 1 >= lo then begin
+      let d = Array.unsafe_get a (i asr 1) in
+      s := !s + (d * d)
+    end;
+    for j = lo to k - 1 do
+      s := !s + (Array.unsafe_get mu j * Array.unsafe_get mm (i - j))
+    done;
+    Array.unsafe_set r (i - k) (!s land limb_mask);
+    acc := !s lsr limb_bits
+  done;
+  reduce_final ~mm ~k r !acc
+
+let pad k a =
+  let r = Array.make k 0 in
+  Array.blit a 0 r 0 (Array.length a);
+  r
+
+let create m =
+  if B.sign m <= 0 then invalid_arg "Montgomery.create: modulus must be positive";
+  if B.compare m B.one <= 0 then invalid_arg "Montgomery.create: modulus must exceed 1";
+  if not (B.is_odd m) then invalid_arg "Montgomery.create: modulus must be odd";
+  let mm = B.Internal.mag m in
+  let k = Array.length mm in
+  (* limb-wise inverse of m mod 2^26 by Hensel lifting: each iteration
+     doubles the number of correct low bits, so five from x=1 cover 26 *)
+  let inv = ref 1 in
+  for _ = 1 to 5 do
+    inv := !inv * (2 - (mm.(0) * !inv)) land limb_mask
+  done;
+  let m0' = (base - !inv) land limb_mask in
+  let r2 =
+    pad k (B.Internal.mag (B.erem (B.shift_left B.one (2 * k * limb_bits)) m))
+  in
+  let one_v = pad k [| 1 |] in
+  let one_m = mont_mul ~mm ~k ~m0' r2 one_v in
+  { modulus = m; mm; k; m0'; r2; one_m }
+
+let modulus t = t.modulus
+
+let to_mont t x = mont_mul ~mm:t.mm ~k:t.k ~m0':t.m0' x t.r2
+
+let from_mont t x = mont_mul ~mm:t.mm ~k:t.k ~m0':t.m0' x (pad t.k [| 1 |])
+
+let window_bits = 4
+let table_size = 1 lsl window_bits
+
+let modpow t b e =
+  if B.sign e < 0 then invalid_arg "Montgomery.modpow: negative exponent";
+  if B.is_zero e then B.one (* modulus > 1, so 1 is already reduced *)
+  else begin
+    let mul = mont_mul ~mm:t.mm ~k:t.k ~m0':t.m0' in
+    let sqr = mont_sqr ~mm:t.mm ~k:t.k ~m0':t.m0' in
+    let bm = to_mont t (pad t.k (B.Internal.mag (B.erem b t.modulus))) in
+    (* fixed-window table: g^0 .. g^15 in Montgomery form *)
+    let table = Array.make table_size t.one_m in
+    table.(1) <- bm;
+    for i = 2 to table_size - 1 do
+      table.(i) <- mul table.(i - 1) bm
+    done;
+    let emag = B.Internal.mag e in
+    let elimbs = Array.length emag in
+    let digit w =
+      let bit = w * window_bits in
+      let limb = bit / limb_bits and off = bit mod limb_bits in
+      let v = emag.(limb) lsr off in
+      let v =
+        if off > limb_bits - window_bits && limb + 1 < elimbs then
+          v lor (emag.(limb + 1) lsl (limb_bits - off))
+        else v
+      in
+      v land (table_size - 1)
+    in
+    let nwin = (B.bit_length e + window_bits - 1) / window_bits in
+    (* the top window holds the exponent's top bit, so it is nonzero *)
+    let acc = ref table.(digit (nwin - 1)) in
+    for w = nwin - 2 downto 0 do
+      for _ = 1 to window_bits do
+        acc := sqr !acc
+      done;
+      let d = digit w in
+      if d <> 0 then acc := mul !acc table.(d)
+    done;
+    B.Internal.of_mag (from_mont t !acc)
+  end

@@ -1,0 +1,27 @@
+(** Montgomery-form modular arithmetic for odd moduli.
+
+    A context precomputes everything exponentiation needs for one
+    modulus — the limb-wise inverse [-m⁻¹ mod 2^26] and [R² mod m] —
+    so repeated operations against the same modulus (every signature a
+    CA issues or verifies) pay the setup once.  {!modpow} then runs
+    fixed-window (4-bit) square-and-multiply where each modular product
+    is a single division-free CIOS pass instead of a schoolbook multiply
+    followed by a Knuth division.
+
+    {!Bigint.modpow} remains the reference oracle; the test suite
+    cross-checks the two on random inputs, and results are bit-exact. *)
+
+type t
+(** A reusable context for one odd modulus [> 1]. *)
+
+val create : Bigint.t -> t
+(** [create m] precomputes a context for modulus [m].
+    @raise Invalid_argument unless [m] is odd, positive and [> 1]. *)
+
+val modulus : t -> Bigint.t
+
+val modpow : t -> Bigint.t -> Bigint.t -> Bigint.t
+(** [modpow t b e] is [b^e mod (modulus t)] for non-negative [e];
+    [b] may be negative or exceed the modulus (it is reduced first).
+    Agrees exactly with [Bigint.modpow b e (modulus t)].
+    @raise Invalid_argument on negative [e]. *)

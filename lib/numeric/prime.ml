@@ -24,10 +24,11 @@ let divisible_by_small_prime n =
       Bigint.is_zero (Bigint.rem n bp) && not (Bigint.equal n bp))
     small_primes
 
-let miller_rabin_witness n d s a =
-  (* returns true when [a] witnesses compositeness of [n] *)
+let miller_rabin_witness ctx n d s a =
+  (* returns true when [a] witnesses compositeness of [n]; [ctx] is the
+     Montgomery context for [n], shared across all rounds *)
   let n1 = Bigint.sub n Bigint.one in
-  let x = Bigint.modpow a d n in
+  let x = Montgomery.modpow ctx a d in
   if Bigint.equal x Bigint.one || Bigint.equal x n1 then false
   else begin
     let rec squarings i x =
@@ -57,12 +58,16 @@ let is_probably_prime ?(rounds = 20) rng n =
           in
           let d, s = split n1 0 in
           let n3 = Bigint.sub n (Bigint.of_int 3) in
+          (* n is odd and above the small-prime bound here, so the
+             context precondition holds; the setup cost amortises over
+             [rounds] exponentiations against the same candidate *)
+          let ctx = Montgomery.create n in
           let rec rounds_loop i =
             if i >= rounds then true
             else begin
               (* a uniform in [2, n-2] *)
               let a = Bigint.add (Bigint.random_below rng n3) Bigint.two in
-              if miller_rabin_witness n d s a then false else rounds_loop (i + 1)
+              if miller_rabin_witness ctx n d s a then false else rounds_loop (i + 1)
             end
           in
           rounds_loop 0

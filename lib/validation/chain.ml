@@ -2,6 +2,57 @@ module C = Tangled_x509.Certificate
 module Dn = Tangled_x509.Dn
 module Rs = Tangled_store.Root_store
 module Ts = Tangled_util.Timestamp
+module Rsa = Tangled_crypto.Rsa
+module B = Tangled_numeric.Bigint
+module Metrics = Tangled_engine.Metrics
+
+(* --- signature-verification memo ------------------------------------- *)
+
+(* The Notary re-validates the same CA-signed intermediates thousands
+   of times across chains, and every Netalyzr probe re-walks the same
+   few server chains per handset.  An RSA verification is pure in
+   (issuer key, TBS bytes, signature), so its verdict is memoised.
+
+   The memo key is (issuer equivalence key, issuer public exponent,
+   SHA-256 of the TBS, signature bytes): the equivalence key carries
+   the issuer's subject DN and modulus, the exponent completes the
+   verifying key, and the TBS digest covers both the signed bytes and
+   the signature algorithm (which is encoded inside the TBS).
+
+   Tables are domain-local, so parallel Notary workers never contend
+   or race; the hit/miss counters are process-global atomics surfaced
+   through Metrics next to the stage timings. *)
+
+let cache_hits = Metrics.counter "verify_cache_hits"
+let cache_misses = Metrics.counter "verify_cache_misses"
+
+let memo_key : (string, bool) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+
+let verify_cert ~issuer cert =
+  let key =
+    String.concat "\x00"
+      [
+        C.equivalence_key issuer;
+        B.to_bytes_be issuer.C.public_key.Rsa.e;
+        Tangled_hash.Sha256.digest cert.C.tbs_der;
+        cert.C.signature;
+      ]
+  in
+  let tbl = Domain.DLS.get memo_key in
+  match Hashtbl.find_opt tbl key with
+  | Some verdict ->
+      Metrics.incr cache_hits;
+      verdict
+  | None ->
+      Metrics.incr cache_misses;
+      let verdict = C.verify_signature cert ~issuer_key:issuer.C.public_key in
+      Hashtbl.add tbl key verdict;
+      verdict
+
+let verify_cache_stats () = (Metrics.get cache_hits, Metrics.get cache_misses)
+
+let clear_verify_cache () = Hashtbl.reset (Domain.DLS.get memo_key)
 
 type failure =
   | No_trusted_root
@@ -64,8 +115,7 @@ let validate ?(max_depth = 8) ?(check_server_auth = true) ~now ~store chain =
                     note f;
                     None
                 | None ->
-                    if C.verify_signature cert ~issuer_key:root.C.public_key then
-                      Some root
+                    if verify_cert ~issuer:root cert then Some root
                     else begin
                       note (Bad_signature cert.C.subject);
                       None
@@ -104,8 +154,7 @@ let validate ?(max_depth = 8) ?(check_server_auth = true) ~now ~store chain =
                           note (Path_len_exceeded inter.C.subject);
                           None
                         end
-                        else if C.verify_signature cert ~issuer_key:inter.C.public_key
-                        then begin
+                        else if verify_cert ~issuer:inter cert then begin
                           let self_issued = Dn.equal inter.C.subject inter.C.issuer in
                           extend inter (inter :: path) (depth + 1)
                             (if self_issued then children else children + 1)

@@ -2,6 +2,22 @@
     client-side half of both Netalyzr's trust-chain probes and the
     Notary's per-store validation counts. *)
 
+val verify_cert :
+  issuer:Tangled_x509.Certificate.t -> Tangled_x509.Certificate.t -> bool
+(** [verify_cert ~issuer cert] is [Certificate.verify_signature cert
+    ~issuer_key:issuer.public_key] behind a domain-local memo keyed by
+    (issuer equivalence key, issuer exponent, TBS digest, signature
+    bytes).  The Notary and Netalyzr re-verify the same CA-signed
+    intermediates thousands of times; the memo collapses each distinct
+    (issuer, certificate) pair to one RSA operation per domain. *)
+
+val verify_cache_stats : unit -> int * int
+(** Process-wide [(hits, misses)] of the verification memo, summed
+    over all domains. *)
+
+val clear_verify_cache : unit -> unit
+(** Drop the calling domain's memo table (bench cold-path runs). *)
+
 type failure =
   | No_trusted_root
       (** no enabled store entry terminates any candidate path *)

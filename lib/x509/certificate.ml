@@ -80,7 +80,7 @@ let spki_of_der v =
   | Der.Sequence [ Der.Sequence [ Der.Oid alg; Der.Null ]; Der.Bit_string (0, key) ]
     when Oid.equal alg Oid.rsa_encryption -> (
       match Der.decode key with
-      | Ok (Der.Sequence [ Der.Integer n; Der.Integer e ]) -> Some { Rsa.n; e }
+      | Ok (Der.Sequence [ Der.Integer n; Der.Integer e ]) -> Some (Rsa.make_public ~n ~e)
       | _ -> None)
   | _ -> None
 

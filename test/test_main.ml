@@ -7,6 +7,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("bigint", Test_bigint.suite);
+      ("montgomery", Test_montgomery.suite);
       ("hash", Test_hash.suite);
       ("rsa", Test_rsa.suite);
       ("asn1", Test_asn1.suite);

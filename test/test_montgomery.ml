@@ -1,0 +1,202 @@
+(* The Montgomery layer's contract: bit-exact agreement with the
+   legacy division-based Bigint.modpow (the reference oracle), context
+   precondition enforcement, and end-to-end CRT sign/verify at every
+   key size the simulation uses.  Also covers the direct limb-packing
+   byte conversions the same PR introduced. *)
+
+module B = Tangled_numeric.Bigint
+module Mont = Tangled_numeric.Montgomery
+module Rsa = Tangled_crypto.Rsa
+module Chain = Tangled_validation.Chain
+module Dk = Tangled_hash.Digest_kind
+module Prng = Tangled_util.Prng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let big = Alcotest.testable B.pp B.equal
+
+(* arbitrary non-negative bigint from raw bytes *)
+let gen_big =
+  QCheck.Gen.(map B.of_bytes_be (string_size ~gen:char (int_range 0 96)))
+
+(* odd modulus > 1: 2v + 3 *)
+let gen_odd_modulus =
+  QCheck.Gen.map (fun v -> B.add (B.shift_left v 1) (B.of_int 3)) gen_big
+
+let arb_triple =
+  QCheck.make
+    ~print:(fun (b, e, m) ->
+      Printf.sprintf "base=%s exp=%s m=%s" (B.to_string b) (B.to_string e)
+        (B.to_string m))
+    QCheck.Gen.(triple gen_big gen_big gen_odd_modulus)
+
+let prop_mont_matches_oracle =
+  QCheck.Test.make ~name:"modpow_mont equals legacy modpow" ~count:300 arb_triple
+    (fun (b, e, m) ->
+      let ctx = Mont.create m in
+      B.equal (B.modpow b e m) (Mont.modpow ctx b e))
+
+(* the generator rarely makes base < m, so force the b >= m corner
+   explicitly as well as via random draws *)
+let test_base_exceeds_modulus () =
+  let m = B.of_int 1_000_003 in
+  let ctx = Mont.create m in
+  let b = B.mul m (B.of_int 12345) |> B.add (B.of_int 678) in
+  check big "b >= m reduced first" (B.modpow b (B.of_int 65537) m)
+    (Mont.modpow ctx b (B.of_int 65537));
+  check big "negative base" (B.modpow (B.neg b) (B.of_int 3) m)
+    (Mont.modpow ctx (B.neg b) (B.of_int 3))
+
+let test_exponent_zero () =
+  let m = B.of_int 97 in
+  let ctx = Mont.create m in
+  check big "e = 0 is 1" B.one (Mont.modpow ctx (B.of_int 42) B.zero);
+  check big "0^0 contract matches oracle" (B.modpow B.zero B.zero m)
+    (Mont.modpow ctx B.zero B.zero);
+  check big "base 0" B.zero (Mont.modpow ctx B.zero (B.of_int 5))
+
+let test_rejections () =
+  Alcotest.check_raises "m = 1 rejected"
+    (Invalid_argument "Montgomery.create: modulus must exceed 1") (fun () ->
+      ignore (Mont.create B.one));
+  Alcotest.check_raises "even modulus rejected"
+    (Invalid_argument "Montgomery.create: modulus must be odd") (fun () ->
+      ignore (Mont.create (B.of_int 100)));
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Montgomery.create: modulus must be positive") (fun () ->
+      ignore (Mont.create B.zero));
+  let ctx = Mont.create (B.of_int 15) in
+  Alcotest.check_raises "negative exponent rejected"
+    (Invalid_argument "Montgomery.modpow: negative exponent") (fun () ->
+      ignore (Mont.modpow ctx B.two (B.of_int (-1))))
+
+(* dense deterministic sweep: every (base, exp) in a small window over
+   several odd moduli, including Carmichael and prime-power cases *)
+let test_small_exhaustive () =
+  List.iter
+    (fun mv ->
+      let m = B.of_int mv in
+      let ctx = Mont.create m in
+      for b = 0 to 20 do
+        for e = 0 to 20 do
+          let want = B.modpow (B.of_int b) (B.of_int e) m in
+          let got = Mont.modpow ctx (B.of_int b) (B.of_int e) in
+          if not (B.equal want got) then
+            Alcotest.failf "mismatch: %d^%d mod %d — want %s got %s" b e mv
+              (B.to_string want) (B.to_string got)
+        done
+      done)
+    [ 3; 9; 15; 35; 121; 561; 32761; 1073741827 ]
+
+(* CRT-signed / Montgomery-verified round trips at the simulation's
+   key sizes *)
+let test_sign_verify_roundtrip () =
+  let rng = Prng.create 424242 in
+  List.iter
+    (fun bits ->
+      let key = Rsa.generate ~mr_rounds:6 rng ~bits in
+      (* SHA-256 DigestInfo needs a >= 62-byte modulus; 384-bit keys
+         sign with SHA-1, exactly as the simulation's CAs do *)
+      let digest = if bits < 512 then Dk.SHA1 else Dk.SHA256 in
+      let msg = Printf.sprintf "montgomery roundtrip at %d bits" bits in
+      let signature = Rsa.sign key ~digest msg in
+      Alcotest.(check bool)
+        (Printf.sprintf "verify ok at %d bits" bits)
+        true
+        (Rsa.verify key.Rsa.pub ~digest ~msg ~signature);
+      Alcotest.(check bool)
+        (Printf.sprintf "tampered msg rejected at %d bits" bits)
+        false
+        (Rsa.verify key.Rsa.pub ~digest ~msg:(msg ^ "!") ~signature);
+      let tampered =
+        let b = Bytes.of_string signature in
+        Bytes.set b (Bytes.length b - 1)
+          (Char.chr (Char.code (Bytes.get b (Bytes.length b - 1)) lxor 1));
+        Bytes.to_string b
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "tampered signature rejected at %d bits" bits)
+        false
+        (Rsa.verify key.Rsa.pub ~digest ~msg ~signature:tampered))
+    [ 384; 512; 768; 1024 ]
+
+(* the CRT path must agree with the plain d-exponent and survive the
+   raw encrypt/decrypt cross-check through the Montgomery public op *)
+let test_crt_agrees_with_plain () =
+  let rng = Prng.create 99 in
+  let key = Rsa.generate ~mr_rounds:6 rng ~bits:384 in
+  let m = B.random_below rng key.Rsa.pub.Rsa.n in
+  let data = B.to_bytes_be m in
+  check Alcotest.string "decrypt (CRT) inverts encrypt (Montgomery)" data
+    (Rsa.decrypt_raw key (Rsa.encrypt_raw key.Rsa.pub data))
+
+(* even modulus publics (hostile DER) must fall back to the oracle
+   path rather than raise *)
+let test_even_modulus_verify_fallback () =
+  let pub = Rsa.make_public ~n:(B.of_int 3233 |> B.mul B.two) ~e:(B.of_int 17) in
+  Alcotest.(check bool) "even-n verify is total" false
+    (Rsa.verify pub ~digest:Dk.SHA256 ~msg:"x" ~signature:(String.make 2 '\x01'))
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"of_bytes_be/to_bytes_be round-trip" ~count:300
+    QCheck.(make Gen.(string_size ~gen:char (int_range 0 80)))
+    (fun s ->
+      let v = B.of_bytes_be s in
+      (* to_bytes_be is minimal: strip s's leading zeros to compare *)
+      let stripped =
+        let i = ref 0 in
+        while !i < String.length s && s.[!i] = '\x00' do
+          incr i
+        done;
+        String.sub s !i (String.length s - !i)
+      in
+      String.equal stripped (B.to_bytes_be v))
+
+let prop_bytes_matches_hex =
+  QCheck.Test.make ~name:"of_bytes_be agrees with of_hex" ~count:200
+    QCheck.(make Gen.(string_size ~gen:char (int_range 1 64)))
+    (fun s ->
+      match B.of_hex (Tangled_util.Hex.encode s) with
+      | Ok v -> B.equal v (B.of_bytes_be s)
+      | Error _ -> false)
+
+(* verification memo: verdicts are stable across repeats and hits
+   accumulate *)
+let test_verify_cache_stable () =
+  let rng = Prng.create 7 in
+  let module Authority = Tangled_x509.Authority in
+  let module C = Tangled_x509.Certificate in
+  let root =
+    Authority.self_signed ~bits:384 ~digest:Dk.SHA1 rng (Tangled_x509.Dn.make "Memo Root")
+  in
+  let inter =
+    Authority.issue_intermediate ~bits:384 ~digest:Dk.SHA1 rng ~parent:root
+      (Tangled_x509.Dn.make "Memo Inter")
+  in
+  let cert = inter.Authority.certificate in
+  let issuer = root.Authority.certificate in
+  Chain.clear_verify_cache ();
+  let first = Chain.verify_cert ~issuer cert in
+  let h0, m0 = Chain.verify_cache_stats () in
+  let second = Chain.verify_cert ~issuer cert in
+  let h1, m1 = Chain.verify_cache_stats () in
+  Alcotest.(check bool) "verdict ok" true first;
+  Alcotest.(check bool) "verdict stable" first second;
+  Alcotest.(check bool) "repeat was a hit" true (h1 = h0 + 1 && m1 = m0);
+  Alcotest.(check bool) "memo agrees with direct verification" second
+    (C.verify_signature cert ~issuer_key:issuer.C.public_key)
+
+let suite =
+  [
+    qtest prop_mont_matches_oracle;
+    Alcotest.test_case "base >= modulus" `Quick test_base_exceeds_modulus;
+    Alcotest.test_case "exponent zero" `Quick test_exponent_zero;
+    Alcotest.test_case "bad moduli rejected" `Quick test_rejections;
+    Alcotest.test_case "small exhaustive sweep" `Quick test_small_exhaustive;
+    Alcotest.test_case "CRT sign/verify 384-1024 bits" `Slow test_sign_verify_roundtrip;
+    Alcotest.test_case "CRT agrees with raw ops" `Quick test_crt_agrees_with_plain;
+    Alcotest.test_case "even-modulus fallback" `Quick test_even_modulus_verify_fallback;
+    qtest prop_bytes_roundtrip;
+    qtest prop_bytes_matches_hex;
+    Alcotest.test_case "verify cache stable" `Quick test_verify_cache_stable;
+  ]
