@@ -7,16 +7,20 @@
    pre-index chain-array scan.  The scaling group pairs the legacy
    division-based modpow against the Montgomery fixed-window modpow at
    each operand size, and the substrate group pairs cold vs cached
-   chain validation around the signature-verification memo.  After
-   timing, the harness prints every artefact itself so bench output
-   doubles as a compact reproduction report, and writes the
-   measurements to a JSON file (BENCH_3.json by default) so later PRs
-   have a perf baseline to diff against.
+   chain validation around the signature-verification memo.  The
+   hash_cores group pairs the unboxed streaming digest cores against
+   the boxed pre-optimisation reference implementations (and the
+   table-driven hex codec against the per-character one), and times
+   the JSONL ingest reader end to end.  After timing, the harness
+   prints every artefact itself so bench output doubles as a compact
+   reproduction report, and writes the measurements to a JSON file
+   (BENCH_4.json by default) so later PRs have a perf baseline to
+   diff against.
 
    Flags:
      --quick      smoke mode for the @check gate: substrate and
                   notary_queries groups only, short quota, no report
-     --out FILE   where to write the JSON (default BENCH_3.json)
+     --out FILE   where to write the JSON (default BENCH_4.json)
      --no-json    skip the JSON dump *)
 
 open Bechamel
@@ -37,6 +41,9 @@ module Prng = Tangled_util.Prng
 module Ts = Tangled_util.Timestamp
 module Timing = Tangled_engine.Timing
 module J = Tangled_util.Json
+module Hex = Tangled_util.Hex
+module Ingest = Tangled_ingest.Ingest
+module Export = Tangled_core.Export
 
 let world = lazy (Lazy.force Pipeline.quick)
 
@@ -105,6 +112,65 @@ let substrate_tests () =
     Test.make ~name:"notary_validated_by_store"
       (Staged.stage (fun () ->
            ignore (Notary.validated_by_store w.Pipeline.notary (u.BP.aosp PD.V4_4))));
+  ]
+
+(* --- hash_cores: unboxed streaming cores vs the boxed reference --------- *)
+
+(* The pre-optimisation per-character hex codec, kept verbatim as the
+   before-side of the pair (the library version is table-driven). *)
+let hex_digit n = "0123456789abcdef".[n]
+
+let hex_encode_chars s =
+  let n = String.length s in
+  let b = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code s.[i] in
+    Bytes.set b (2 * i) (hex_digit (c lsr 4));
+    Bytes.set b ((2 * i) + 1) (hex_digit (c land 0xf))
+  done;
+  Bytes.unsafe_to_string b
+
+let hex_value_of_char c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "bad hex"
+
+let hex_decode_chars h =
+  let n = String.length h in
+  let b = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    let hi = hex_value_of_char h.[2 * i] and lo = hex_value_of_char h.[(2 * i) + 1] in
+    Bytes.set b i (Char.chr ((hi lsl 4) lor lo))
+  done;
+  Bytes.unsafe_to_string b
+
+let hash_core_tests () =
+  let w = Lazy.force world in
+  let msg512 = String.make 512 'm' in
+  let msg16k = String.make 16384 'm' in
+  let hex1k = Hex.encode msg512 in
+  let jsonl = Export.sessions_jsonl ~limit:50 w in
+  [
+    Test.make ~name:"sha256_ref_512B"
+      (Staged.stage (fun () -> ignore (Tangled_hash.Reference.Sha256.digest msg512)));
+    Test.make ~name:"sha1_ref_512B"
+      (Staged.stage (fun () -> ignore (Tangled_hash.Reference.Sha1.digest msg512)));
+    Test.make ~name:"md5_ref_512B"
+      (Staged.stage (fun () -> ignore (Tangled_hash.Reference.Md5.digest msg512)));
+    Test.make ~name:"sha256_ref_16384B"
+      (Staged.stage (fun () -> ignore (Tangled_hash.Reference.Sha256.digest msg16k)));
+    Test.make ~name:"hex_encode_512B"
+      (Staged.stage (fun () -> ignore (Hex.encode msg512)));
+    Test.make ~name:"hex_encode_chars_512B"
+      (Staged.stage (fun () -> ignore (hex_encode_chars msg512)));
+    Test.make ~name:"hex_decode_1024B"
+      (Staged.stage (fun () -> ignore (Hex.decode hex1k)));
+    Test.make ~name:"hex_decode_chars_1024B"
+      (Staged.stage (fun () -> ignore (hex_decode_chars hex1k)));
+    Test.make ~name:"ingest_sessions_jsonl_50"
+      (Staged.stage (fun () -> ignore (Ingest.sessions_of_string jsonl)));
   ]
 
 (* --- notary_queries: coverage index vs chain-array scan ------------------ *)
@@ -298,11 +364,51 @@ let json_report () =
     @ ratio "chain_validate_cache_speedup"
         [| "substrates"; "chain_validate_cold" |]
         [| "substrates"; "chain_validate_cached" |]
+    @ ratio "sha256_unboxed_speedup_512"
+        [| "hash_cores"; "sha256_ref_512B" |]
+        [| "substrates"; "sha256_512B" |]
+    @ ratio "sha1_unboxed_speedup_512"
+        [| "hash_cores"; "sha1_ref_512B" |]
+        [| "substrates"; "sha1_512B" |]
+    @ ratio "md5_unboxed_speedup_512"
+        [| "hash_cores"; "md5_ref_512B" |]
+        [| "substrates"; "md5_512B" |]
+    @ ratio "sha256_unboxed_speedup_16384"
+        [| "hash_cores"; "sha256_ref_16384B" |]
+        [| "substrate scaling"; "sha256_16384B" |]
+    @ ratio "hex_encode_speedup"
+        [| "hash_cores"; "hex_encode_chars_512B" |]
+        [| "hash_cores"; "hex_encode_512B" |]
+    @ ratio "hex_decode_speedup"
+        [| "hash_cores"; "hex_decode_chars_1024B" |]
+        [| "hash_cores"; "hex_decode_1024B" |]
+  in
+  (* digest throughput at each scaling size, derived from the ns/run
+     estimates: bytes hashed per second, reported in MB/s *)
+  let throughput =
+    List.filter_map
+      (fun (group, name, bytes) ->
+        match find_ns group name with
+        | Some ns when ns > 0.0 ->
+            Some (name, J.Float (float_of_int bytes /. (ns /. 1e9) /. 1e6))
+        | _ -> None)
+      [
+        ("substrate scaling", "sha256_64B", 64);
+        ("substrates", "sha256_512B", 512);
+        ("substrate scaling", "sha256_1024B", 1024);
+        ("substrate scaling", "sha256_16384B", 16384);
+        ("substrates", "sha1_512B", 512);
+        ("substrates", "md5_512B", 512);
+      ]
+  in
+  let throughput =
+    if throughput = [] then []
+    else [ ("hash_throughput_mb_s", J.Obj throughput) ]
   in
   let hits, misses = Chain.verify_cache_stats () in
   J.Obj
     ([
-       ("pr", J.Int 3);
+       ("pr", J.Int 4);
        ("world", J.String "quick");
        ("unit", J.String "ns_per_run");
        ("jobs", J.Int w.Pipeline.jobs);
@@ -310,7 +416,7 @@ let json_report () =
        ( "verify_cache",
          J.Obj [ ("hits", J.Int hits); ("misses", J.Int misses) ] );
      ]
-    @ speedup
+    @ speedup @ throughput
     @ [ ("benches", J.Obj groups) ])
 
 let () =
@@ -318,7 +424,7 @@ let () =
   let no_json = Array.exists (( = ) "--no-json") Sys.argv in
   let out =
     let rec find i =
-      if i + 1 >= Array.length Sys.argv then "BENCH_3.json"
+      if i + 1 >= Array.length Sys.argv then "BENCH_4.json"
       else if Sys.argv.(i) = "--out" then Sys.argv.(i + 1)
       else find (i + 1)
     in
@@ -337,6 +443,7 @@ let () =
   run_group ~quota "substrates" (substrate_tests ());
   run_group ~quota "notary_queries" (notary_query_tests ());
   if not quick then begin
+    run_group ~quota "hash_cores" (hash_core_tests ());
     run_group ~quota "substrate scaling" (scaling_tests ());
     run_group ~quota "ablations" (ablation_tests ())
   end;
@@ -356,6 +463,22 @@ let () =
             (legacy /. mont)
       | _ -> ())
     [ 256; 512; 1024 ];
+  List.iter
+    (fun (label, ref_pair, new_pair) ->
+      match
+        (find_ns (fst ref_pair) (snd ref_pair), find_ns (fst new_pair) (snd new_pair))
+      with
+      | Some before, Some after when after > 0.0 ->
+          Printf.printf "%s speedup (boxed/unboxed): %.1fx\n%!" label (before /. after)
+      | _ -> ())
+    [
+      ("sha256 512B", ("hash_cores", "sha256_ref_512B"), ("substrates", "sha256_512B"));
+      ("sha1 512B", ("hash_cores", "sha1_ref_512B"), ("substrates", "sha1_512B"));
+      ("md5 512B", ("hash_cores", "md5_ref_512B"), ("substrates", "md5_512B"));
+      ( "sha256 16KiB",
+        ("hash_cores", "sha256_ref_16384B"),
+        ("substrate scaling", "sha256_16384B") );
+    ];
   (match (find_ns "substrates" "chain_validate_cold",
           find_ns "substrates" "chain_validate_cached") with
   | Some cold, Some cached when cached > 0.0 ->

@@ -340,10 +340,16 @@ let ingest_cmd =
               "sessions")
       | k -> k
     in
+    (* CLI-only: the input digest stays out of render_stats so report
+       artefacts remain byte-stable *)
+    let print_digest (stats : Ingest.stats) =
+      Printf.printf "input sha256: %s\n" stats.Ingest.input_sha256
+    in
     match kind with
     | "sessions" ->
         let r = Ingest.sessions_of_string input in
         print_endline (Ingest.render_stats ~title:("Session-log ingest: " ^ file) r);
+        print_digest r.Ingest.stats;
         print_endline
           (T.render_kv ~title:"Recomputed headline aggregates"
              [
@@ -356,6 +362,7 @@ let ingest_cmd =
     | "notary" ->
         let r = Ingest.notary_of_string input in
         print_endline (Ingest.render_stats ~title:("Notary-DB ingest: " ^ file) r);
+        print_digest r.Ingest.stats;
         print_endline
           (T.render_kv ~title:"Recomputed headline aggregates"
              [
@@ -368,6 +375,7 @@ let ingest_cmd =
     | "stores" ->
         let r = Ingest.stores_of_string input in
         print_endline (Ingest.render_stats ~title:("Store-dump ingest: " ^ file) r);
+        print_digest r.Ingest.stats;
         print_endline
           (T.render ~title:"Store sizes (Table 1 from ingested data)"
              ~aligns:[ T.Left; T.Right ]
@@ -515,10 +523,12 @@ let audit_cmd =
 
 (* The regression gate behind `dune build @check`: (1) cross-check the
    Montgomery exponentiation against the legacy division-based modpow
-   on deterministic random inputs, and (2) rebuild the quick world at
-   --jobs 1 and compare the SHA-256 of the full rendered report against
-   the golden digest committed in test/ — any drift in the study's
-   bytes fails the build. *)
+   on deterministic random inputs, (2) check the unboxed streaming hash
+   cores against published vectors, padding-boundary lengths and the
+   retained boxed reference implementations, and (3) rebuild the quick
+   world at --jobs 1 and compare the SHA-256 of the full rendered
+   report against the golden digest committed in test/ — any drift in
+   the study's bytes fails the build. *)
 
 let selfcheck_cmd =
   let module B = Tangled_numeric.Bigint in
@@ -556,8 +566,84 @@ let selfcheck_cmd =
     Printf.printf "montgomery-vs-oracle: %d/%d trials ok\n%!" (trials - !failures) trials;
     !failures = 0
   in
+  let hash_vectors_check () =
+    let module H = Tangled_hash in
+    let failures = ref 0 in
+    let check what got want =
+      if not (String.equal got want) then begin
+        incr failures;
+        Printf.eprintf "selfcheck: hash mismatch for %s\n  want %s\n  got  %s\n" what want got
+      end
+    in
+    (* published vectors plus the padding-boundary lengths 55/56/64/119 *)
+    let a n = String.make n 'a' in
+    List.iter
+      (fun (name, msg, md5, sha1, sha256) ->
+        check ("md5 " ^ name) (H.Md5.hex msg) md5;
+        check ("sha1 " ^ name) (H.Sha1.hex msg) sha1;
+        check ("sha256 " ^ name) (H.Sha256.hex msg) sha256)
+      [
+        ( "empty", "",
+          "d41d8cd98f00b204e9800998ecf8427e",
+          "da39a3ee5e6b4b0d3255bfef95601890afd80709",
+          "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855" );
+        ( "abc", "abc",
+          "900150983cd24fb0d6963f7d28e17f72",
+          "a9993e364706816aba3e25717850c26c9cd0d89d",
+          "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad" );
+        ( "a*55", a 55,
+          "ef1772b6dff9a122358552954ad0df65",
+          "c1c8bbdc22796e28c0e15163d20899b65621d65a",
+          "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318" );
+        ( "a*56", a 56,
+          "3b0c8ac703f828b04c6c197006d17218",
+          "c2db330f6083854c99d4b5bfb6e8f29f201be699",
+          "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a" );
+        ( "a*64", a 64,
+          "014842d480b571495a4a0363793f7367",
+          "0098ba824b5c16427bd7a1122a5a442a25ec644d",
+          "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb" );
+        ( "a*119", a 119,
+          "8a7bd0732ed6a28ce75f6dabc90e1613",
+          "ee971065aaa017e0632a8ca6c77bb3bf8b1dfc56",
+          "31eba51c313a5c08226adf18d4a359cfdfd8d2e816b13f4af952f7ea6584dcfb" );
+      ];
+    (* streaming at random split points vs one-shot vs the boxed oracle *)
+    let rng = Prng.create 602214 in
+    for trial = 1 to 60 do
+      let msg = Prng.bytes rng (Prng.int rng 300) in
+      let split_feed init feed_sub finalize =
+        let ctx = init () in
+        let off = ref 0 in
+        while !off < String.length msg do
+          let len = Prng.int_in rng 1 (String.length msg - !off) in
+          feed_sub ctx msg ~off:!off ~len;
+          off := !off + len
+        done;
+        finalize ctx
+      in
+      let agree name oneshot reference streamed =
+        if not (String.equal (oneshot msg) (reference msg) && String.equal (oneshot msg) streamed)
+        then begin
+          incr failures;
+          Printf.eprintf "selfcheck: %s disagreement at trial %d (len %d)\n" name trial
+            (String.length msg)
+        end
+      in
+      agree "md5" H.Md5.digest H.Reference.Md5.digest
+        (split_feed H.Md5.init H.Md5.feed_sub H.Md5.finalize);
+      agree "sha1" H.Sha1.digest H.Reference.Sha1.digest
+        (split_feed H.Sha1.init H.Sha1.feed_sub H.Sha1.finalize);
+      agree "sha256" H.Sha256.digest H.Reference.Sha256.digest
+        (split_feed H.Sha256.init H.Sha256.feed_sub H.Sha256.finalize)
+    done;
+    Printf.printf "hash-vectors-and-oracle: %s\n%!"
+      (if !failures = 0 then "ok" else string_of_int !failures ^ " failures");
+    !failures = 0
+  in
   let run () golden update =
     let ok_mont = mont_crosscheck () in
+    let ok_hash = hash_vectors_check () in
     let world =
       Pipeline.run
         ~config:{ Pipeline.quick_config with Pipeline.jobs = 1 }
@@ -569,7 +655,7 @@ let selfcheck_cmd =
     if update then begin
       Tangled_core.Export.write_text golden (digest ^ "\n");
       Printf.printf "wrote %s (%s)\n%!" golden digest;
-      if not ok_mont then exit 1
+      if not (ok_mont && ok_hash) then exit 1
     end
     else begin
       let expected = String.trim (In_channel.with_open_text golden In_channel.input_all) in
@@ -579,12 +665,12 @@ let selfcheck_cmd =
         Printf.eprintf
           "selfcheck: report digest drifted\n  golden:  %s\n  current: %s\n%!"
           expected digest;
-      if not (ok_mont && ok_digest) then exit 1
+      if not (ok_mont && ok_hash && ok_digest) then exit 1
     end
   in
   Cmd.v
     (Cmd.info "selfcheck"
-       ~doc:"Montgomery-vs-oracle cross-check + golden report-digest regression gate")
+       ~doc:"Montgomery and hash-core cross-checks + golden report-digest regression gate")
     Term.(const run $ logs_term $ golden_arg $ update_arg)
 
 (* --- intercept --------------------------------------------------------- *)

@@ -113,20 +113,25 @@ let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
-let read_length s off =
-  if off >= String.length s then Error Truncated
+(* The decoder is a cursor over the raw buffer: every recursion level
+   works on [(s, off, limit)] views and only escaping leaves (bit-string
+   payloads, octet strings, character strings, integer magnitudes)
+   materialise substrings.  Constructed values never copy their body. *)
+
+let read_length s off limit =
+  if off >= limit then Error Truncated
   else begin
-    let b = Char.code s.[off] in
+    let b = Char.code (String.unsafe_get s off) in
     if b < 0x80 then Ok (b, off + 1)
     else if b = 0x80 then Error Bad_length (* indefinite: not DER *)
     else begin
       let nbytes = b land 0x7f in
-      if nbytes > 4 then Error Bad_length
-      else if off + 1 + nbytes > String.length s then Error Truncated
+      if nbytes > 4 then Error Bad_length (* overlong: > 2^32-1 content *)
+      else if off + 1 + nbytes > limit then Error Truncated
       else begin
         let v = ref 0 in
         for i = 0 to nbytes - 1 do
-          v := (!v lsl 8) lor Char.code s.[off + 1 + i]
+          v := (!v lsl 8) lor Char.code (String.unsafe_get s (off + 1 + i))
         done;
         (* DER: length must use the minimal form *)
         if !v < 0x80 || (nbytes > 1 && !v < 1 lsl (8 * (nbytes - 1))) then Error Bad_length
@@ -135,19 +140,18 @@ let read_length s off =
     end
   end
 
-let decode_integer content =
-  let n = String.length content in
-  if n = 0 then Error (Bad_value "empty INTEGER")
+let decode_integer s off len =
+  if len = 0 then Error (Bad_value "empty INTEGER")
   else if
     (* DER: first nine bits may not be all zero or all one *)
-    n > 1
-    && ((Char.code content.[0] = 0x00 && Char.code content.[1] land 0x80 = 0)
-        || (Char.code content.[0] = 0xff && Char.code content.[1] land 0x80 <> 0))
+    len > 1
+    && ((Char.code s.[off] = 0x00 && Char.code s.[off + 1] land 0x80 = 0)
+        || (Char.code s.[off] = 0xff && Char.code s.[off + 1] land 0x80 <> 0))
   then Error (Bad_value "non-minimal INTEGER")
   else begin
-    let v = B.of_bytes_be content in
-    if Char.code content.[0] land 0x80 = 0 then Ok v
-    else Ok (B.sub v (B.shift_left B.one (8 * n)))
+    let v = B.of_bytes_be (String.sub s off len) in
+    if Char.code s.[off] land 0x80 = 0 then Ok v
+    else Ok (B.sub v (B.shift_left B.one (8 * len)))
   end
 
 let is_printable_char c =
@@ -156,84 +160,124 @@ let is_printable_char c =
   | ' ' | '\'' | '(' | ')' | '+' | ',' | '-' | '.' | '/' | ':' | '=' | '?' -> true
   | _ -> false
 
-let rec decode_prefix s off =
-  if off >= String.length s then Error Truncated
+let range_for_all f s off len =
+  let ok = ref true in
+  for i = off to off + len - 1 do
+    if not (f (String.unsafe_get s i)) then ok := false
+  done;
+  !ok
+
+let rec decode_range s off limit =
+  if off >= limit then Error Truncated
   else begin
-    let tag = Char.code s.[off] in
-    let* len, body_off = read_length s (off + 1) in
-    if body_off + len > String.length s then Error Truncated
+    let tag = Char.code (String.unsafe_get s off) in
+    let* len, body_off = read_length s (off + 1) limit in
+    if body_off + len > limit then Error Truncated
     else begin
-      let content = String.sub s body_off len in
-      let finish v = Ok (v, body_off + len) in
+      let stop = body_off + len in
+      let finish v = Ok (v, stop) in
       match tag with
       | 0x01 ->
           if len <> 1 then Error (Bad_value "BOOLEAN length")
           else begin
             (* DER: true must be 0xff *)
-            match Char.code content.[0] with
+            match Char.code s.[body_off] with
             | 0x00 -> finish (Boolean false)
             | 0xff -> finish (Boolean true)
             | _ -> Error (Bad_value "BOOLEAN content")
           end
       | 0x02 ->
-          let* v = decode_integer content in
+          let* v = decode_integer s body_off len in
           finish (Integer v)
       | 0x03 ->
           if len = 0 then Error (Bad_value "empty BIT STRING")
           else begin
-            let unused = Char.code content.[0] in
+            let unused = Char.code s.[body_off] in
             if unused > 7 then Error (Bad_value "BIT STRING unused bits")
-            else finish (Bit_string (unused, String.sub content 1 (len - 1)))
+            else finish (Bit_string (unused, String.sub s (body_off + 1) (len - 1)))
           end
-      | 0x04 -> finish (Octet_string content)
+      | 0x04 -> finish (Octet_string (String.sub s body_off len))
       | 0x05 -> if len <> 0 then Error (Bad_value "NULL length") else finish Null
       | 0x06 -> (
-          match Oid.of_der_content content with
+          match Oid.of_der_content (String.sub s body_off len) with
           | Some oid -> finish (Oid oid)
           | None -> Error (Bad_value "OBJECT IDENTIFIER"))
-      | 0x0c -> finish (Utf8_string content)
+      | 0x0c -> finish (Utf8_string (String.sub s body_off len))
       | 0x13 ->
-          if String.for_all is_printable_char content then finish (Printable_string content)
+          if range_for_all is_printable_char s body_off len then
+            finish (Printable_string (String.sub s body_off len))
           else Error (Bad_value "PrintableString alphabet")
       | 0x16 ->
-          if String.for_all (fun c -> Char.code c < 0x80) content then finish (Ia5_string content)
+          if range_for_all (fun c -> Char.code c < 0x80) s body_off len then
+            finish (Ia5_string (String.sub s body_off len))
           else Error (Bad_value "IA5String alphabet")
       | 0x17 -> (
-          match Ts.of_asn1_utctime content with
+          match Ts.of_asn1_utctime (String.sub s body_off len) with
           | Some ts -> finish (Utc_time ts)
           | None -> Error (Bad_value "UTCTime"))
       | 0x18 -> (
-          match Ts.of_asn1_generalized content with
+          match Ts.of_asn1_generalized (String.sub s body_off len) with
           | Some ts -> finish (Generalized_time ts)
           | None -> Error (Bad_value "GeneralizedTime"))
       | 0x30 ->
-          let* items = decode_all content in
+          let* items = decode_items s body_off stop in
           finish (Sequence items)
       | 0x31 ->
-          let* items = decode_all content in
+          let* items = decode_items s body_off stop in
           finish (Set items)
       | _ when tag land 0xe0 = 0xa0 ->
           (* constructed context-specific: treat as explicit *)
-          let* inner = decode content in
-          finish (Context (tag land 0x1f, inner))
+          let* inner, inner_stop = decode_range s body_off stop in
+          if inner_stop <> stop then Error Trailing_garbage
+          else finish (Context (tag land 0x1f, inner))
       | _ when tag land 0xc0 = 0x80 ->
-          finish (Context_primitive (tag land 0x1f, content))
+          finish (Context_primitive (tag land 0x1f, String.sub s body_off len))
       | _ -> Error (Bad_tag tag)
     end
   end
 
-and decode_all s =
+and decode_items s off limit =
   let rec go off acc =
-    if off = String.length s then Ok (List.rev acc)
+    if off = limit then Ok (List.rev acc)
     else
-      let* v, off' = decode_prefix s off in
+      let* v, off' = decode_range s off limit in
       go off' (v :: acc)
   in
-  go 0 []
+  go off []
 
-and decode s =
-  let* v, stop = decode_prefix s 0 in
+let decode_prefix s off = decode_range s off (String.length s)
+
+let decode s =
+  let* v, stop = decode_range s 0 (String.length s) in
   if stop <> String.length s then Error Trailing_garbage else Ok v
+
+(* Spans of the immediate children of a constructed value that fills
+   the whole buffer: each span is [(off, len)] of a child's complete
+   TLV.  Children are skipped over, not decoded — callers pair this
+   with a full [decode] when they need both the tree and raw slices
+   (e.g. the TBSCertificate bytes a signature covers). *)
+let child_spans s =
+  let n = String.length s in
+  if n = 0 then Error Truncated
+  else begin
+    let tag = Char.code s.[0] in
+    if tag land 0x20 = 0 then Error (Bad_value "not a constructed value")
+    else
+      let* len, body_off = read_length s 1 n in
+      if body_off + len > n then Error Truncated
+      else if body_off + len <> n then Error Trailing_garbage
+      else begin
+        let rec go off acc =
+          if off = n then Ok (List.rev acc)
+          else if off >= n then Error Truncated
+          else
+            let* child_len, child_body = read_length s (off + 1) n in
+            let stop = child_body + child_len in
+            if stop > n then Error Truncated else go stop ((off, stop - off) :: acc)
+        in
+        go body_off []
+      end
+  end
 
 (* --- accessors ----------------------------------------------------- *)
 

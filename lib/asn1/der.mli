@@ -44,7 +44,16 @@ val decode : string -> (t, error) result
 
 val decode_prefix : string -> int -> (t * int, error) result
 (** [decode_prefix s off] parses one value starting at [off] and
-    returns it with the offset one past its end. *)
+    returns it with the offset one past its end.  The decoder is a
+    cursor over [s]: constructed values never copy their body, only
+    escaping leaves materialise substrings. *)
+
+val child_spans : string -> ((int * int) list, error) result
+(** [child_spans s] gives [(off, len)] of each immediate child TLV of
+    the constructed value spanning the whole of [s], without decoding
+    the children.  Pairs with {!decode} when a caller needs raw slices
+    of specific fields (e.g. the TBSCertificate bytes a signature
+    covers). *)
 
 (** Convenience accessors used by the X.509 layer; each returns [None]
     on a shape mismatch. *)

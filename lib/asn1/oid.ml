@@ -57,9 +57,17 @@ let of_der_content s =
       if i >= n then if acc = 0 then Some (List.rev arcs) else None
       else begin
         let b = Char.code s.[i] in
-        let acc = (acc lsl 7) lor (b land 0x7f) in
-        if b land 0x80 <> 0 then read (i + 1) acc arcs
-        else read (i + 1) 0 (acc :: arcs)
+        (* DER base-128 is minimal: a leading zero septet (0x80) is not a
+           valid start of an arc, and an arc that overflows [int] could
+           not round-trip — reject both so that every accepted content
+           string is exactly what [to_der_content] reproduces. *)
+        if acc = 0 && b = 0x80 then None
+        else if acc > max_int lsr 7 then None
+        else begin
+          let acc = (acc lsl 7) lor (b land 0x7f) in
+          if b land 0x80 <> 0 then read (i + 1) acc arcs
+          else read (i + 1) 0 (acc :: arcs)
+        end
       end
     in
     match read 0 0 [] with

@@ -94,27 +94,42 @@ let modulus_bytes pub = B.to_bytes_be pub.n
 
 (* DigestInfo prefixes from RFC 8017 §9.2: the DER encoding of
    AlgorithmIdentifier + NULL params + OCTET STRING header for each
-   supported hash, to which the raw digest is appended. *)
+   supported hash, to which the raw digest is appended.  Decoded once
+   at load time, not per operation. *)
+let md5_prefix = Tangled_util.Hex.decode "3020300c06082a864886f70d020505000410"
+let sha1_prefix = Tangled_util.Hex.decode "3021300906052b0e03021a05000414"
+let sha256_prefix = Tangled_util.Hex.decode "3031300d060960864801650304020105000420"
+
 let digest_info_prefix = function
-  | Dk.MD5 ->
-      Tangled_util.Hex.decode "3020300c06082a864886f70d020505000410"
-  | Dk.SHA1 -> Tangled_util.Hex.decode "3021300906052b0e03021a05000414"
-  | Dk.SHA256 ->
-      Tangled_util.Hex.decode "3031300d060960864801650304020105000420"
+  | Dk.MD5 -> md5_prefix
+  | Dk.SHA1 -> sha1_prefix
+  | Dk.SHA256 -> sha256_prefix
 
 let emsa_pkcs1_v1_5 ~digest msg em_len =
   let h = Dk.digest digest msg in
-  let t = digest_info_prefix digest ^ h in
-  let t_len = String.length t in
+  let prefix = digest_info_prefix digest in
+  let t_len = String.length prefix + String.length h in
   if em_len < t_len + 11 then
     invalid_arg "Rsa: intended encoded message length too short";
-  (* 0x00 0x01 PS 0x00 T, PS = 0xff padding of length >= 8 *)
-  let ps = String.make (em_len - t_len - 3) '\xff' in
-  "\x00\x01" ^ ps ^ "\x00" ^ t
+  (* 0x00 0x01 PS 0x00 T, PS = 0xff padding of length >= 8; built in
+     one allocation with the padding as the fill byte *)
+  let em = Bytes.make em_len '\xff' in
+  Bytes.set em 0 '\x00';
+  Bytes.set em 1 '\x01';
+  let t_off = em_len - t_len in
+  Bytes.set em (t_off - 1) '\x00';
+  Bytes.blit_string prefix 0 em t_off (String.length prefix);
+  Bytes.blit_string h 0 em (t_off + String.length prefix) (String.length h);
+  Bytes.unsafe_to_string em
 
 let left_pad len s =
   let n = String.length s in
-  if n >= len then s else String.make (len - n) '\x00' ^ s
+  if n >= len then s
+  else begin
+    let b = Bytes.make len '\x00' in
+    Bytes.blit_string s 0 b (len - n) n;
+    Bytes.unsafe_to_string b
+  end
 
 (* CRT private-key operation (RFC 8017 §5.1.2): two half-size
    exponentiations instead of one full-size one, ~4x faster — each

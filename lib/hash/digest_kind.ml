@@ -15,4 +15,28 @@ let size = function MD5 -> 16 | SHA1 -> 20 | SHA256 -> 32
 let digest = function MD5 -> Md5.digest | SHA1 -> Sha1.digest | SHA256 -> Sha256.digest
 let hex = function MD5 -> Md5.hex | SHA1 -> Sha1.hex | SHA256 -> Sha256.hex
 
+type ctx = Md5_ctx of Md5.ctx | Sha1_ctx of Sha1.ctx | Sha256_ctx of Sha256.ctx
+
+let init = function
+  | MD5 -> Md5_ctx (Md5.init ())
+  | SHA1 -> Sha1_ctx (Sha1.init ())
+  | SHA256 -> Sha256_ctx (Sha256.init ())
+
+let feed ctx s =
+  match ctx with
+  | Md5_ctx c -> Md5.feed c s
+  | Sha1_ctx c -> Sha1.feed c s
+  | Sha256_ctx c -> Sha256.feed c s
+
+let feed_sub ctx s ~off ~len =
+  match ctx with
+  | Md5_ctx c -> Md5.feed_sub c s ~off ~len
+  | Sha1_ctx c -> Sha1.feed_sub c s ~off ~len
+  | Sha256_ctx c -> Sha256.feed_sub c s ~off ~len
+
+let finalize = function
+  | Md5_ctx c -> Md5.finalize c
+  | Sha1_ctx c -> Sha1.finalize c
+  | Sha256_ctx c -> Sha256.finalize c
+
 let pp fmt t = Format.pp_print_string fmt (name t)

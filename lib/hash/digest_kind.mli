@@ -15,4 +15,20 @@ val size : t -> int
 val digest : t -> string -> string
 val hex : t -> string -> string
 
+type ctx
+(** A streaming context for any of the three algorithms, dispatching to
+    the matching unboxed core. *)
+
+val init : t -> ctx
+
+val feed : ctx -> string -> unit
+
+val feed_sub : ctx -> string -> off:int -> len:int -> unit
+(** Absorb [len] bytes of [s] starting at [off] without copying them.
+    @raise Invalid_argument when the range is out of bounds. *)
+
+val finalize : ctx -> string
+(** The digest ([size] bytes) of everything fed.  Consumes the
+    context. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,6 +1,26 @@
-(** MD5 (RFC 1321).  Present because pre-4.x Android root stores and
-    legacy certificates still carry MD5-based identifiers; used only for
-    fingerprint variety, never for signatures. *)
+(** MD5 (RFC 1321) on unboxed native-int arithmetic.  Present because
+    pre-4.x Android root stores and legacy certificates still carry
+    MD5-based identifiers; used only for fingerprint variety, never for
+    signatures.
+
+    Same streaming-context contract as {!Sha256}: no call pads or
+    copies the message beyond a sub-block tail. *)
+
+type ctx
+(** An in-progress hash.  Not shareable across domains. *)
+
+val init : unit -> ctx
+
+val feed : ctx -> string -> unit
+(** Absorb a whole string. *)
+
+val feed_sub : ctx -> string -> off:int -> len:int -> unit
+(** Absorb [len] bytes of [s] starting at [off] without copying them.
+    @raise Invalid_argument when the range is out of bounds. *)
+
+val finalize : ctx -> string
+(** The 16-byte digest of everything fed.  Consumes the context: reuse
+    after [finalize] is undefined. *)
 
 val digest : string -> string
 (** [digest msg] is the 16-byte MD5 of [msg]. *)

@@ -1,0 +1,15 @@
+(** Pre-optimisation digest implementations, retained as the test and
+    selfcheck oracle for the unboxed streaming cores.  Never used on
+    the hot path. *)
+
+module Sha256 : sig
+  val digest : string -> string
+end
+
+module Sha1 : sig
+  val digest : string -> string
+end
+
+module Md5 : sig
+  val digest : string -> string
+end

@@ -1,79 +1,126 @@
-(* FIPS 180-4 SHA-1 over Int32 words. *)
+(* FIPS 180-4 SHA-1 on unboxed native ints; same streaming-context
+   design as {!Sha256} (32-bit values in 63-bit ints, unsafe char
+   loads, only a sub-block tail ever copied).  [Reference.Sha1] keeps
+   the old boxed implementation as the oracle. *)
 
-let rotl x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
-let ( ^^ ) = Int32.logxor
-let ( &&& ) = Int32.logand
-let ( ||| ) = Int32.logor
-let ( +% ) = Int32.add
-let lnot32 = Int32.lognot
+let mask32 = 0xFFFFFFFF
 
-let pad msg =
-  let len = String.length msg in
-  let bitlen = Int64.of_int (len * 8) in
-  let padlen =
-    let r = (len + 1) mod 64 in
-    if r <= 56 then 56 - r else 120 - r
-  in
-  let b = Buffer.create (len + padlen + 9) in
-  Buffer.add_string b msg;
-  Buffer.add_char b '\x80';
-  Buffer.add_string b (String.make padlen '\x00');
-  for i = 7 downto 0 do
-    Buffer.add_char b
-      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen (8 * i)) 0xFFL)))
+type ctx = {
+  h : int array;  (* 5 state words *)
+  w : int array;  (* 80-entry schedule, reused every block *)
+  buf : Bytes.t;
+  mutable buflen : int;
+  mutable total : int;
+}
+
+let init () =
+  {
+    h = [| 0x67452301; 0xEFCDAB89; 0x98BADCFE; 0x10325476; 0xC3D2E1F0 |];
+    w = Array.make 80 0;
+    buf = Bytes.create 64;
+    buflen = 0;
+    total = 0;
+  }
+
+let[@inline] rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let compress ctx s off =
+  let w = ctx.w and h = ctx.h in
+  for t = 0 to 15 do
+    let j = off + (4 * t) in
+    Array.unsafe_set w t
+      ((Char.code (String.unsafe_get s j) lsl 24)
+      lor (Char.code (String.unsafe_get s (j + 1)) lsl 16)
+      lor (Char.code (String.unsafe_get s (j + 2)) lsl 8)
+      lor Char.code (String.unsafe_get s (j + 3)))
   done;
-  Buffer.contents b
+  for t = 16 to 79 do
+    Array.unsafe_set w t
+      (rotl
+         (Array.unsafe_get w (t - 3)
+         lxor Array.unsafe_get w (t - 8)
+         lxor Array.unsafe_get w (t - 14)
+         lxor Array.unsafe_get w (t - 16))
+         1)
+  done;
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) in
+  for t = 0 to 79 do
+    let bv = !b in
+    let f, kk =
+      if t < 20 then ((bv land !c) lor (lnot bv land mask32 land !d), 0x5A827999)
+      else if t < 40 then (bv lxor !c lxor !d, 0x6ED9EBA1)
+      else if t < 60 then ((bv land !c) lor (bv land !d) lor (!c land !d), 0x8F1BBCDC)
+      else (bv lxor !c lxor !d, 0xCA62C1D6)
+    in
+    let temp = (rotl !a 5 + f + !e + kk + Array.unsafe_get w t) land mask32 in
+    e := !d;
+    d := !c;
+    c := rotl bv 30;
+    b := !a;
+    a := temp
+  done;
+  h.(0) <- (h.(0) + !a) land mask32;
+  h.(1) <- (h.(1) + !b) land mask32;
+  h.(2) <- (h.(2) + !c) land mask32;
+  h.(3) <- (h.(3) + !d) land mask32;
+  h.(4) <- (h.(4) + !e) land mask32
 
-let word data off =
-  let byte i = Int32.of_int (Char.code data.[off + i]) in
-  Int32.logor
-    (Int32.shift_left (byte 0) 24)
-    (Int32.logor (Int32.shift_left (byte 1) 16)
-       (Int32.logor (Int32.shift_left (byte 2) 8) (byte 3)))
+let feed_sub ctx s ~off ~len =
+  if off < 0 || len < 0 || off > String.length s - len then
+    invalid_arg "Sha1.feed_sub: range out of bounds";
+  ctx.total <- ctx.total + len;
+  let off = ref off and len = ref len in
+  if ctx.buflen > 0 then begin
+    let take = Stdlib.min (64 - ctx.buflen) !len in
+    Bytes.blit_string s !off ctx.buf ctx.buflen take;
+    ctx.buflen <- ctx.buflen + take;
+    off := !off + take;
+    len := !len - take;
+    if ctx.buflen = 64 then begin
+      compress ctx (Bytes.unsafe_to_string ctx.buf) 0;
+      ctx.buflen <- 0
+    end
+  end;
+  while !len >= 64 do
+    compress ctx s !off;
+    off := !off + 64;
+    len := !len - 64
+  done;
+  if !len > 0 then begin
+    Bytes.blit_string s !off ctx.buf 0 !len;
+    ctx.buflen <- !len
+  end
+
+let feed ctx s = feed_sub ctx s ~off:0 ~len:(String.length s)
+
+let finalize ctx =
+  let bitlen = ctx.total * 8 in
+  let rem = ctx.buflen in
+  let scratch = Bytes.make (if rem < 56 then 64 else 128) '\x00' in
+  Bytes.blit ctx.buf 0 scratch 0 rem;
+  Bytes.set scratch rem '\x80';
+  let n = Bytes.length scratch in
+  for i = 0 to 7 do
+    Bytes.set scratch (n - 1 - i) (Char.unsafe_chr ((bitlen lsr (8 * i)) land 0xff))
+  done;
+  let s = Bytes.unsafe_to_string scratch in
+  compress ctx s 0;
+  if n = 128 then compress ctx s 64;
+  ctx.buflen <- 0;
+  let out = Bytes.create 20 in
+  for i = 0 to 4 do
+    let hi = ctx.h.(i) in
+    Bytes.unsafe_set out (4 * i) (Char.unsafe_chr (hi lsr 24));
+    Bytes.unsafe_set out ((4 * i) + 1) (Char.unsafe_chr ((hi lsr 16) land 0xff));
+    Bytes.unsafe_set out ((4 * i) + 2) (Char.unsafe_chr ((hi lsr 8) land 0xff));
+    Bytes.unsafe_set out ((4 * i) + 3) (Char.unsafe_chr (hi land 0xff))
+  done;
+  Bytes.unsafe_to_string out
 
 let digest msg =
-  let data = pad msg in
-  let h0 = ref 0x67452301l and h1 = ref 0xEFCDAB89l and h2 = ref 0x98BADCFEl in
-  let h3 = ref 0x10325476l and h4 = ref 0xC3D2E1F0l in
-  let w = Array.make 80 0l in
-  let nblocks = String.length data / 64 in
-  for block = 0 to nblocks - 1 do
-    let off = block * 64 in
-    for t = 0 to 15 do
-      w.(t) <- word data (off + (4 * t))
-    done;
-    for t = 16 to 79 do
-      w.(t) <- rotl (w.(t - 3) ^^ w.(t - 8) ^^ w.(t - 14) ^^ w.(t - 16)) 1
-    done;
-    let a = ref !h0 and b = ref !h1 and c = ref !h2 and d = ref !h3 and e = ref !h4 in
-    for t = 0 to 79 do
-      let f, kk =
-        if t < 20 then ((!b &&& !c) ||| (lnot32 !b &&& !d), 0x5A827999l)
-        else if t < 40 then (!b ^^ !c ^^ !d, 0x6ED9EBA1l)
-        else if t < 60 then ((!b &&& !c) ||| (!b &&& !d) ||| (!c &&& !d), 0x8F1BBCDCl)
-        else (!b ^^ !c ^^ !d, 0xCA62C1D6l)
-      in
-      let temp = rotl !a 5 +% f +% !e +% kk +% w.(t) in
-      e := !d;
-      d := !c;
-      c := rotl !b 30;
-      b := !a;
-      a := temp
-    done;
-    h0 := !h0 +% !a;
-    h1 := !h1 +% !b;
-    h2 := !h2 +% !c;
-    h3 := !h3 +% !d;
-    h4 := !h4 +% !e
-  done;
-  let out = Bytes.create 20 in
-  List.iteri
-    (fun i hi ->
-      for j = 0 to 3 do
-        Bytes.set out ((4 * i) + j)
-          (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical hi (8 * (3 - j))) 0xFFl)))
-      done)
-    [ !h0; !h1; !h2; !h3; !h4 ];
-  Bytes.unsafe_to_string out
+  let ctx = init () in
+  feed ctx msg;
+  finalize ctx
 
 let hex msg = Tangled_util.Hex.encode (digest msg)

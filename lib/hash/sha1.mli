@@ -1,6 +1,25 @@
-(** SHA-1 (FIPS 180-4).  Used for the legacy certificate fingerprints
-    the paper reports (the bracketed 32-bit subject hashes of Figure 2
-    are truncations of such digests). *)
+(** SHA-1 (FIPS 180-4) on unboxed native-int arithmetic.  Used for the
+    legacy certificate fingerprints the paper reports (the bracketed
+    32-bit subject hashes of Figure 2 are truncations of such digests).
+
+    Same streaming-context contract as {!Sha256}: no call pads or
+    copies the message beyond a sub-block tail. *)
+
+type ctx
+(** An in-progress hash.  Not shareable across domains. *)
+
+val init : unit -> ctx
+
+val feed : ctx -> string -> unit
+(** Absorb a whole string. *)
+
+val feed_sub : ctx -> string -> off:int -> len:int -> unit
+(** Absorb [len] bytes of [s] starting at [off] without copying them.
+    @raise Invalid_argument when the range is out of bounds. *)
+
+val finalize : ctx -> string
+(** The 20-byte digest of everything fed.  Consumes the context: reuse
+    after [finalize] is undefined. *)
 
 val digest : string -> string
 (** [digest msg] is the 20-byte SHA-1 of [msg]. *)

@@ -1,8 +1,28 @@
-(** SHA-256 (FIPS 180-4).  The default certificate-signature digest of
-    the simulation. *)
+(** SHA-256 (FIPS 180-4) on unboxed native-int arithmetic.  The default
+    certificate-signature digest of the simulation.
+
+    The streaming context hashes straight out of the caller's buffers:
+    no call pads or copies the message beyond a sub-block tail. *)
+
+type ctx
+(** An in-progress hash.  Not shareable across domains. *)
+
+val init : unit -> ctx
+
+val feed : ctx -> string -> unit
+(** Absorb a whole string. *)
+
+val feed_sub : ctx -> string -> off:int -> len:int -> unit
+(** Absorb [len] bytes of [s] starting at [off] without copying them.
+    @raise Invalid_argument when the range is out of bounds. *)
+
+val finalize : ctx -> string
+(** The 32-byte digest of everything fed.  Consumes the context: reuse
+    after [finalize] is undefined. *)
 
 val digest : string -> string
-(** [digest msg] is the 32-byte SHA-256 of [msg]. *)
+(** [digest msg] is the 32-byte SHA-256 of [msg] (one-shot wrapper over
+    the streaming context). *)
 
 val hex : string -> string
 (** [hex msg] is the digest rendered in lowercase hexadecimal. *)

@@ -1,6 +1,8 @@
 module J = Tangled_util.Json
 module Ts = Tangled_util.Timestamp
 module T = Tangled_util.Text_table
+module Der = Tangled_asn1.Der
+module H = Tangled_hash.Sha256
 
 (* --- taxonomy ---------------------------------------------------------- *)
 
@@ -44,6 +46,7 @@ type stats = {
   replays : int;
   missing : int;
   by_label : (string * int) list;
+  input_sha256 : string;
 }
 
 type 'a ingest = {
@@ -229,6 +232,13 @@ let chain_of_json json =
   in
   Ok { subject; issuer; not_before; not_after; expired; via_intermediate; anchor }
 
+(* DER decode failures from record payloads land in the quarantine
+   taxonomy instead of raising: a cut-off upload is a truncation, any
+   other malformation is a bad value. *)
+let reason_of_der_error = function
+  | Der.Truncated -> Truncated_record
+  | e -> Bad_value ("der: " ^ Der.error_to_string e)
+
 let cert_of_json json =
   let* store = str "store" json in
   let* cert_subject = str "subject" json in
@@ -237,6 +247,20 @@ let cert_of_json json =
   let* na = timestamp "not_after" json in
   let* cert_not_after =
     in_window "not_after" na (Ts.of_date 1950 1 1) utctime_horizon
+  in
+  (* optional raw certificate bytes: when present they must be hex
+     over well-formed DER *)
+  let* () =
+    match J.member "der" json with
+    | None -> Ok ()
+    | Some (J.String h) -> (
+        match Tangled_util.Hex.decode_opt h with
+        | None -> Error (Bad_value "der is not hexadecimal")
+        | Some raw -> (
+            match Der.decode raw with
+            | Ok _ -> Ok ()
+            | Error e -> Error (reason_of_der_error e)))
+    | Some _ -> Error (Type_mismatch "der")
   in
   Ok { store; cert_subject; hash_id; fingerprint; cert_not_after }
 
@@ -259,35 +283,53 @@ let snippet_of line =
 let looks_like_header schema fields =
   List.mem_assoc "kind" fields || List.mem_assoc schema.declared_field fields
 
-(* Normalise both accepted input forms to (manifest, numbered records).
-   Line numbers are 1-based with the manifest at line 1, so quarantine
-   entries point at real lines of a JSONL file. *)
+(* Normalise both accepted input forms to (manifest, numbered records,
+   input digest).  Line numbers are 1-based with the manifest at line
+   1, so quarantine entries point at real lines of a JSONL file.  The
+   digest is SHA-256 over the raw input, a control total for the bytes
+   that were actually ingested; in the JSONL branch it is absorbed
+   chunk by chunk as the line scanner walks the buffer. *)
 let split_input schema input =
   match J.parse input with
   | Ok (J.Obj fields) -> (
+      let digest = H.hex input in
       match List.assoc_opt schema.list_field fields with
       | Some (J.List records) ->
           ( List.remove_assoc schema.list_field fields,
-            List.mapi (fun i r -> (i + 2, Ok r)) records )
-      | _ -> ([], [ (1, Ok (J.Obj fields)) ]))
-  | Ok other -> ([], [ (1, Ok other) ])
+            List.mapi (fun i r -> (i + 2, Ok r)) records,
+            digest )
+      | _ -> ([], [ (1, Ok (J.Obj fields)) ], digest))
+  | Ok other -> ([], [ (1, Ok other) ], H.hex input)
   | Error _ ->
-      let lines =
-        String.split_on_char '\n' input |> List.filter (fun l -> l <> "")
-      in
+      (* index-based line scan: one substring per non-empty line, no
+         intermediate list of raw lines *)
+      let ctx = H.init () in
+      let n = String.length input in
+      let lines = ref [] in
+      let i = ref 0 in
+      while !i < n do
+        let j =
+          match String.index_from_opt input !i '\n' with Some j -> j | None -> n
+        in
+        H.feed_sub ctx input ~off:!i ~len:(Stdlib.min (j + 1) n - !i);
+        if j > !i then lines := String.sub input !i (j - !i) :: !lines;
+        i := j + 1
+      done;
+      let digest = Tangled_util.Hex.encode (H.finalize ctx) in
+      let lines = List.rev !lines in
       let parse_line offset i line =
         (i + offset, match J.parse line with Ok j -> Ok j | Error e -> Error (e, line))
       in
       (match lines with
-      | [] -> ([], [])
+      | [] -> ([], [], digest)
       | first :: rest -> (
           match J.parse first with
           | Ok (J.Obj fields) when looks_like_header schema fields ->
-              (fields, List.mapi (parse_line 2) rest)
-          | _ -> ([], List.mapi (parse_line 1) lines)))
+              (fields, List.mapi (parse_line 2) rest, digest)
+          | _ -> ([], List.mapi (parse_line 1) lines, digest)))
 
 let run schema input =
-  let header, numbered = split_input schema input in
+  let header, numbered, input_sha256 = split_input schema input in
   let seen_keys : (string, 'a) Hashtbl.t = Hashtbl.create 1024 in
   let accepted = ref [] in
   let quarantine = ref [] in
@@ -365,6 +407,7 @@ let run schema input =
         replays = !n_replays;
         missing;
         by_label;
+        input_sha256;
       };
   }
 
@@ -428,7 +471,11 @@ let flatten_stores_doc input =
 
 let stores_of_string input =
   match flatten_stores_doc input with
-  | Some flat -> run cert_schema flat
+  | Some flat ->
+      (* the control-total digest covers the caller's bytes, not the
+         flattened intermediate form *)
+      let r = run cert_schema flat in
+      { r with stats = { r.stats with input_sha256 = H.hex input } }
   | None -> run cert_schema input
 
 (* --- aggregates -------------------------------------------------------- *)

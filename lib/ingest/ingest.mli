@@ -34,6 +34,11 @@ val reason_label : reason -> string
 
 val reason_detail : reason -> string
 
+val reason_of_der_error : Tangled_asn1.Der.error -> reason
+(** How DER decode failures of record payloads map into the taxonomy:
+    [Truncated] is a {!Truncated_record} (a cut-off upload), everything
+    else a {!Bad_value}. *)
+
 type quarantined = {
   line : int;  (** 1-based input line (the manifest is line 1) *)
   reason : reason;
@@ -54,6 +59,11 @@ type stats = {
       (** declared records that never arrived in any recognisable
           form (dropped uploads) *)
   by_label : (string * int) list;  (** taxonomy label -> count, desc *)
+  input_sha256 : string;
+      (** lowercase hex SHA-256 of the raw input bytes, absorbed while
+          the line scanner walks the buffer — a control total for what
+          was actually ingested.  Deliberately not part of
+          {!render_stats} (report output is byte-stable across PRs). *)
 }
 
 type 'a ingest = {

@@ -1,42 +1,81 @@
-let hex_digit n = "0123456789abcdef".[n]
+(* Table-driven: [enc_table] holds the two hex characters of every byte
+   value, [dec_table] maps every character to its nibble value or -1, so
+   both directions run as straight-line unsafe table lookups with a
+   single output allocation. *)
+
+let enc_table =
+  String.init 512 (fun i ->
+      let b = i / 2 in
+      "0123456789abcdef".[if i land 1 = 0 then b lsr 4 else b land 0xf])
+
+let dec_table =
+  let t = Array.make 256 (-1) in
+  for c = Char.code '0' to Char.code '9' do
+    t.(c) <- c - Char.code '0'
+  done;
+  for c = Char.code 'a' to Char.code 'f' do
+    t.(c) <- c - Char.code 'a' + 10
+  done;
+  for c = Char.code 'A' to Char.code 'F' do
+    t.(c) <- c - Char.code 'A' + 10
+  done;
+  t
 
 let encode s =
   let n = String.length s in
   let b = Bytes.create (2 * n) in
   for i = 0 to n - 1 do
-    let c = Char.code s.[i] in
-    Bytes.set b (2 * i) (hex_digit (c lsr 4));
-    Bytes.set b ((2 * i) + 1) (hex_digit (c land 0xf))
+    let j = 2 * Char.code (String.unsafe_get s i) in
+    Bytes.unsafe_set b (2 * i) (String.unsafe_get enc_table j);
+    Bytes.unsafe_set b ((2 * i) + 1) (String.unsafe_get enc_table (j + 1))
   done;
   Bytes.unsafe_to_string b
 
-let value_of_char c =
-  match c with
-  | '0' .. '9' -> Char.code c - Char.code '0'
-  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
-  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
-  | _ -> invalid_arg (Printf.sprintf "Hex.decode: invalid character %C" c)
+let decode_opt h =
+  let n = String.length h in
+  if n mod 2 <> 0 then None
+  else begin
+    let b = Bytes.create (n / 2) in
+    let bad = ref false in
+    for i = 0 to (n / 2) - 1 do
+      let hi = Array.unsafe_get dec_table (Char.code (String.unsafe_get h (2 * i))) in
+      let lo = Array.unsafe_get dec_table (Char.code (String.unsafe_get h ((2 * i) + 1))) in
+      if hi lor lo < 0 then bad := true
+      else Bytes.unsafe_set b i (Char.unsafe_chr ((hi lsl 4) lor lo))
+    done;
+    if !bad then None else Some (Bytes.unsafe_to_string b)
+  end
 
 let decode h =
   let n = String.length h in
   if n mod 2 <> 0 then invalid_arg "Hex.decode: odd length";
-  let b = Bytes.create (n / 2) in
-  for i = 0 to (n / 2) - 1 do
-    let hi = value_of_char h.[2 * i] and lo = value_of_char h.[(2 * i) + 1] in
-    Bytes.set b i (Char.chr ((hi lsl 4) lor lo))
-  done;
-  Bytes.unsafe_to_string b
+  match decode_opt h with
+  | Some s -> s
+  | None ->
+      let c =
+        let bad = ref ' ' in
+        (try
+           String.iter
+             (fun ch ->
+               if dec_table.(Char.code ch) < 0 then begin
+                 bad := ch;
+                 raise Exit
+               end)
+             h
+         with Exit -> ());
+        !bad
+      in
+      invalid_arg (Printf.sprintf "Hex.decode: invalid character %C" c)
 
 let encode_colon s =
   let n = String.length s in
   if n = 0 then ""
   else begin
-    let b = Buffer.create ((3 * n) - 1) in
+    let b = Bytes.make ((3 * n) - 1) ':' in
     for i = 0 to n - 1 do
-      if i > 0 then Buffer.add_char b ':';
-      let c = Char.code s.[i] in
-      Buffer.add_char b (hex_digit (c lsr 4));
-      Buffer.add_char b (hex_digit (c land 0xf))
+      let j = 2 * Char.code (String.unsafe_get s i) in
+      Bytes.unsafe_set b (3 * i) (String.unsafe_get enc_table j);
+      Bytes.unsafe_set b ((3 * i) + 1) (String.unsafe_get enc_table (j + 1))
     done;
-    Buffer.contents b
+    Bytes.unsafe_to_string b
   end

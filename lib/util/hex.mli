@@ -1,4 +1,5 @@
-(** Hexadecimal encoding and decoding of byte strings. *)
+(** Hexadecimal encoding and decoding of byte strings.  Table-driven in
+    both directions: one output allocation, no per-byte closures. *)
 
 val encode : string -> string
 (** [encode s] is the lowercase hexadecimal rendering of [s], two
@@ -8,6 +9,10 @@ val decode : string -> string
 (** [decode h] is the byte string whose hexadecimal rendering is [h].
     Accepts upper- and lowercase digits.
     @raise Invalid_argument if [h] has odd length or a non-hex character. *)
+
+val decode_opt : string -> string option
+(** Non-raising {!decode}: [None] on odd length or a non-hex character.
+    For validating untrusted input (e.g. ingest record fields). *)
 
 val encode_colon : string -> string
 (** [encode_colon s] is like {!encode} but with [":"] between bytes, the

@@ -31,13 +31,20 @@ let memo_key : (string, bool) Hashtbl.t Domain.DLS.key =
 
 let verify_cert ~issuer cert =
   let key =
-    String.concat "\x00"
-      [
-        C.equivalence_key issuer;
-        B.to_bytes_be issuer.C.public_key.Rsa.e;
-        Tangled_hash.Sha256.digest cert.C.tbs_der;
-        cert.C.signature;
-      ]
+    (* one streaming SHA-256 over the components gives a fixed 32-byte
+       key instead of concatenating them (the old key also digested the
+       TBS separately, so this is one hash pass rather than hash +
+       concat) *)
+    let ctx = Tangled_hash.Sha256.init () in
+    let feed_delim s =
+      Tangled_hash.Sha256.feed ctx s;
+      Tangled_hash.Sha256.feed ctx "\x00"
+    in
+    feed_delim (C.equivalence_key issuer);
+    feed_delim (B.to_bytes_be issuer.C.public_key.Rsa.e);
+    feed_delim cert.C.tbs_der;
+    Tangled_hash.Sha256.feed ctx cert.C.signature;
+    Tangled_hash.Sha256.finalize ctx
   in
   let tbl = Domain.DLS.get memo_key in
   match Hashtbl.find_opt tbl key with

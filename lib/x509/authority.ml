@@ -9,7 +9,7 @@ type t = { certificate : C.t; key : Rsa.private_key }
 let default_not_before = Ts.of_date 2000 1 1
 let default_not_after = Ts.of_date 2030 1 1
 
-let key_id pub = String.sub (Tangled_hash.Sha1.digest (Rsa.modulus_bytes pub)) 0 20
+let key_id pub = Tangled_hash.Sha1.digest (Rsa.modulus_bytes pub)
 
 let sign_tbs ~key ~digest tbs_der = Rsa.sign key ~digest tbs_der
 

@@ -352,17 +352,43 @@ let assemble ~tbs_der ~signature_alg ~signature =
 let decode raw =
   match Der.decode raw with
   | Error e -> Error (Der.error_to_string e)
-  | Ok (Der.Sequence [ tbs; Der.Sequence [ Der.Oid alg; Der.Null ]; Der.Bit_string (0, signature) ]) -> (
+  | Ok
+      (Der.Sequence [ tbs; Der.Sequence [ Der.Oid alg; Der.Null ]; Der.Bit_string (0, signature) ]) -> (
       match sig_alg_of_oid alg with
       | None -> Error "unknown signature algorithm"
-      | Some signature_alg ->
-          (* re-encode the TBS to recover its exact bytes; DER is canonical *)
-          let tbs_der = Der.encode tbs in
-          (match assemble ~tbs_der ~signature_alg ~signature with
-          | Ok cert ->
-              if String.equal cert.raw raw then Ok cert
-              else Error "re-encoding mismatch (non-canonical input)"
-          | Error _ as e -> e))
+      | Some signature_alg -> (
+          match parse_tbs tbs with
+          | None -> Error "unsupported TBSCertificate shape"
+          | Some (version, serial, inner_alg, issuer, not_before, not_after, subject,
+                  public_key, extensions) ->
+              if inner_alg <> signature_alg then Error "signature algorithm mismatch with TBS"
+              else begin
+                (* No re-encode canonicality check: [Der.decode] only
+                   accepts input it would re-encode byte-identically
+                   (minimal length forms, minimal INTEGER and OID
+                   encodings, exact child spans, no trailing garbage),
+                   so acceptance already implies the input is canonical.
+                   The roundtrip property tests in test_asn1 pin this. *)
+                (* the TBS bytes the signature covers are a slice of [raw] *)
+                match Der.child_spans raw with
+                | Ok ((tbs_off, tbs_len) :: _) ->
+                    Ok
+                      {
+                        version;
+                        serial;
+                        signature_alg;
+                        issuer;
+                        not_before;
+                        not_after;
+                        subject;
+                        public_key;
+                        extensions;
+                        tbs_der = String.sub raw tbs_off tbs_len;
+                        signature;
+                        raw;
+                      }
+                | Ok [] | Error _ -> Error "unsupported certificate shape"
+              end))
   | Ok _ -> Error "unsupported certificate shape"
 
 let encode t = t.raw

@@ -2,9 +2,15 @@ let alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/
 
 let base64_encode s =
   let n = String.length s in
-  let out = Buffer.create (((n + 2) / 3) * 4) in
-  let byte i = Char.code s.[i] in
-  let emit v = Buffer.add_char out alphabet.[v land 0x3f] in
+  (* output size is exact: every 3-byte group (final partial included)
+     becomes 4 characters *)
+  let out = Bytes.create (((n + 2) / 3) * 4) in
+  let byte i = Char.code (String.unsafe_get s i) in
+  let pos = ref 0 in
+  let emit v =
+    Bytes.unsafe_set out !pos (String.unsafe_get alphabet (v land 0x3f));
+    incr pos
+  in
   let i = ref 0 in
   while !i + 2 < n do
     let v = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) lor byte (!i + 2) in
@@ -19,15 +25,16 @@ let base64_encode s =
       let v = byte !i lsl 16 in
       emit (v lsr 18);
       emit (v lsr 12);
-      Buffer.add_string out "=="
+      Bytes.unsafe_set out !pos '=';
+      Bytes.unsafe_set out (!pos + 1) '='
   | 2 ->
       let v = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) in
       emit (v lsr 18);
       emit (v lsr 12);
       emit (v lsr 6);
-      Buffer.add_char out '='
+      Bytes.unsafe_set out !pos '='
   | _ -> ());
-  Buffer.contents out
+  Bytes.unsafe_to_string out
 
 let decode_char c =
   match c with
@@ -38,46 +45,60 @@ let decode_char c =
   | '/' -> Some 63
   | _ -> None
 
+let[@inline] is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
 let base64_decode s =
-  (* tolerate whitespace; '=' only as trailing padding *)
-  let cleaned = Buffer.create (String.length s) in
-  let error = ref None in
-  String.iter
-    (fun c ->
-      match c with
-      | ' ' | '\t' | '\n' | '\r' -> ()
-      | _ -> Buffer.add_char cleaned c)
-    s;
-  let s = Buffer.contents cleaned in
-  let n = String.length s in
-  let body_len =
-    if n >= 1 && s.[n - 1] = '=' then if n >= 2 && s.[n - 2] = '=' then n - 2 else n - 1
-    else n
-  in
+  (* tolerate whitespace; '=' only as trailing padding.  No cleaned
+     copy of the input is built: a counting scan sizes the output
+     exactly, then the decode scan walks the raw string once. *)
+  let len = String.length s in
+  let n = ref 0 in
+  for i = 0 to len - 1 do
+    if not (is_ws (String.unsafe_get s i)) then incr n
+  done;
+  let n = !n in
   if n mod 4 <> 0 && n > 0 then Error "base64: length not a multiple of 4"
   else begin
-    let out = Buffer.create (body_len * 3 / 4) in
-    let acc = ref 0 and nbits = ref 0 in
+    (* trailing padding: the last one or two non-whitespace characters *)
+    let rec last i = if i < 0 then -1 else if is_ws s.[i] then last (i - 1) else i in
+    let pad =
+      let i = last (len - 1) in
+      if i >= 0 && s.[i] = '=' then
+        let j = last (i - 1) in
+        if j >= 0 && s.[j] = '=' then 2 else 1
+      else 0
+    in
+    let body_len = n - pad in
+    let out = Bytes.create (body_len * 3 / 4) in
+    let pos = ref 0 and acc = ref 0 and nbits = ref 0 in
+    let error = ref None in
     (* [Exit] never escapes: it is purely local control flow breaking
        out of the scan on the first bad character, converted to an
        [Error] two lines below — malformed base64 can never raise out
        of this function. *)
     (try
-       for i = 0 to body_len - 1 do
-         match decode_char s.[i] with
-         | Some v ->
-             acc := (!acc lsl 6) lor v;
-             nbits := !nbits + 6;
-             if !nbits >= 8 then begin
-               nbits := !nbits - 8;
-               Buffer.add_char out (Char.chr ((!acc lsr !nbits) land 0xff))
-             end
-         | None ->
-             error := Some (Printf.sprintf "base64: invalid character %C" s.[i]);
-             raise Exit
+       let seen = ref 0 in
+       for i = 0 to len - 1 do
+         let c = String.unsafe_get s i in
+         if not (is_ws c) then begin
+           (if !seen < body_len then
+              match decode_char c with
+              | Some v ->
+                  acc := (!acc lsl 6) lor v;
+                  nbits := !nbits + 6;
+                  if !nbits >= 8 then begin
+                    nbits := !nbits - 8;
+                    Bytes.unsafe_set out !pos (Char.unsafe_chr ((!acc lsr !nbits) land 0xff));
+                    incr pos
+                  end
+              | None ->
+                  error := Some (Printf.sprintf "base64: invalid character %C" c);
+                  raise Exit);
+           incr seen
+         end
        done
      with Exit -> ());
-    match !error with Some e -> Error e | None -> Ok (Buffer.contents out)
+    match !error with Some e -> Error e | None -> Ok (Bytes.unsafe_to_string out)
   end
 
 let encode ~label der =

@@ -44,7 +44,17 @@ let test_oid_der_content () =
   check
     (Alcotest.option (Alcotest.testable Oid.pp Oid.equal))
     "truncated multi-byte arc" None
-    (Oid.of_der_content "\x2a\x86")
+    (Oid.of_der_content "\x2a\x86");
+  (* non-minimal base-128: a leading 0x80 septet re-encodes shorter, so
+     it must be rejected (decode acceptance implies canonical bytes) *)
+  check
+    (Alcotest.option (Alcotest.testable Oid.pp Oid.equal))
+    "leading zero septet" None
+    (Oid.of_der_content "\x55\x1d\x80\x0e");
+  check
+    (Alcotest.option (Alcotest.testable Oid.pp Oid.equal))
+    "arc overflowing int" None
+    (Oid.of_der_content "\x2a\xff\xff\xff\xff\xff\xff\xff\xff\xff\x7f")
 
 (* --- known encodings ------------------------------------------------------ *)
 
@@ -109,10 +119,67 @@ let test_der_strictness () =
   expect_error "bit string unused > 7" "030209ff";
   expect_error "null with content" "050100";
   expect_error "bad utctime" "170d3134303430315a5a5a5a5a5a5a";
+  expect_error "oid with leading zero septet" "0604551d800e";
   (* a PrintableString containing '@' must be rejected *)
   (match Der.decode (Hex.decode ("1301" ^ Hex.encode "@")) with
   | Ok _ -> Alcotest.fail "printable @ accepted"
   | Error _ -> ())
+
+(* the cursor decoder's length-form hardening: truncated, overlong and
+   non-minimal definite lengths each draw the precise error *)
+let test_length_forms () =
+  let expect_exact name input err =
+    match Der.decode (Hex.decode input) with
+    | Ok _ -> Alcotest.fail (name ^ ": expected a decode error")
+    | Error e -> check (Alcotest.testable Der.pp_error ( = )) name err e
+  in
+  expect_exact "length bytes cut off" "0482ff" Der.Truncated;
+  expect_exact "length byte missing entirely" "04" Der.Truncated;
+  expect_exact "overlong 5-byte length form" "04850000000001" Der.Bad_length;
+  expect_exact "indefinite length" "0480" Der.Bad_length;
+  expect_exact "non-minimal 2-byte length" "0482007f" Der.Bad_length;
+  expect_exact "long form below 0x80" "048101" Der.Bad_length;
+  (* a valid 2-byte long form still decodes *)
+  let s = String.make 300 'y' in
+  check der_result "300-byte octet string" (Ok (Der.Octet_string s))
+    (Der.decode (Der.encode (Der.Octet_string s)))
+
+let test_child_spans () =
+  let children = [ Der.Integer B.one; Der.Null; Der.Octet_string "abc" ] in
+  let raw = Der.encode (Der.Sequence children) in
+  (match Der.child_spans raw with
+  | Error e -> Alcotest.failf "child_spans: %s" (Der.error_to_string e)
+  | Ok spans ->
+      check Alcotest.int "three children" 3 (List.length spans);
+      (* spans tile the sequence body contiguously to the end *)
+      let stop =
+        List.fold_left
+          (fun expect (off, len) ->
+            check Alcotest.int "contiguous" expect off;
+            off + len)
+          2 spans
+      in
+      check Alcotest.int "covers body" (String.length raw) stop;
+      (* each span is exactly the child's own encoding *)
+      List.iter2
+        (fun (off, len) child ->
+          check der_result "span decodes to child" (Ok child)
+            (Der.decode (String.sub raw off len)))
+        spans children);
+  let fails input =
+    match Der.child_spans input with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "primitive rejected" true (fails (Hex.decode "0500"));
+  Alcotest.(check bool) "empty rejected" true (fails "");
+  Alcotest.(check bool) "truncated body rejected" true (fails (Hex.decode "30050201"));
+  Alcotest.(check bool) "trailing garbage rejected" true (fails (raw ^ "\x00"));
+  (* an empty SEQUENCE has no children *)
+  check
+    (Alcotest.result
+       (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+       (Alcotest.testable Der.pp_error ( = )))
+    "empty sequence" (Ok [])
+    (Der.child_spans (Der.encode (Der.Sequence [])))
 
 let test_negative_integers () =
   List.iter
@@ -187,6 +254,8 @@ let suite =
     ("time encodings", `Quick, test_encode_times);
     ("context tags", `Quick, test_context_tags);
     ("DER strictness", `Quick, test_der_strictness);
+    ("length-form hardening", `Quick, test_length_forms);
+    ("child spans", `Quick, test_child_spans);
     ("negative integers", `Quick, test_negative_integers);
     ("accessors", `Quick, test_accessors);
     qtest prop_der_roundtrip;

@@ -52,6 +52,109 @@ let test_padding_boundaries () =
       check Alcotest.int "md5 size" 16 (String.length (Md5.digest s)))
     [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 120; 128 ]
 
+(* exact digests at the padding-boundary lengths (a^n, coreutils-derived) *)
+let test_boundary_vectors () =
+  List.iter
+    (fun (n, md5, sha1, sha256) ->
+      let s = String.make n 'a' in
+      check Alcotest.string (Printf.sprintf "md5 a*%d" n) md5 (Md5.hex s);
+      check Alcotest.string (Printf.sprintf "sha1 a*%d" n) sha1 (Sha1.hex s);
+      check Alcotest.string (Printf.sprintf "sha256 a*%d" n) sha256 (Sha256.hex s))
+    [
+      ( 55,
+        "ef1772b6dff9a122358552954ad0df65",
+        "c1c8bbdc22796e28c0e15163d20899b65621d65a",
+        "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318" );
+      ( 56,
+        "3b0c8ac703f828b04c6c197006d17218",
+        "c2db330f6083854c99d4b5bfb6e8f29f201be699",
+        "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a" );
+      ( 64,
+        "014842d480b571495a4a0363793f7367",
+        "0098ba824b5c16427bd7a1122a5a442a25ec644d",
+        "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb" );
+      ( 119,
+        "8a7bd0732ed6a28ce75f6dabc90e1613",
+        "ee971065aaa017e0632a8ca6c77bb3bf8b1dfc56",
+        "31eba51c313a5c08226adf18d4a359cfdfd8d2e816b13f4af952f7ea6584dcfb" );
+    ]
+
+(* streaming context API: feed/feed_sub/finalize *)
+let test_streaming_ctx () =
+  let msg = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq" in
+  let ctx = Sha256.init () in
+  Sha256.feed ctx (String.sub msg 0 10);
+  Sha256.feed ctx (String.sub msg 10 (String.length msg - 10));
+  check Alcotest.string "sha256 split feed" (Sha256.digest msg) (Sha256.finalize ctx);
+  let ctx = Sha1.init () in
+  Sha1.feed_sub ctx msg ~off:0 ~len:33;
+  Sha1.feed_sub ctx msg ~off:33 ~len:(String.length msg - 33);
+  check Alcotest.string "sha1 feed_sub" (Sha1.digest msg) (Sha1.finalize ctx);
+  let ctx = Md5.init () in
+  Md5.feed ctx "";
+  Md5.feed ctx msg;
+  Md5.feed ctx "";
+  check Alcotest.string "md5 empty feeds" (Md5.digest msg) (Md5.finalize ctx);
+  (* feed_sub rejects out-of-range views *)
+  List.iter
+    (fun (off, len) ->
+      Alcotest.check_raises
+        (Printf.sprintf "bad range off=%d len=%d" off len)
+        (Invalid_argument "Sha256.feed_sub: range out of bounds")
+        (fun () -> Sha256.feed_sub (Sha256.init ()) "abc" ~off ~len))
+    [ (-1, 1); (0, 4); (2, 2); (0, -1) ];
+  (* Digest_kind ctx dispatch agrees with the one-shots *)
+  List.iter
+    (fun dk ->
+      let ctx = Digest_kind.init dk in
+      Digest_kind.feed ctx "abc";
+      Digest_kind.feed_sub ctx "xdefx" ~off:1 ~len:3;
+      check Alcotest.string
+        ("digest_kind ctx " ^ Digest_kind.name dk)
+        (Digest_kind.digest dk "abcdef")
+        (Digest_kind.finalize ctx))
+    Digest_kind.all
+
+(* the boxed pre-optimisation cores are the oracle for the unboxed ones *)
+let prop_matches_reference =
+  QCheck.Test.make ~name:"unboxed cores match boxed reference" ~count:300
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 300))
+    (fun s ->
+      Sha256.digest s = Reference.Sha256.digest s
+      && Sha1.digest s = Reference.Sha1.digest s
+      && Md5.digest s = Reference.Md5.digest s)
+
+(* feeding at arbitrary split points must equal the one-shot digest *)
+let prop_split_feed_equivalent =
+  let gen =
+    QCheck.make
+      ~print:(fun (s, cuts) ->
+        Printf.sprintf "len=%d cuts=[%s]" (String.length s)
+          (String.concat ";" (List.map string_of_int cuts)))
+      QCheck.Gen.(
+        string_size (int_range 0 400) >>= fun s ->
+        list_size (int_range 0 8) (int_range 0 (max 1 (String.length s))) >>= fun cuts ->
+        return (s, cuts))
+  in
+  QCheck.Test.make ~name:"random-split feeding equals one-shot" ~count:200 gen
+    (fun (s, cuts) ->
+      let n = String.length s in
+      let cuts = List.sort_uniq Stdlib.compare (List.filter (fun c -> c <= n) (0 :: cuts @ [ n ])) in
+      let feed_pieces init feed_sub finalize =
+        let ctx = init () in
+        let rec go = function
+          | a :: (b :: _ as rest) ->
+              feed_sub ctx s ~off:a ~len:(b - a);
+              go rest
+          | _ -> ()
+        in
+        go cuts;
+        finalize ctx
+      in
+      feed_pieces Sha256.init Sha256.feed_sub Sha256.finalize = Sha256.digest s
+      && feed_pieces Sha1.init Sha1.feed_sub Sha1.finalize = Sha1.digest s
+      && feed_pieces Md5.init Md5.feed_sub Md5.finalize = Md5.digest s)
+
 let test_digest_kind () =
   check Alcotest.int "md5 size" 16 (Digest_kind.size Digest_kind.MD5);
   check Alcotest.int "sha1 size" 20 (Digest_kind.size Digest_kind.SHA1);
@@ -92,8 +195,12 @@ let suite =
     ("sha1 vectors", `Quick, test_sha1_vectors);
     ("md5 vectors", `Quick, test_md5_vectors);
     ("padding boundaries", `Quick, test_padding_boundaries);
+    ("boundary vectors", `Quick, test_boundary_vectors);
+    ("streaming contexts", `Quick, test_streaming_ctx);
     ("digest kind dispatch", `Quick, test_digest_kind);
     qtest prop_deterministic;
     qtest prop_sizes;
     qtest prop_sensitivity;
+    qtest prop_matches_reference;
+    qtest prop_split_feed_equivalent;
   ]

@@ -163,6 +163,63 @@ let test_drop_reconciliation () =
   check Alcotest.int "missing" 2 r.Ingest.stats.Ingest.missing;
   check Alcotest.int "quarantined" 0 r.Ingest.stats.Ingest.quarantined_total
 
+(* DER payload validation surfaces through the quarantine taxonomy:
+   a truncated certificate body is a truncated record, any other
+   malformation a bad value, a non-string a type mismatch. *)
+let test_der_field_quarantine () =
+  let ts = Tangled_util.Timestamp.to_utc_string (Tangled_util.Timestamp.of_date 2020 1 1) in
+  let record fp der =
+    Printf.sprintf
+      "{\"store\":\"s\",\"subject\":\"cn\",\"hash_id\":\"h\",\"fingerprint_sha256\":%S,\"not_after\":%S,\"der\":%s}"
+      fp ts der
+  in
+  let input =
+    String.concat "\n"
+      [
+        "{\"kind\":\"stores\",\"total_certificates\":5}";
+        record "f1" "\"0500\"" (* well-formed DER: accepted *);
+        record "f2" "\"0405616263\"" (* body cut short *);
+        record "f3" "\"04810161\"" (* non-minimal length *);
+        record "f4" "\"zz\"" (* not hexadecimal *);
+        record "f5" "5" (* wrong JSON type *);
+      ]
+    ^ "\n"
+  in
+  let r = Ingest.stores_of_string input in
+  check Alcotest.int "accepted" 1 r.Ingest.stats.Ingest.accepted;
+  check Alcotest.int "quarantined" 4 r.Ingest.stats.Ingest.quarantined_total;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "taxonomy labels"
+    [ ("bad-value", 2); ("truncated-record", 1); ("type-mismatch", 1) ]
+    (List.sort compare r.Ingest.stats.Ingest.by_label);
+  check Alcotest.string "truncated mapping" "truncated-record"
+    (Ingest.reason_label (Ingest.reason_of_der_error Tangled_asn1.Der.Truncated));
+  check Alcotest.string "bad-length mapping" "bad-value"
+    (Ingest.reason_label (Ingest.reason_of_der_error Tangled_asn1.Der.Bad_length))
+
+(* the control-total digest is the SHA-256 of exactly the caller's
+   bytes, in every accepted input form *)
+let test_input_digest () =
+  let w = world () in
+  let jsonl = Export.sessions_jsonl ~limit:3 w in
+  let r = Ingest.sessions_of_string jsonl in
+  check Alcotest.string "jsonl digest" (Tangled_hash.Sha256.hex jsonl)
+    r.Ingest.stats.Ingest.input_sha256;
+  let doc = J.to_string ~pretty:true (Export.sessions_json w) in
+  let r2 = Ingest.sessions_of_string doc in
+  check Alcotest.string "doc digest" (Tangled_hash.Sha256.hex doc)
+    r2.Ingest.stats.Ingest.input_sha256;
+  (* the stores doc is flattened internally; the digest still covers
+     the caller's bytes, not the intermediate form *)
+  let stores_doc = J.to_string ~pretty:true (Export.stores_json w) in
+  let r3 = Ingest.stores_of_string stores_doc in
+  check Alcotest.string "stores doc digest" (Tangled_hash.Sha256.hex stores_doc)
+    r3.Ingest.stats.Ingest.input_sha256;
+  let r4 = Ingest.sessions_of_string "" in
+  check Alcotest.string "empty input digest" (Tangled_hash.Sha256.hex "")
+    r4.Ingest.stats.Ingest.input_sha256
+
 let test_chaos_fixed_seed () =
   let w = Lazy.force chaos_world in
   let o = Chaos.run ~seed:12 ~rate:0.05 w in
@@ -236,6 +293,10 @@ let suite =
       test_duplicate_vs_conflict;
     Alcotest.test_case "dropped records reconciled via manifest" `Quick
       test_drop_reconciliation;
+    Alcotest.test_case "der payloads land in the taxonomy" `Quick
+      test_der_field_quarantine;
+    Alcotest.test_case "input digest covers the caller's bytes" `Quick
+      test_input_digest;
     Alcotest.test_case "chaos run at pinned seed" `Slow test_chaos_fixed_seed;
     qtest prop_limit_roundtrip;
     qtest prop_chaos_always_accounted;
