@@ -12,6 +12,7 @@ open Cmdliner
 
 module Pipeline = Tangled_core.Pipeline
 module Report = Tangled_core.Report
+module Obs = Tangled_obs.Obs
 
 let setup_logs style_renderer level =
   Fmt_tty.setup_std_outputs ?style_renderer ();
@@ -54,6 +55,36 @@ let jobs_arg =
 let csv_dir_arg =
   let doc = "Also dump each artefact's data as CSV into this directory." in
   Arg.(value & opt (some string) None & info [ "csv-dir" ] ~docv:"DIR" ~doc)
+
+(* Flags the measurement subcommands (report, analyze, chaos, ingest)
+   accept uniformly, so instrumentation is driven the same way
+   everywhere.  `ingest` takes --seed/--jobs for interface uniformity
+   even though replaying a recorded dataset uses neither. *)
+type common = { seed : int; jobs : int; trace_out : string option }
+
+let trace_out_arg =
+  let doc =
+    "Write the run's observability trace (spans, counters, histograms, \
+     events) as JSONL to $(docv).  Nondeterministic measurements live \
+     under each line's 'volatile' member, so the rest of the trace is \
+     byte-identical at any $(b,--jobs)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let common_term =
+  let make seed jobs trace_out = { seed; jobs; trace_out } in
+  Term.(const make $ seed_arg $ jobs_arg $ trace_out_arg)
+
+let write_trace ~jobs common =
+  match common.trace_out with
+  | None -> ()
+  | Some path ->
+      let trace = Obs.trace_jsonl ~jobs () in
+      (match Obs.validate_trace trace with
+      | Ok () -> ()
+      | Error e -> Logs.err (fun m -> m "trace failed self-validation: %s" e));
+      Tangled_core.Export.write_text path trace;
+      Logs.app (fun m -> m "wrote trace %s" path)
 
 let config_of seed sessions leaves key_bits jobs =
   {
@@ -129,17 +160,17 @@ let figures_cmd =
           $ key_bits_arg $ which $ csv_dir_arg)
 
 let report_cmd =
-  let run () seed sessions leaves key_bits jobs csv_dir =
-    let world = build_world ~jobs seed sessions leaves key_bits in
+  let run () common sessions leaves key_bits csv_dir =
+    let world = build_world ~jobs:common.jobs common.seed sessions leaves key_bits in
     print_string (Report.run_all ?csv_dir world);
     print_newline ();
-    print_string (Pipeline.render_timings world);
-    print_string (Tangled_engine.Metrics.render ~title:"Counters (process-wide)" ())
+    print_string (Obs.render ());
+    write_trace ~jobs:world.Pipeline.jobs common
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Run the whole study: every table and figure")
-    Term.(const run $ logs_term $ seed_arg $ sessions_arg $ leaves_arg
-          $ key_bits_arg $ jobs_arg $ csv_dir_arg)
+    Term.(const run $ logs_term $ common_term $ sessions_arg $ leaves_arg
+          $ key_bits_arg $ csv_dir_arg)
 
 (* --- stores ----------------------------------------------------------- *)
 
@@ -208,8 +239,8 @@ let analyze_cmd =
     in
     Arg.(value & opt (some string) None & info [ "a"; "analysis" ] ~docv:"NAME" ~doc)
   in
-  let run () seed sessions leaves key_bits jobs which csv_dir =
-    let world = build_world ~jobs seed sessions leaves key_bits in
+  let run () common sessions leaves key_bits which csv_dir =
+    let world = build_world ~jobs:common.jobs common.seed sessions leaves key_bits in
     let names =
       match which with
       | Some n when List.mem n Report.extension_names -> [ n ]
@@ -220,14 +251,14 @@ let analyze_cmd =
       | None -> Report.extension_names
     in
     render_artefacts world names csv_dir;
-    print_string (Pipeline.render_timings world);
-    print_string (Tangled_engine.Metrics.render ~title:"Counters (process-wide)" ())
+    print_string (Obs.render ());
+    write_trace ~jobs:world.Pipeline.jobs common
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the extension analyses (store minimization, trust scoping, pinning)")
-    Term.(const run $ logs_term $ seed_arg $ sessions_arg $ leaves_arg
-          $ key_bits_arg $ jobs_arg $ which $ csv_dir_arg)
+    Term.(const run $ logs_term $ common_term $ sessions_arg $ leaves_arg
+          $ key_bits_arg $ which $ csv_dir_arg)
 
 (* --- export ------------------------------------------------------------- *)
 
@@ -327,7 +358,7 @@ let ingest_cmd =
             | Ok json -> from_doc json
             | Error _ -> None))
   in
-  let run () file kind =
+  let run () common file kind =
     let input = read_whole_file file in
     let kind =
       match kind with
@@ -345,7 +376,7 @@ let ingest_cmd =
     let print_digest (stats : Ingest.stats) =
       Printf.printf "input sha256: %s\n" stats.Ingest.input_sha256
     in
-    match kind with
+    (match kind with
     | "sessions" ->
         let r = Ingest.sessions_of_string input in
         print_endline (Ingest.render_stats ~title:("Session-log ingest: " ^ file) r);
@@ -383,14 +414,15 @@ let ingest_cmd =
              (List.map
                 (fun (s, n) -> [ s; string_of_int n ])
                 (Ingest.store_sizes r)))
-    | other -> invalid_arg ("unknown ingest kind " ^ other)
+    | other -> invalid_arg ("unknown ingest kind " ^ other));
+    write_trace ~jobs:common.jobs common
   in
   Cmd.v
     (Cmd.info "ingest"
        ~doc:
          "Re-ingest an exported dataset record-by-record: validate, \
           quarantine, dedup, reconcile against the manifest")
-    Term.(const run $ logs_term $ file_arg $ kind_arg)
+    Term.(const run $ logs_term $ common_term $ file_arg $ kind_arg)
 
 (* --- chaos --------------------------------------------------------------- *)
 
@@ -407,12 +439,13 @@ let chaos_cmd =
     let doc = "Maximum relative drift allowed in the headline numbers." in
     Arg.(value & opt float 0.01 & info [ "tolerance" ] ~docv:"T" ~doc)
   in
-  let run () seed sessions leaves key_bits jobs rate fault_seed tolerance =
-    let world = build_world ~jobs seed sessions leaves key_bits in
+  let run () common sessions leaves key_bits rate fault_seed tolerance =
+    let world = build_world ~jobs:common.jobs common.seed sessions leaves key_bits in
     let outcome =
       Tangled_core.Chaos.run ~seed:fault_seed ~rate ~tolerance world
     in
     print_string (Tangled_core.Chaos.render outcome);
+    write_trace ~jobs:world.Pipeline.jobs common;
     if not outcome.Tangled_core.Chaos.ok then exit 1
   in
   Cmd.v
@@ -420,8 +453,8 @@ let chaos_cmd =
        ~doc:
          "Export the world, inject seeded faults, re-ingest, and audit that \
           every fault is quarantined and the headline numbers survive")
-    Term.(const run $ logs_term $ seed_arg $ sessions_arg $ leaves_arg
-          $ key_bits_arg $ jobs_arg $ rate_arg $ fault_seed_arg $ tolerance_arg)
+    Term.(const run $ logs_term $ common_term $ sessions_arg $ leaves_arg
+          $ key_bits_arg $ rate_arg $ fault_seed_arg $ tolerance_arg)
 
 (* --- sensitivity ---------------------------------------------------------- *)
 
@@ -525,10 +558,12 @@ let audit_cmd =
    Montgomery exponentiation against the legacy division-based modpow
    on deterministic random inputs, (2) check the unboxed streaming hash
    cores against published vectors, padding-boundary lengths and the
-   retained boxed reference implementations, and (3) rebuild the quick
+   retained boxed reference implementations, (3) rebuild the quick
    world at --jobs 1 and compare the SHA-256 of the full rendered
    report against the golden digest committed in test/ — any drift in
-   the study's bytes fails the build. *)
+   the study's bytes fails the build — and (4) export the quick run's
+   observability trace and validate it against the versioned JSONL
+   schema. *)
 
 let selfcheck_cmd =
   let module B = Tangled_numeric.Bigint in
@@ -652,10 +687,26 @@ let selfcheck_cmd =
     let digest =
       Tangled_util.Hex.encode (Tangled_hash.Sha256.digest (Report.run_all world))
     in
+    let ok_trace =
+      let trace = Obs.trace_jsonl ~jobs:world.Pipeline.jobs () in
+      match (Obs.validate_trace trace, Obs.stable_view trace) with
+      | Ok (), Ok _ ->
+          let lines =
+            List.length
+              (List.filter (fun l -> l <> "")
+                 (String.split_on_char '\n' trace))
+          in
+          Printf.printf "obs trace (%s): %d lines, schema ok\n%!"
+            Obs.schema_version lines;
+          true
+      | Error e, _ | _, Error e ->
+          Printf.eprintf "selfcheck: obs trace invalid: %s\n%!" e;
+          false
+    in
     if update then begin
       Tangled_core.Export.write_text golden (digest ^ "\n");
       Printf.printf "wrote %s (%s)\n%!" golden digest;
-      if not (ok_mont && ok_hash) then exit 1
+      if not (ok_mont && ok_hash && ok_trace) then exit 1
     end
     else begin
       let expected = String.trim (In_channel.with_open_text golden In_channel.input_all) in
@@ -665,12 +716,14 @@ let selfcheck_cmd =
         Printf.eprintf
           "selfcheck: report digest drifted\n  golden:  %s\n  current: %s\n%!"
           expected digest;
-      if not (ok_mont && ok_hash && ok_digest) then exit 1
+      if not (ok_mont && ok_hash && ok_digest && ok_trace) then exit 1
     end
   in
   Cmd.v
     (Cmd.info "selfcheck"
-       ~doc:"Montgomery and hash-core cross-checks + golden report-digest regression gate")
+       ~doc:
+         "Montgomery/hash-core cross-checks, golden report-digest gate, and \
+          obs trace schema validation")
     Term.(const run $ logs_term $ golden_arg $ update_arg)
 
 (* --- intercept --------------------------------------------------------- *)

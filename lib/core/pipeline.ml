@@ -3,7 +3,7 @@ module Pop = Tangled_device.Population
 module Net = Tangled_netalyzr.Netalyzr
 module Notary = Tangled_notary.Notary
 module PD = Tangled_pki.Paper_data
-module Timing = Tangled_engine.Timing
+module Obs = Tangled_obs.Obs
 module Parallel = Tangled_engine.Parallel
 
 type config = {
@@ -37,41 +37,53 @@ type t = {
   population : Pop.t;
   dataset : Net.dataset;
   notary : Notary.t;
-  timings : Timing.span list;
+  timings : Obs.span list;
 }
 
 let run ?(config = default_config) ?universe () =
   let jobs = Parallel.resolve config.jobs in
-  let tm = Timing.create () in
-  let universe =
-    Timing.time tm "universe" (fun () ->
-        match universe with
-        | Some u -> u
-        | None -> BP.build ~key_bits:config.key_bits ~seed:config.seed ())
+  let stage_spans = ref [] in
+  let stage name f =
+    let v, s = Obs.spanned name f in
+    stage_spans := s :: !stage_spans;
+    v
   in
-  let population =
-    Timing.time tm "population" (fun () ->
-        Pop.generate ~target_sessions:config.sessions ~seed:(config.seed + 1)
-          universe)
+  let universe, population, dataset, notary =
+    (* one root span per run; the five stages nest under it in the
+       global span tree *)
+    Obs.span "pipeline" (fun () ->
+        let universe =
+          stage "universe" (fun () ->
+              match universe with
+              | Some u -> u
+              | None -> BP.build ~key_bits:config.key_bits ~seed:config.seed ())
+        in
+        let population =
+          stage "population" (fun () ->
+              Pop.generate ~target_sessions:config.sessions ~seed:(config.seed + 1)
+                universe)
+        in
+        let dataset =
+          stage "netalyzr" (fun () ->
+              Net.collect ~probe_sample:config.probe_sample ~seed:(config.seed + 2)
+                population)
+        in
+        let raw =
+          stage "notary" (fun () ->
+              Notary.generate_raw ~leaves:config.notary_leaves
+                ~expired_fraction:config.expired_fraction ~jobs
+                ~seed:(config.seed + 3) universe)
+        in
+        let notary = stage "index" (fun () -> Notary.index raw) in
+        (universe, population, dataset, notary))
   in
-  let dataset =
-    Timing.time tm "netalyzr" (fun () ->
-        Net.collect ~probe_sample:config.probe_sample ~seed:(config.seed + 2)
-          population)
-  in
-  let raw =
-    Timing.time tm "notary" (fun () ->
-        Notary.generate_raw ~leaves:config.notary_leaves
-          ~expired_fraction:config.expired_fraction ~jobs
-          ~seed:(config.seed + 3) universe)
-  in
-  let notary = Timing.time tm "index" (fun () -> Notary.index raw) in
-  { config; jobs; universe; population; dataset; notary; timings = Timing.spans tm }
+  { config; jobs; universe; population; dataset; notary;
+    timings = List.rev !stage_spans }
 
 let quick =
   lazy (run ~config:quick_config ~universe:(Lazy.force BP.default) ())
 
 let render_timings t =
-  Timing.render
+  Obs.render_span_table
     ~title:(Printf.sprintf "Stage timings (jobs=%d)" t.jobs)
-    t.timings
+    (List.map (fun (s : Obs.span) -> (s.Obs.name, s.Obs.dur_s)) t.timings)

@@ -33,9 +33,10 @@ type t = {
   population : Tangled_device.Population.t;
   dataset : Tangled_netalyzr.Netalyzr.dataset;
   notary : Tangled_notary.Notary.t;
-  timings : Tangled_engine.Timing.span list;
-      (** per-stage wall-clock, pipeline order: universe, population,
-          netalyzr, notary, index *)
+  timings : Tangled_obs.Obs.span list;
+      (** per-stage wall-clock spans (children of this run's
+          ["pipeline"] root span), pipeline order: universe,
+          population, netalyzr, notary, index *)
 }
 
 val run : ?config:config -> ?universe:Tangled_pki.Blueprint.t -> unit -> t

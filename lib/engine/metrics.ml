@@ -1,53 +1,21 @@
-(* Named atomic counters.
+(* Deprecated shim over Tangled_obs.Obs counters.
 
-   Cheap enough for hot paths (one Atomic.incr per event), aggregated
-   across worker domains, and rendered alongside the stage timings.
-   Counters are observability only: they never feed back into the
-   study's outputs, so worker-count-dependent values (per-domain cache
-   hit rates) are fine here where they would break determinism in a
-   report. *)
+   [counter name] returns the Obs counter of the same name, so a count
+   bumped through this legacy surface and one bumped through Obs are
+   the same atomic cell; snapshot/render read the unified registry. *)
 
-type t = { name : string; value : int Atomic.t }
+module Obs = Tangled_obs.Obs
 
-let registry : (string, t) Hashtbl.t = Hashtbl.create 16
-let lock = Mutex.create ()
+type t = Obs.counter
 
-let counter name =
-  Mutex.lock lock;
-  let c =
-    match Hashtbl.find_opt registry name with
-    | Some c -> c
-    | None ->
-        let c = { name; value = Atomic.make 0 } in
-        Hashtbl.add registry name c;
-        c
-  in
-  Mutex.unlock lock;
-  c
+let counter = Obs.counter
+let incr = Obs.incr
+let add = Obs.add
+let get = Obs.value
+let name = Obs.counter_name
 
-let incr c = Atomic.incr c.value
-let add c n = ignore (Atomic.fetch_and_add c.value n)
-let get c = Atomic.get c.value
-let name c = c.name
+let reset_all () = Obs.reset_all ()
 
-let reset_all () =
-  Mutex.lock lock;
-  Hashtbl.iter (fun _ c -> Atomic.set c.value 0) registry;
-  Mutex.unlock lock
+let snapshot () = Obs.counters ()
 
-let snapshot () =
-  Mutex.lock lock;
-  let rows = Hashtbl.fold (fun _ c acc -> (c.name, Atomic.get c.value) :: acc) registry [] in
-  Mutex.unlock lock;
-  List.sort (fun (a, _) (b, _) -> String.compare a b) rows
-
-let render ?(title = "Counters") () =
-  match snapshot () with
-  | [] -> ""
-  | rows ->
-      let b = Buffer.create 128 in
-      Buffer.add_string b (title ^ "\n");
-      List.iter
-        (fun (name, v) -> Buffer.add_string b (Printf.sprintf "  %-32s %12d\n" name v))
-        rows;
-      Buffer.contents b
+let render ?(title = "Counters") () = Obs.render_counters ~title ()

@@ -1,29 +1,36 @@
-(** Named atomic counters — hit/miss and similar event counts from hot
-    paths, aggregated across worker domains and surfaced next to the
-    stage timings by the CLI and the bench harness.
+(** Deprecated: use {!Tangled_obs.Obs} instead.
 
-    Counters are process-global observability.  They deliberately stay
-    out of {e report} artefacts: per-domain caches make their values
-    depend on the worker count, which the study's byte-identical
-    output contract forbids. *)
+    The old named-atomic-counter surface, kept as a thin shim:
+    [counter name] is now literally [Obs.counter name] (the same
+    atomic cell), so legacy and unified call sites aggregate into one
+    registry and render identically.  Note [reset_all] now resets the
+    whole observability state — histograms, events and spans included —
+    so bench cold/warm sections cannot leak state between runs. *)
 
 type t
 
 val counter : string -> t
-(** [counter name] is the process-wide counter registered under
-    [name], created at zero on first request.  Thread-safe. *)
+  [@@deprecated "use Tangled_obs.Obs.counter"]
 
 val incr : t -> unit
+  [@@deprecated "use Tangled_obs.Obs.incr"]
+
 val add : t -> int -> unit
+  [@@deprecated "use Tangled_obs.Obs.add"]
+
 val get : t -> int
+  [@@deprecated "use Tangled_obs.Obs.value"]
+
 val name : t -> string
+  [@@deprecated "use Tangled_obs.Obs.counter_name"]
 
 val reset_all : unit -> unit
-(** Zero every registered counter (bench cold/warm sections). *)
+  [@@deprecated "use Tangled_obs.Obs.reset_all"]
+(** Delegates to [Obs.reset_all]: clears counters {e and} histograms,
+    gauges, spans and events. *)
 
 val snapshot : unit -> (string * int) list
-(** All counters, sorted by name. *)
+  [@@deprecated "use Tangled_obs.Obs.counters"]
 
 val render : ?title:string -> unit -> string
-(** A fixed-width table of {!snapshot}, [""] when nothing is
-    registered. *)
+  [@@deprecated "use Tangled_obs.Obs.render_counters"]

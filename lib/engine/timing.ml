@@ -1,3 +1,14 @@
+(* Deprecated shim over Tangled_obs.Obs.
+
+   The collector API survives for external callers, but every call now
+   delegates to the unified observability layer: [time] runs under
+   [Obs.spanned] (so the span also lands in the global span tree, with
+   error status when the thunk raises) and [render] reuses
+   [Obs.render_span_table], so shim output and Obs output are the same
+   bytes by construction. *)
+
+module Obs = Tangled_obs.Obs
+
 type span = { stage : string; seconds : float }
 
 type t = { mutable recorded : span list (* newest first *) }
@@ -5,24 +16,13 @@ type t = { mutable recorded : span list (* newest first *) }
 let create () = { recorded = [] }
 
 let time t stage f =
-  let t0 = Unix.gettimeofday () in
-  let result = f () in
-  t.recorded <- { stage; seconds = Unix.gettimeofday () -. t0 } :: t.recorded;
+  let result, s = Obs.spanned stage f in
+  t.recorded <- { stage; seconds = s.Obs.dur_s } :: t.recorded;
   result
 
 let spans t = List.rev t.recorded
 
 let total spans = List.fold_left (fun acc s -> acc +. s.seconds) 0.0 spans
 
-let render ?(title = "Stage timings") spans =
-  let sum = total spans in
-  let b = Buffer.create 256 in
-  Buffer.add_string b (title ^ "\n");
-  List.iter
-    (fun s ->
-      Buffer.add_string b
-        (Printf.sprintf "  %-12s %9.3fs  %5.1f%%\n" s.stage s.seconds
-           (if sum > 0.0 then 100.0 *. s.seconds /. sum else 0.0)))
-    spans;
-  Buffer.add_string b (Printf.sprintf "  %-12s %9.3fs\n" "total" sum);
-  Buffer.contents b
+let render ?title spans =
+  Obs.render_span_table ?title (List.map (fun s -> (s.stage, s.seconds)) spans)

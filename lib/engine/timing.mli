@@ -1,15 +1,11 @@
-(** Stage-timing observability.
+(** Deprecated: use {!Tangled_obs.Obs} instead.
 
-    Each pipeline stage (universe, population, netalyzr, notary, index)
-    runs under {!time}, which records a wall-clock span.  The spans are
-    surfaced by the [report]/[analyze] CLI sections and the bench
-    harness, so every future perf PR has per-stage numbers to compare
-    against.
-
-    Spans use [Unix.gettimeofday]; on this codebase's run lengths
-    (milliseconds to minutes) wall clock is the quantity of interest
-    and clock steps are noise we accept rather than take a dependency
-    for. *)
+    The old flat stage-timing collector, kept as a thin shim so
+    external callers get a compile-time nudge rather than a break.
+    [time] now records through [Obs.spanned] — the span also appears
+    in the unified span tree (with error status when the thunk
+    raises), and [render] is [Obs.render_span_table], so the shim's
+    output is byte-identical to the Obs rendering of the same data. *)
 
 type span = { stage : string; seconds : float }
 
@@ -17,18 +13,23 @@ type t
 (** A mutable collector; one per pipeline run. *)
 
 val create : unit -> t
+  [@@deprecated "use Tangled_obs.Obs.span / Obs.spanned"]
 
 val time : t -> string -> (unit -> 'a) -> 'a
-(** [time t stage f] runs [f], records how long it took under [stage],
-    and returns [f]'s result.  Exceptions propagate without recording
-    a span. *)
+  [@@deprecated "use Tangled_obs.Obs.span / Obs.spanned"]
+(** [time t stage f] runs [f] under [Obs.spanned], records the flat
+    span under [stage], and returns [f]'s result.  Exceptions
+    propagate; the unified layer records the failed span even though
+    this legacy collector drops it. *)
 
 val spans : t -> span list
+  [@@deprecated "use Tangled_obs.Obs.spans"]
 (** Recorded spans, oldest first. *)
 
 val total : span list -> float
+  [@@deprecated "use Tangled_obs.Obs.spans"]
 (** Sum of the spans' seconds. *)
 
 val render : ?title:string -> span list -> string
-(** A small fixed-width table: one line per stage with seconds and the
-    share of the total. *)
+  [@@deprecated "use Tangled_obs.Obs.render_span_table"]
+(** Delegates to [Obs.render_span_table]. *)

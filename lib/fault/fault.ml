@@ -130,6 +130,12 @@ let inject ~seed ~rate ?(kinds = all_kinds) doc =
             let kind = Prng.choose rng (Array.of_list usable) in
             let key = Option.bind json record_key in
             let record seq_kind field out_l note =
+              Tangled_obs.Obs.event "fault.injected"
+                ~fields:
+                  [
+                    ("kind", kind_to_string seq_kind);
+                    ("record", string_of_int i);
+                  ];
               ledger :=
                 { seq = !seq; kind = seq_kind; record = i; key; field;
                   out_line = out_l; note }

@@ -3,6 +3,15 @@ module Ts = Tangled_util.Timestamp
 module T = Tangled_util.Text_table
 module Der = Tangled_asn1.Der
 module H = Tangled_hash.Sha256
+module Obs = Tangled_obs.Obs
+
+(* per-record ingest instrumentation: latency distribution plus
+   accept/quarantine counters; every quarantined record also lands in
+   the bounded event log with its taxonomy label.  Observability only —
+   the ingest stats the report renders never read these. *)
+let record_latency = Obs.histogram "ingest.record_seconds"
+let accepted_counter = Obs.counter "ingest.accepted"
+let quarantined_counter = Obs.counter "ingest.quarantined"
 
 (* --- taxonomy ---------------------------------------------------------- *)
 
@@ -329,6 +338,7 @@ let split_input schema input =
           | _ -> ([], List.mapi (parse_line 1) lines, digest)))
 
 let run schema input =
+  Obs.span "ingest.run" @@ fun () ->
   let header, numbered, input_sha256 = split_input schema input in
   let seen_keys : (string, 'a) Hashtbl.t = Hashtbl.create 1024 in
   let accepted = ref [] in
@@ -337,11 +347,15 @@ let run schema input =
   let n_accepted = ref 0 in
   let n_replays = ref 0 in
   let put line reason snippet =
+    Obs.incr quarantined_counter;
+    Obs.event "ingest.quarantine"
+      ~fields:[ ("label", reason_label reason); ("line", string_of_int line) ];
     quarantine := { line; reason; snippet } :: !quarantine
   in
   List.iter
     (fun (line, parsed) ->
       incr n_seen;
+      Obs.time_histogram record_latency @@ fun () ->
       match parsed with
       | Error (msg, text) ->
           let reason =
@@ -361,6 +375,7 @@ let run schema input =
                   | None ->
                       Hashtbl.add seen_keys key v;
                       accepted := v :: !accepted;
+                      Obs.incr accepted_counter;
                       incr n_accepted
                   | Some prior when schema.same prior v ->
                       incr n_replays;

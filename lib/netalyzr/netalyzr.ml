@@ -8,6 +8,10 @@ module Pop = Tangled_device.Population
 module Handshake = Tangled_tls.Handshake
 module Endpoint = Tangled_tls.Endpoint
 module Proxy = Tangled_tls.Proxy
+module Obs = Tangled_obs.Obs
+
+let probes_run = Obs.counter "netalyzr.probes_run"
+let sessions_counter = Obs.counter "netalyzr.sessions"
 
 type identity_tuple = {
   network : string;
@@ -79,13 +83,17 @@ let collect ?(probe_sample = 0.05) ~seed population =
   let master = Prng.create seed in
   let rng_id = Prng.split master "netalyzr-identity" in
   let rng_probe = Prng.split master "netalyzr-probe" in
-  let world = Endpoint.build_world ~seed universe in
-  let proxy = Proxy.create ~seed ~interceptor:universe.BP.interceptor universe in
+  let world, proxy =
+    Obs.span "netalyzr.endpoints" (fun () ->
+        ( Endpoint.build_world ~seed universe,
+          Proxy.create ~seed ~interceptor:universe.BP.interceptor universe ))
+  in
   let now = Ts.paper_epoch in
   let sessions = ref [] in
   let session_id = ref 0 in
   (* per-handset store measurement is identical across its sessions, so
      compute once; probes run on a sample of sessions *)
+  Obs.span "netalyzr.sessions" @@ fun () ->
   Array.iter
     (fun (h : Pop.handset) ->
       let store_keys, aosp_present, additional, missing, additional_ids, app_added =
@@ -106,6 +114,7 @@ let collect ?(probe_sample = 0.05) ~seed population =
         let probes =
           if not run_probe then []
           else begin
+            Obs.incr probes_run;
             let transport =
               if h.Pop.proxied then Handshake.Proxied (world, proxy)
               else Handshake.Direct world
@@ -113,6 +122,7 @@ let collect ?(probe_sample = 0.05) ~seed population =
             Handshake.probe_all transport ~store:h.Pop.store ~now
           end
         in
+        Obs.incr sessions_counter;
         sessions :=
           {
             session_id = !session_id;

@@ -12,6 +12,12 @@ module Interner = Tangled_engine.Interner
 module Id_set = Tangled_engine.Id_set
 module Coverage = Tangled_engine.Coverage
 module Parallel = Tangled_engine.Parallel
+module Obs = Tangled_obs.Obs
+
+(* build-phase instrumentation: spans are opened from the coordinating
+   domain only (never inside Parallel workers), so the span tree is
+   identical at any --jobs *)
+let chains_gauge = Obs.gauge "notary.chains"
 
 type chain = {
   leaf : C.t;
@@ -103,11 +109,10 @@ let generate_raw ?(leaves = 10_000) ?(expired_fraction = 0.10) ?(jobs = 1) ~seed
   let digest = Tangled_hash.Digest_kind.SHA1 in
   let bits = universe.BP.key_bits in
   (* reusable subject-key pools (see Authority.issue_leaf docs) *)
-  let leaf_keys =
-    Array.init key_pool_size (fun _ -> Rsa.generate ~mr_rounds:6 rng_keys ~bits)
-  in
-  let inter_keys =
-    Array.init key_pool_size (fun _ -> Rsa.generate ~mr_rounds:6 rng_keys ~bits)
+  let leaf_keys, inter_keys =
+    Obs.span "notary.keys" (fun () ->
+        ( Array.init key_pool_size (fun _ -> Rsa.generate ~mr_rounds:6 rng_keys ~bits),
+          Array.init key_pool_size (fun _ -> Rsa.generate ~mr_rounds:6 rng_keys ~bits) ))
   in
   (* issuers: every traffic-active public root and private CA *)
   let public_issuers =
@@ -124,6 +129,7 @@ let generate_raw ?(leaves = 10_000) ?(expired_fraction = 0.10) ?(jobs = 1) ~seed
      signatures; with every key supplied it is never advanced. *)
   let null_rng () = Prng.create 0 in
   let intermediates =
+    Obs.span "notary.intermediates" @@ fun () ->
     Parallel.tabulate ~jobs (Array.length issuers) (fun i ->
         let authority, _ = issuers.(i) in
         let key = inter_keys.(i mod key_pool_size) in
@@ -139,6 +145,7 @@ let generate_raw ?(leaves = 10_000) ?(expired_fraction = 0.10) ?(jobs = 1) ~seed
   (* sequential planning pass: replicates the seed generator's draw
      order exactly (one bool per chain; one issuer pick per expired
      chain) *)
+  Obs.span "notary.plan_and_build" @@ fun () ->
   let plans = ref [] in
   let serial = ref 1_000_000 in
   let leaf_no = ref 0 in
@@ -190,6 +197,7 @@ let generate_raw ?(leaves = 10_000) ?(expired_fraction = 0.10) ?(jobs = 1) ~seed
     { leaf; intermediates = inters; expired = p.p_expired; anchor }
   in
   let chains = Parallel.tabulate ~jobs (Array.length plans) (fun i -> build plans.(i)) in
+  Obs.set_gauge chains_gauge (Array.length chains);
   {
     r_universe = universe;
     r_chains = chains;

@@ -24,6 +24,14 @@
 
 module B = Bigint
 
+(* exponent-width distribution of every Montgomery exponentiation —
+   one observation per modpow, negligible next to the k²-limb kernels
+   it precedes *)
+let modpow_bits =
+  Tangled_obs.Obs.histogram
+    ~buckets:[| 64.0; 128.0; 256.0; 384.0; 512.0; 768.0; 1024.0; 2048.0; 4096.0 |]
+    "montgomery.modpow_bits"
+
 let limb_bits = B.Internal.limb_bits
 let base = 1 lsl limb_bits
 let limb_mask = base - 1
@@ -184,6 +192,7 @@ let table_size = 1 lsl window_bits
 
 let modpow t b e =
   if B.sign e < 0 then invalid_arg "Montgomery.modpow: negative exponent";
+  Tangled_obs.Obs.observe modpow_bits (float_of_int (B.bit_length e));
   if B.is_zero e then B.one (* modulus > 1, so 1 is already reduced *)
   else begin
     let mul = mont_mul ~mm:t.mm ~k:t.k ~m0':t.m0' in

@@ -99,7 +99,9 @@ let test_crosscheck_fast_path () =
 
 let test_timings_cover_stages () =
   let w = Lazy.force world in
-  let stages = List.map (fun (s : Tangled_engine.Timing.span) -> s.stage) w.Pipeline.timings in
+  let stages =
+    List.map (fun (s : Tangled_obs.Obs.span) -> s.Tangled_obs.Obs.name) w.Pipeline.timings
+  in
   check
     Alcotest.(list string)
     "pipeline stage order"

@@ -28,4 +28,6 @@ let () =
       ("properties", Test_properties.suite);
       ("engine", Test_engine.suite);
       ("determinism", Test_determinism.suite);
+      (* last: obs tests reset the process-wide instrumentation state *)
+      ("obs", Test_obs.suite);
     ]
