@@ -14,15 +14,19 @@
    the JSONL ingest reader end to end.  The substrate group also pairs
    chain validation with the Obs instrumentation enabled vs disabled,
    recording the observability overhead on the hottest instrumented
-   path as a JSON ratio.  After timing, the harness prints every
+   path as a JSON ratio.  The serve section drives the trust-decision
+   server end to end over a mixed request corpus — cold and warm
+   sustained qps, plus per-class p50/p99 from the server's own
+   latency histograms.  After timing, the harness prints every
    artefact itself so bench output doubles as a compact reproduction
-   report, and writes the measurements to a JSON file (BENCH_5.json by
+   report, and writes the measurements to a JSON file (BENCH_6.json by
    default) so later PRs have a perf baseline to diff against.
 
    Flags:
-     --quick      smoke mode for the @check gate: substrate and
-                  notary_queries groups only, short quota, no report
-     --out FILE   where to write the JSON (default BENCH_5.json)
+     --quick      smoke mode for the @check gate: substrate,
+                  notary_queries and serve groups only, short quota,
+                  no report
+     --out FILE   where to write the JSON (default BENCH_6.json)
      --no-json    skip the JSON dump *)
 
 open Bechamel
@@ -387,6 +391,146 @@ let measure_obs_overhead ?(rounds = 600) ?(batch = 32) () =
 
 let obs_overhead_pct : float option ref = ref None
 
+(* --- serve throughput ------------------------------------------------- *)
+
+(* Sustained qps and per-class latency of the trust-decision server,
+   measured end to end through serve_burst over a mixed request corpus
+   (the frame mix leans validate-heavy, the expensive class).  Cold is
+   a fresh server with an empty verify memo; warm re-serves the same
+   corpus with the memo hot.  Bursts stay within the admission queue so
+   every request is answered — shedding would turn latency into drops.
+   Per-class p50/p99 come from the server's own serve.latency.*
+   histograms, reset before the warm phase so they hold warm
+   observations only. *)
+
+module Serve = Tangled_serve.Serve
+
+let serve_results : (string * J.t) list ref = ref []
+
+let serve_corpus n =
+  let w = Lazy.force world in
+  let u = w.Pipeline.universe in
+  let rng = Prng.create 424243 in
+  let chains =
+    let mint (r : BP.root) =
+      let leaf =
+        Authority.issue_leaf ~bits:384 ~digest:Dk.SHA1 rng
+          ~parent:r.BP.authority ~dns_names:[ "bench.example" ]
+          (Tangled_x509.Dn.make "bench.example")
+      in
+      Hex.encode (C.encode leaf)
+    in
+    Array.map mint (Array.sub u.BP.roots 0 8)
+  in
+  let root_names =
+    Array.map (fun (r : BP.root) -> r.BP.display_name)
+      (Array.sub u.BP.roots 0 16)
+  in
+  let stores = [| "aosp44"; "aosp42"; "mozilla"; "ios7"; "handset:1" |] in
+  let frame fields = J.to_string (J.Obj fields) in
+  List.init n (fun i ->
+      match Prng.int rng 100 with
+      | k when k < 60 ->
+          frame
+            [
+              ("id", J.Int i);
+              ("op", J.String "validate");
+              ("store", J.String (Prng.choose rng stores));
+              ("chain", J.List [ J.String (Prng.choose rng chains) ]);
+            ]
+      | k when k < 80 ->
+          frame
+            [
+              ("id", J.Int i);
+              ("op", J.String "diff");
+              ("store", J.String (Prng.choose rng stores));
+              ("baseline", J.String "aosp44");
+            ]
+      | k when k < 90 ->
+          frame
+            [
+              ("id", J.Int i);
+              ("op", J.String "coverage");
+              ("root", J.String (Prng.choose rng root_names));
+            ]
+      | k when k < 95 -> frame [ ("id", J.Int i); ("op", J.String "stores") ]
+      | _ -> frame [ ("id", J.Int i); ("op", J.String "health") ])
+
+let run_serve_bench ?(requests = 1024) ?(warm_rounds = 3) () =
+  let w = Lazy.force world in
+  let corpus = serve_corpus requests in
+  let cap = Serve.default_config.Serve.queue_capacity in
+  let rec chunks acc = function
+    | [] -> List.rev acc
+    | l ->
+        let burst = List.filteri (fun i _ -> i < cap) l in
+        let rest = List.filteri (fun i _ -> i >= cap) l in
+        chunks (burst :: acc) rest
+  in
+  let bursts = chunks [] corpus in
+  let pump server =
+    List.iter (fun b -> ignore (Serve.serve_burst server b)) bursts
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  Printf.printf "--- serve %s\n%!" (String.make 54 '-');
+  Obs.reset_all ();
+  Chain.clear_verify_cache ();
+  let server = Serve.create w in
+  let cold_s = timed (fun () -> pump server) in
+  Obs.reset_all ();
+  let warm_s = ref 0.0 in
+  for _ = 1 to warm_rounds do
+    warm_s := !warm_s +. timed (fun () -> pump server)
+  done;
+  let warm_requests = requests * warm_rounds in
+  let cold_qps = float_of_int requests /. cold_s in
+  let warm_qps = float_of_int warm_requests /. !warm_s in
+  let s = Serve.summary server in
+  let answered_all =
+    s.Serve.seen = requests * (warm_rounds + 1)
+    && s.Serve.answered = s.Serve.seen
+  in
+  Printf.printf "  %-38s %8.0f req/s\n%!" "cold_qps" cold_qps;
+  Printf.printf "  %-38s %8.0f req/s (%d rounds)\n%!" "warm_qps" warm_qps
+    warm_rounds;
+  let per_class =
+    List.filter_map
+      (fun cls ->
+        let snap =
+          Obs.histogram_snapshot (Obs.histogram ("serve.latency." ^ cls))
+        in
+        if snap.Obs.total = 0 then None
+        else
+          let p50 = Obs.quantile snap 0.5 *. 1e6 in
+          let p99 = Obs.quantile snap 0.99 *. 1e6 in
+          Printf.printf "  %-38s p50 %8.1f us   p99 %8.1f us   (%d reqs)\n%!"
+            ("latency " ^ cls) p50 p99 snap.Obs.total;
+          Some
+            ( cls,
+              J.Obj
+                [
+                  ("requests", J.Int snap.Obs.total);
+                  ("p50_us", J.Float p50);
+                  ("p99_us", J.Float p99);
+                ] ))
+      [ "validate"; "diff"; "coverage"; "stores"; "health" ]
+  in
+  Printf.printf "  %-38s %s\n%!" "all requests answered"
+    (if answered_all then "yes" else "NO");
+  serve_results :=
+    [
+      ("requests", J.Int requests);
+      ("warm_rounds", J.Int warm_rounds);
+      ("cold_qps", J.Float cold_qps);
+      ("warm_qps", J.Float warm_qps);
+      ("all_answered", J.Bool answered_all);
+      ("warm_latency_us", J.Obj per_class);
+    ]
+
 (* --- harness -------------------------------------------------------------- *)
 
 (* every estimate lands here as (group, test, ns/run) for the JSON dump *)
@@ -501,10 +645,13 @@ let json_report () =
     | Some pct -> [ ("obs_overhead_chain_validate_pct", J.Float pct) ]
     | None -> []
   in
+  let serve =
+    match !serve_results with [] -> [] | rows -> [ ("serve", J.Obj rows) ]
+  in
   let hits, misses = Chain.verify_cache_stats () in
   J.Obj
     ([
-       ("pr", J.Int 5);
+       ("pr", J.Int 6);
        ("world", J.String "quick");
        ("unit", J.String "ns_per_run");
        ("jobs", J.Int w.Pipeline.jobs);
@@ -512,7 +659,7 @@ let json_report () =
        ( "verify_cache",
          J.Obj [ ("hits", J.Int hits); ("misses", J.Int misses) ] );
      ]
-    @ speedup @ obs_overhead @ throughput
+    @ speedup @ obs_overhead @ throughput @ serve
     @ [ ("benches", J.Obj groups) ])
 
 let () =
@@ -520,7 +667,7 @@ let () =
   let no_json = Array.exists (( = ) "--no-json") Sys.argv in
   let out =
     let rec find i =
-      if i + 1 >= Array.length Sys.argv then "BENCH_5.json"
+      if i + 1 >= Array.length Sys.argv then "BENCH_6.json"
       else if Sys.argv.(i) = "--out" then Sys.argv.(i + 1)
       else find (i + 1)
     in
@@ -539,6 +686,8 @@ let () =
   run_group ~quota "substrates" (substrate_tests ());
   obs_overhead_pct := Some (measure_obs_overhead ());
   run_group ~quota "notary_queries" (notary_query_tests ());
+  if quick then run_serve_bench ~requests:256 ~warm_rounds:1 ()
+  else run_serve_bench ();
   if not quick then begin
     run_group ~quota "hash_cores" (hash_core_tests ());
     run_group ~quota "substrate scaling" (scaling_tests ());

@@ -456,6 +456,91 @@ let chaos_cmd =
     Term.(const run $ logs_term $ common_term $ sessions_arg $ leaves_arg
           $ key_bits_arg $ rate_arg $ fault_seed_arg $ tolerance_arg)
 
+(* --- serve ------------------------------------------------------------- *)
+
+let serve_cmd =
+  let module Serve = Tangled_serve.Serve in
+  let drill_arg =
+    let doc =
+      "Instead of serving stdin, run the serve chaos drill: a generated \
+       request corpus is fault-injected, served in bursts (one deliberately \
+       over capacity) under a seeded store/index fault plan, and the \
+       robustness contract is audited — zero crashes, zero unaccounted \
+       requests."
+    in
+    Arg.(value & flag & info [ "drill" ] ~doc)
+  in
+  let requests_arg =
+    let doc = "Size of the drill's request corpus." in
+    Arg.(value & opt int 600 & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc = "Per-frame fault probability for the drill's request stream." in
+    Arg.(value & opt float 0.08 & info [ "rate" ] ~docv:"P" ~doc)
+  in
+  let fault_seed_arg =
+    let doc = "Seed of the drill's fault-injection PRNGs." in
+    Arg.(value & opt int 12 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+  in
+  let queue_arg =
+    let doc = "Admission-queue capacity; a larger burst is load-shed." in
+    Arg.(value & opt int Serve.default_config.Serve.queue_capacity
+         & info [ "queue-capacity" ] ~docv:"N" ~doc)
+  in
+  let batch_arg =
+    let doc = "Frames read per burst from the input stream." in
+    Arg.(value & opt int Serve.default_config.Serve.batch
+         & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Default per-request deadline in milliseconds." in
+    Arg.(value & opt int 250 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let run () common sessions leaves key_bits drill requests rate fault_seed
+      queue_capacity batch deadline_ms =
+    (* stdout is the protocol channel in serve mode: human chatter
+       (world build progress, the closing summary table) goes to stderr
+       so piped clients read pure JSONL *)
+    if not drill then
+      Logs.set_reporter (Logs_fmt.reporter ~app:Format.err_formatter ());
+    let world = build_world ~jobs:common.jobs common.seed sessions leaves key_bits in
+    if drill then begin
+      let outcome =
+        Tangled_serve.Drill.run ~seed:fault_seed ~rate ~requests world
+      in
+      print_string (Tangled_serve.Drill.render outcome);
+      write_trace ~jobs:world.Pipeline.jobs common;
+      if not outcome.Tangled_serve.Drill.ok then exit 1
+    end
+    else begin
+      let config =
+        {
+          Serve.default_config with
+          Serve.queue_capacity;
+          batch;
+          default_deadline_s = float_of_int deadline_ms /. 1000.0;
+        }
+      in
+      let server = Serve.create ~config world in
+      Logs.app (fun m ->
+          m "serving %s on stdin (queue %d, batch %d, deadline %dms)"
+            Serve.protocol_version queue_capacity batch deadline_ms);
+      let summary = Serve.serve_channel server stdin stdout in
+      Logs.app (fun m -> m "%s" (Serve.render_summary summary));
+      write_trace ~jobs:world.Pipeline.jobs common;
+      if not (Serve.reconciled summary) then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Answer the paper's queries online: a fault-tolerant JSONL request \
+          loop over stdin with admission control, deadlines, retry/backoff \
+          and graceful degradation ($(b,--drill) audits it under chaos)")
+    Term.(const run $ logs_term $ common_term $ sessions_arg $ leaves_arg
+          $ key_bits_arg $ drill_arg $ requests_arg $ rate_arg
+          $ fault_seed_arg $ queue_arg $ batch_arg $ deadline_arg)
+
 (* --- sensitivity ---------------------------------------------------------- *)
 
 let sensitivity_cmd =
@@ -742,7 +827,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "tangled-mass" ~version:"1.0.0" ~doc)
     [ tables_cmd; figures_cmd; report_cmd; analyze_cmd; audit_cmd; export_cmd;
-      ingest_cmd; chaos_cmd; sensitivity_cmd; stores_cmd; intercept_cmd;
-      selfcheck_cmd ]
+      ingest_cmd; chaos_cmd; serve_cmd; sensitivity_cmd; stores_cmd;
+      intercept_cmd; selfcheck_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -46,8 +46,12 @@ let observed_matches (inj : Fault.injection) (reason : Ingest.reason) =
   | Fault.Missing_field, Ingest.Missing_field f -> inj.Fault.field = Some f
   | Fault.Type_confusion, Ingest.Type_mismatch f -> inj.Fault.field = Some f
   | ( Fault.Bit_flip,
-      ( Ingest.Malformed_json _ | Ingest.Missing_field _ | Ingest.Type_mismatch _
-      | Ingest.Truncated_record | Ingest.Bad_value _ ) ) ->
+      ( Ingest.Malformed_json _ | Ingest.Control_bytes _ | Ingest.Missing_field _
+      | Ingest.Type_mismatch _ | Ingest.Truncated_record | Ingest.Bad_value _ ) )
+    ->
+      (* a structural-prefix flip can also land on a control byte
+         (e.g. '{' -> DEL), which the pre-parse binary-junk check now
+         catches first *)
       true
   | _ -> false
 

@@ -25,6 +25,19 @@ let kind_to_string = function
   | Clock_skew -> "clock-skew"
   | Identity_conflict -> "identity-conflict"
 
+type severity = Transient | Permanent
+
+(* Transport-induced damage (the sender's copy survives, a retry can
+   see clean bytes) vs source-side poison (a retry re-reads the same
+   wrong record). *)
+let classify = function
+  | Bit_flip | Truncate | Drop | Duplicate -> Transient
+  | Missing_field | Type_confusion | Clock_skew | Identity_conflict -> Permanent
+
+let severity_to_string = function
+  | Transient -> "transient"
+  | Permanent -> "permanent"
+
 type injection = {
   seq : int;
   kind : kind;

@@ -31,6 +31,29 @@ type kind =
 val all_kinds : kind list
 val kind_to_string : kind -> string
 
+(** {1 Severity}
+
+    Whether a fault of this kind is worth retrying.  The serving
+    layer's retry/backoff policy keys on this split: a {e transient}
+    fault is transport-induced — the pristine source still exists, so
+    re-reading (re-requesting the upload, re-opening the store
+    snapshot) can plausibly succeed.  A {e permanent} fault is poison
+    at the source — the bytes that arrive on retry are the same bad
+    bytes, so the only correct move is to quarantine and answer with a
+    typed error. *)
+
+type severity =
+  | Transient
+      (** retryable: {!Bit_flip}, {!Truncate}, {!Drop}, {!Duplicate} —
+          corruption or loss in transit; the sender's copy is intact *)
+  | Permanent
+      (** poison: {!Missing_field}, {!Type_confusion}, {!Clock_skew},
+          {!Identity_conflict} — the record was already wrong when it
+          was produced; retrying re-reads the same wrong record *)
+
+val classify : kind -> severity
+val severity_to_string : severity -> string
+
 type injection = {
   seq : int;  (** injection ordinal, 0-based *)
   kind : kind;

@@ -17,6 +17,7 @@ let quarantined_counter = Obs.counter "ingest.quarantined"
 
 type reason =
   | Malformed_json of string
+  | Control_bytes of string
   | Truncated_record
   | Missing_field of string
   | Type_mismatch of string
@@ -27,6 +28,7 @@ type reason =
 
 let reason_label = function
   | Malformed_json _ -> "malformed-json"
+  | Control_bytes _ -> "control-bytes"
   | Truncated_record -> "truncated-record"
   | Missing_field _ -> "missing-field"
   | Type_mismatch _ -> "type-mismatch"
@@ -37,6 +39,7 @@ let reason_label = function
 
 let reason_detail = function
   | Malformed_json m -> m
+  | Control_bytes d -> d
   | Truncated_record -> "record text ends mid-value"
   | Missing_field f -> "required field " ^ f ^ " absent"
   | Type_mismatch f -> "field " ^ f ^ " has the wrong type"
@@ -286,6 +289,21 @@ type 'a schema = {
 let snippet_of line =
   if String.length line <= 60 then line else String.sub line 0 60 ^ "..."
 
+(* Raw control bytes (except tab and the CR of a CRLF ending) never
+   appear in a well-formed record line; their presence is binary junk
+   and is classified before any parse is attempted. *)
+let has_control_bytes s =
+  let n = String.length s in
+  let rec go i =
+    i < n
+    &&
+    let c = s.[i] in
+    (c < ' ' && c <> '\t' && c <> '\r') || c = '\x7f' || go (i + 1)
+  in
+  go 0
+
+let control_bytes_msg = "record line carries raw NUL/control bytes"
+
 (* Header heuristic for the JSONL form: the first line is a manifest
    iff it parses to an object that looks like one (carries the control
    total or a "kind" tag) rather than like a record. *)
@@ -327,7 +345,9 @@ let split_input schema input =
       let digest = Tangled_util.Hex.encode (H.finalize ctx) in
       let lines = List.rev !lines in
       let parse_line offset i line =
-        (i + offset, match J.parse line with Ok j -> Ok j | Error e -> Error (e, line))
+        ( i + offset,
+          if has_control_bytes line then Error (control_bytes_msg, line)
+          else match J.parse line with Ok j -> Ok j | Error e -> Error (e, line) )
       in
       (match lines with
       | [] -> ([], [], digest)
@@ -359,7 +379,8 @@ let run schema input =
       match parsed with
       | Error (msg, text) ->
           let reason =
-            if J.error_is_truncation msg then Truncated_record
+            if has_control_bytes text then Control_bytes control_bytes_msg
+            else if J.error_is_truncation msg then Truncated_record
             else Malformed_json msg
           in
           put line reason (snippet_of text)

@@ -17,6 +17,14 @@
 
 type reason =
   | Malformed_json of string  (** the record is not JSON at all *)
+  | Control_bytes of string
+      (** the raw record line carries NUL or other control bytes — the
+          signature of binary junk spliced into the stream (a corrupted
+          upload, a framing error, a hostile client).  Detected on the
+          raw bytes {e before} any parse is attempted, so binary junk
+          can never reach the JSON layer, let alone raise out of it.
+          Tab and CR are exempt (legitimate JSON whitespace / CRLF
+          line endings). *)
   | Truncated_record  (** the record text stops mid-value (partial upload) *)
   | Missing_field of string  (** a required field is absent *)
   | Type_mismatch of string  (** a field carries the wrong JSON type *)
@@ -28,9 +36,15 @@ type reason =
   | Bad_value of string  (** well-typed but semantically invalid *)
 
 val reason_label : reason -> string
-(** Stable taxonomy slug ("malformed-json", "truncated-record",
-    "missing-field", "type-mismatch", "clock-skew", "duplicate-record",
-    "conflicting-record", "bad-value"). *)
+(** Stable taxonomy slug ("malformed-json", "control-bytes",
+    "truncated-record", "missing-field", "type-mismatch", "clock-skew",
+    "duplicate-record", "conflicting-record", "bad-value"). *)
+
+val has_control_bytes : string -> bool
+(** Whether the string contains a raw control byte (anything below
+    0x20 except tab and CR, or DEL) — the {!Control_bytes} detection
+    predicate, exposed so other framing layers (the serve loop's frame
+    decoder) classify identically. *)
 
 val reason_detail : reason -> string
 

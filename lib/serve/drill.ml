@@ -1,0 +1,326 @@
+module J = Tangled_util.Json
+module Prng = Tangled_util.Prng
+module Hex = Tangled_util.Hex
+module Dn = Tangled_x509.Dn
+module C = Tangled_x509.Certificate
+module Authority = Tangled_x509.Authority
+module Dk = Tangled_hash.Digest_kind
+module BP = Tangled_pki.Blueprint
+module PD = Tangled_pki.Paper_data
+module Fault = Tangled_fault.Fault
+module Pipeline = Tangled_core.Pipeline
+module Export = Tangled_core.Export
+module Obs = Tangled_obs.Obs
+
+type outcome = {
+  seed : int;
+  rate : float;
+  frames_built : int;
+  frames_fed : int;
+  stream_injections : int;
+  responses : int;
+  summary : Serve.summary;
+  malformed_responses : int;
+  checks : (string * bool) list;
+  trace : string;
+  ok : bool;
+}
+
+(* --- request corpus ----------------------------------------------------- *)
+
+let frame fields = J.to_string (J.Obj fields)
+
+let health_frame id = frame [ ("id", J.Int id); ("op", J.String "health") ]
+
+(* a pool of leaf chains: half anchored by AOSP 4.4 members (trusted
+   verdicts), half by roots outside the queried store (typed untrusted
+   verdicts — still answered) *)
+let chain_pool rng (u : BP.t) =
+  let member, stranger =
+    Array.fold_left
+      (fun (m, s) (r : BP.root) ->
+        if List.mem PD.V4_4 r.BP.in_aosp then (r :: m, s) else (m, r :: s))
+      ([], []) u.BP.roots
+  in
+  let mint (r : BP.root) =
+    let leaf =
+      Authority.issue_leaf ~bits:384 ~digest:Dk.SHA1 rng
+        ~parent:r.BP.authority
+        ~dns_names:[ "drill.example" ]
+        (Dn.make "drill.example")
+    in
+    Hex.encode (C.encode leaf)
+  in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  Array.of_list (List.map mint (take 3 member @ take 3 stranger))
+
+let build_corpus ~seed ~requests (w : Pipeline.t) =
+  let u = w.Pipeline.universe in
+  let rng = Prng.create ((seed * 7919) + 11) in
+  let chains = chain_pool rng u in
+  let stores = [| "aosp44"; "aosp43"; "aosp41"; "mozilla"; "ios7"; "handset:3" |] in
+  let root_names =
+    Array.map (fun (r : BP.root) -> r.BP.display_name)
+      (Array.sub u.BP.roots 0 (min 24 (Array.length u.BP.roots)))
+  in
+  let validate ?deadline_ms id =
+    let base =
+      [
+        ("id", J.Int id);
+        ("op", J.String "validate");
+        ("store", J.String (Prng.choose rng stores));
+        ("chain", J.List [ J.String (Prng.choose rng chains) ]);
+      ]
+    in
+    frame
+      (match deadline_ms with
+      | None -> base
+      | Some ms -> base @ [ ("deadline_ms", J.Int ms) ])
+  in
+  let make id =
+    match Prng.int rng 100 with
+    | n when n < 45 -> validate id
+    | n when n < 60 ->
+        frame
+          [
+            ("id", J.Int id);
+            ("op", J.String "diff");
+            ("store", J.String (Prng.choose rng stores));
+            ("baseline", J.String "aosp44");
+          ]
+    | n when n < 72 ->
+        frame
+          [
+            ("id", J.Int id);
+            ("op", J.String "coverage");
+            ("root", J.String (Prng.choose rng root_names));
+          ]
+    | n when n < 78 -> frame [ ("id", J.Int id); ("op", J.String "stores") ]
+    | n when n < 84 -> health_frame id
+    | n when n < 89 -> validate ~deadline_ms:0 id (* deterministic timeout *)
+    | n when n < 94 ->
+        (* semantic error: a store nobody ships *)
+        frame
+          [
+            ("id", J.Int id);
+            ("op", J.String "diff");
+            ("store", J.String "waterfox");
+          ]
+    | _ ->
+        (* semantic error: chain bytes that are not hexadecimal *)
+        frame
+          [
+            ("id", J.Int id);
+            ("op", J.String "validate");
+            ("store", J.String "aosp44");
+            ("chain", J.List [ J.String "not-hex!" ]);
+          ]
+  in
+  (* line 1 plays the manifest role for Fault.inject — never corrupted,
+     and itself a servable frame *)
+  health_frame 0 :: List.init requests (fun i -> make (i + 1))
+
+(* --- store/index fault plan --------------------------------------------- *)
+
+(* Per admitted request [seq], how the store/index access misbehaves:
+   [None] (succeed), or a kind that persists for the first [persists]
+   attempts.  Three seqs are pinned so every retry outcome provably
+   fires regardless of the random mix: a transient fault that yields
+   to retries, one that outlives the budget, and a permanent poison. *)
+let fault_plan ~seed ~max_retries =
+  let base = Prng.create ((seed * 104729) + 5) in
+  let kinds = Array.of_list Fault.all_kinds in
+  let tbl = Hashtbl.create 256 in
+  let plan seq =
+    match Hashtbl.find_opt tbl seq with
+    | Some p -> p
+    | None ->
+        let p =
+          match seq with
+          | 5 -> Some (Fault.Truncate, 2) (* recovers on the 3rd attempt *)
+          | 9 -> Some (Fault.Bit_flip, max_retries + 7) (* outlives budget *)
+          | 13 -> Some (Fault.Missing_field, max_int) (* permanent poison *)
+          | _ ->
+              let r = Prng.split base (string_of_int seq) in
+              if Prng.bernoulli r 0.05 then
+                let kind = Prng.choose r kinds in
+                let persists =
+                  match Fault.classify kind with
+                  | Fault.Permanent -> max_int
+                  | Fault.Transient -> Prng.int_in r 1 (max_retries + 2)
+                in
+                Some (kind, persists)
+              else None
+        in
+        Hashtbl.replace tbl seq p;
+        p
+  in
+  let enabled = ref true in
+  let hook ~seq ~attempt =
+    if not !enabled then None
+    else
+      match plan seq with
+      | Some (kind, persists) when attempt < persists -> Some kind
+      | _ -> None
+  in
+  (hook, enabled)
+
+(* --- the drill ---------------------------------------------------------- *)
+
+let label_of_response json =
+  match J.member "error" json with
+  | Some e -> (
+      match J.member "label" e with Some (J.String l) -> Some l | _ -> None)
+  | None -> None
+
+let run ?(seed = 12) ?(rate = 0.08) ?(requests = 600) (w : Pipeline.t) =
+  Obs.reset_all ();
+  let corpus = build_corpus ~seed ~requests w in
+  let frames_built = List.length corpus in
+  (* chaos on the request stream: the eight operators, same as batch *)
+  let corrupted, ledger =
+    Fault.inject ~seed:(seed + 2) ~rate (String.concat "\n" corpus)
+  in
+  let stream_lines = String.split_on_char '\n' corrupted in
+  let config =
+    {
+      Serve.default_config with
+      Serve.max_frame_bytes = 1 lsl 23;
+      (* a store dump travels inside one reload frame *)
+    }
+  in
+  let hook, chaos_enabled = fault_plan ~seed ~max_retries:config.Serve.max_retries in
+  let config = { config with Serve.fault_hook = hook } in
+  let server = Serve.create ~config w in
+  let raised = ref 0 in
+  let responses = ref [] in
+  let fed = ref 0 in
+  let feed burst =
+    fed := !fed + List.length burst;
+    match Serve.serve_burst server burst with
+    | rs -> responses := List.rev_append rs !responses
+    | exception e ->
+        incr raised;
+        Obs.event "drill.burst_raised" ~fields:[ ("exn", Printexc.to_string e) ]
+  in
+  (* phase 1: the corrupted stream, in channel-sized bursts *)
+  let rec chunks = function
+    | [] -> ()
+    | lines ->
+        let burst = List.filteri (fun i _ -> i < config.Serve.batch) lines in
+        let rest =
+          List.filteri (fun i _ -> i >= config.Serve.batch) lines
+        in
+        feed burst;
+        chunks rest
+  in
+  chunks stream_lines;
+  (* phase 2: a deliberate overload — one burst far beyond the queue *)
+  let overload = config.Serve.queue_capacity + 40 in
+  feed (List.init overload (fun i -> health_frame (10_000 + i)));
+  (* phase 3: snapshot updates with the chaos hook quiesced, so the
+     reload outcomes are decided by payload quality alone *)
+  chaos_enabled := false;
+  let stores_doc = Export.stores_jsonl w in
+  let poisoned_doc =
+    (* the upload dies 40 bytes early: the final record is truncated *)
+    String.sub stores_doc 0 (String.length stores_doc - 40)
+  in
+  let reload id payload =
+    frame [ ("id", J.Int id); ("op", J.String "reload"); ("payload", J.String payload) ]
+  in
+  feed [ reload 20_001 stores_doc; reload 20_002 poisoned_doc ];
+  (* phase 4: drain mid-burst — the frame after it is in-flight and
+     must still be answered — then a late burst that gets refused *)
+  feed [ frame [ ("id", J.Int 20_003); ("op", J.String "drain") ]; health_frame 20_004 ];
+  feed [ health_frame 20_005; health_frame 20_006; health_frame 20_007 ];
+  (* audit *)
+  let responses = List.rev !responses in
+  let s = Serve.summary server in
+  let statuses = Hashtbl.create 8 in
+  let labels = Hashtbl.create 8 in
+  let malformed = ref 0 in
+  let in_flight_after_drain = ref false in
+  List.iter
+    (fun line ->
+      match J.parse line with
+      | Ok (J.Obj _ as json) -> (
+          (match label_of_response json with
+          | Some l ->
+              Hashtbl.replace labels l (1 + Option.value ~default:0 (Hashtbl.find_opt labels l))
+          | None -> ());
+          (match (J.member "id" json, J.member "status" json) with
+          | Some (J.Int 20_004), Some (J.String "ok") ->
+              in_flight_after_drain := true
+          | _ -> ());
+          match J.member "status" json with
+          | Some (J.String st)
+            when List.mem st
+                   [ "ok"; "error"; "timeout"; "overloaded"; "draining"; "summary" ] ->
+              Hashtbl.replace statuses st
+                (1 + Option.value ~default:0 (Hashtbl.find_opt statuses st))
+          | _ -> incr malformed)
+      | _ -> incr malformed)
+    responses;
+  let has_label l = Hashtbl.find_opt labels l <> None in
+  let trace = Obs.trace_jsonl () in
+  let checks =
+    [
+      ("no burst raised", !raised = 0);
+      ("one response per frame fed", List.length responses = !fed);
+      ("control totals reconcile", Serve.reconciled s);
+      ("every response well-formed with a known status", !malformed = 0);
+      ("overload burst shed the surplus", s.Serve.shed = 40);
+      ("deadline-zero frames timed out", s.Serve.timed_out > 0);
+      ("stream faults were quarantined", s.Serve.quarantined > 0);
+      ("transient access faults retried", s.Serve.retries > 0);
+      ("a transient fault outlived the retry budget", has_label "fault-transient");
+      ("a permanent fault poisoned its request", has_label "poisoned-request");
+      ( "clean reload advanced the epoch",
+        s.Serve.reloads_accepted = 1 && s.Serve.epoch = 2 );
+      ( "poisoned reload rejected, old snapshot kept",
+        s.Serve.reloads_rejected = 1 && has_label "update-rejected" );
+      ("in-flight frame answered after drain", !in_flight_after_drain);
+      ("post-drain frames refused", s.Serve.refused = 3);
+      ("server drained cleanly", s.Serve.drained);
+      ("obs trace validates", Obs.validate_trace trace = Ok ());
+    ]
+  in
+  {
+    seed;
+    rate;
+    frames_built;
+    frames_fed = !fed;
+    stream_injections = List.length ledger;
+    responses = List.length responses;
+    summary = s;
+    malformed_responses = !malformed;
+    checks;
+    trace;
+    ok = List.for_all snd checks;
+  }
+
+let render (o : outcome) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "=== Serve chaos drill: %d frames built, stream fault rate %.3f, seed %d ===\n\n"
+       o.frames_built o.rate o.seed);
+  Buffer.add_string b
+    (Printf.sprintf
+       "stream injections: %d   frames fed: %d   responses: %d\n\n"
+       o.stream_injections o.frames_fed o.responses);
+  Buffer.add_string b (Serve.render_summary o.summary);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (name, passed) ->
+      Buffer.add_string b
+        (Printf.sprintf "  [%s] %s\n" (if passed then "pass" else "FAIL") name))
+    o.checks;
+  Buffer.add_string b
+    (Printf.sprintf "\nVerdict: %s\n"
+       (if o.ok then
+          "OK — zero crashes, zero unaccounted requests, every degradation \
+           path exercised"
+        else "FAILED"));
+  Buffer.contents b

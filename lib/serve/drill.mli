@@ -1,0 +1,56 @@
+(** The serve chaos drill: fault injection aimed at a live server.
+
+    The batch chaos harness ({!Tangled_core.Chaos}) damages a dataset
+    and audits the ingest quarantine.  This drill points the same
+    eight fault operators at the {e request stream} of a running
+    {!Serve} loop and, through the config's [fault_hook], at the
+    store/index accesses mid-serve — then checks the server's
+    robustness contract end to end:
+
+    - zero crashes: every burst returns, the loop drains cleanly;
+    - zero unaccounted requests: each frame the server saw ended in
+      exactly one terminal class and the control totals reconcile;
+    - every response line is well-formed [tangled-serve/1] with a
+      known status;
+    - each degradation path actually fired: frames were shed under the
+      deliberate overload burst, deadline-zero frames timed out,
+      stream faults were quarantined, transient access faults
+      retried, a permanent access fault poisoned its request, the
+      poisoned reload was rejected while the clean one advanced the
+      epoch, and post-drain frames were refused;
+    - the exported [tangled-obs/1] trace validates structurally.
+
+    Deterministic in [seed] on a single domain. *)
+
+type outcome = {
+  seed : int;
+  rate : float;
+  frames_built : int;  (** well-formed frames before stream corruption *)
+  frames_fed : int;  (** lines actually fed (drops remove, duplicates add) *)
+  stream_injections : int;  (** ledger length of the stream corruption *)
+  responses : int;
+  summary : Serve.summary;
+  malformed_responses : int;
+      (** responses that failed to parse or carried an unknown status
+          — must be 0 *)
+  checks : (string * bool) list;  (** named contract checks, in order *)
+  trace : string;  (** the [tangled-obs/1] trace exported after the run *)
+  ok : bool;  (** every check passed *)
+}
+
+val run :
+  ?seed:int ->
+  ?rate:float ->
+  ?requests:int ->
+  Tangled_core.Pipeline.t ->
+  outcome
+(** [run w] builds a request corpus over the world [w] (validates with
+    freshly issued chains, diffs, coverage lookups, health probes,
+    deadline-zero frames, semantic errors, both reloads, a drain),
+    corrupts the stream with {!Tangled_fault.Fault.inject} at [rate]
+    (default 0.08), serves it in bursts — one deliberately over
+    capacity — under a seeded store/index fault plan, and audits the
+    contract.  [requests] (default 600) scales the corpus.  Never
+    raises. *)
+
+val render : outcome -> string

@@ -1,0 +1,153 @@
+(** The trust-decision server: the paper's queries, online.
+
+    The batch subcommands answer "does this chain validate against
+    device store X", "how does a store diff against the AOSP baseline"
+    and "how much traffic does root R anchor" once per run.  [Serve]
+    turns them into a long-running request loop — the "millions of
+    Android handsets phoning home" framing of the Netalyzr side — built
+    robustness-first: no input, fault or overload condition may crash
+    the loop or corrupt an answer.
+
+    {b Protocol} ([tangled-serve/1]).  Requests arrive as JSONL frames
+    (one JSON object per line) on stdin, a pipe or any byte stream;
+    responses leave as JSONL in request order.  Every frame carries an
+    [id] (echoed verbatim) and an [op]:
+
+    - [validate]: ["store"] (an official store name or ["handset:N"]),
+      ["chain"] (hex-DER certificates, leaf first) — the full
+      path-building validation verdict;
+    - [diff]: ["store"] vs ["baseline"] — additions/missing against an
+      AOSP baseline (Figure 1 online);
+    - [coverage]: ["root"] (display name, bracketed hash id or
+      equivalence key) — unexpired validated-chain count and traffic
+      share of that root (Figure 3 online);
+    - [stores]: the current snapshot's store sizes (Table 1 online);
+    - [health]: liveness, epoch, queue and control-total counters;
+    - [reload]: ["payload"] (a store-dump JSONL document) — attempt a
+      snapshot update through the quarantining ingest layer;
+    - [drain]: stop admitting, finish in-flight work, then shut down.
+
+    {b Robustness machinery.}
+
+    - {e Total decoding}: any byte sequence yields exactly one typed
+      response.  Frames that violate the protocol schema are
+      quarantined under the {e ingest} error taxonomy
+      ({!Tangled_ingest.Ingest.reason} — [malformed-json],
+      [control-bytes], [truncated-record], [missing-field],
+      [type-mismatch], [bad-value]) and answered with a typed error.
+    - {e Deadlines}: each request gets [deadline_ms] (or the config
+      default); expensive ops check the clock at work-unit boundaries
+      and answer a typed [timeout] response when it passes.
+    - {e Admission control}: a burst larger than the bounded queue is
+      load-shed explicitly — surplus frames get a typed [overloaded]
+      response, never a silent drop.
+    - {e Retry with backoff}: store/index access faults classified
+      {!Tangled_fault.Fault.Transient} are retried with exponential
+      backoff; {!Tangled_fault.Fault.Permanent} faults quarantine the
+      poisoned request and answer a typed error immediately.
+    - {e Graceful degradation}: reads answer from the last good
+      snapshot; a poisoned [reload] is rejected (typed
+      [update-rejected]) without touching it.
+    - {e Graceful shutdown}: [drain] (or EOF) completes every admitted
+      request before the loop exits; late frames get a typed
+      [draining] response.
+
+    Everything is deterministic on one domain: batched execution, no
+    concurrency, a pluggable clock — the single-CPU container's
+    jobs-independence and the golden report digest are untouched.
+
+    {b Accounting.}  Every frame ends in exactly one terminal class —
+    answered, typed-error, timeout, shed, refused-draining or
+    quarantined — and {!reconciled} checks the control totals add up.
+    Per-class latency histograms ([serve.latency.*]), the queue-depth
+    gauge and shed/timeout/retry counters live in {!Tangled_obs.Obs},
+    inside the versioned [tangled-obs/1] trace. *)
+
+module Fault := Tangled_fault.Fault
+module Ingest := Tangled_ingest.Ingest
+
+val protocol_version : string
+(** ["tangled-serve/1"]. *)
+
+(** {1 Configuration} *)
+
+type config = {
+  queue_capacity : int;  (** admission-queue bound (default 64) *)
+  batch : int;
+      (** frames read per burst in {!serve_channel} (default 32) *)
+  default_deadline_s : float;
+      (** per-request deadline when the frame has no [deadline_ms]
+          (default 0.25) *)
+  max_retries : int;
+      (** attempts beyond the first for transient faults (default 3) *)
+  backoff_s : float;
+      (** base backoff; attempt [n] backs off [backoff_s * 2^n]
+          (default 1ms) *)
+  max_frame_bytes : int;  (** frames longer than this are quarantined *)
+  clock : unit -> float;
+      (** monotonic-enough seconds; tests inject a fake clock to force
+          deadlines deterministically *)
+  sleep : float -> unit;
+      (** how backoff waits; the default records the wait without
+          blocking the single-domain loop *)
+  fault_hook : seq:int -> attempt:int -> Fault.kind option;
+      (** fault injection aimed at the store/index access of request
+          [seq] (0-based admission order), consulted once per attempt.
+          [None] (the default) means the access succeeds — this is the
+          chaos drill's hook, never a production code path. *)
+}
+
+val default_config : config
+
+(** {1 Control totals} *)
+
+type summary = {
+  seen : int;  (** frames consumed from the stream *)
+  answered : int;  (** status [ok] *)
+  typed_errors : int;  (** status [error], frame well-formed *)
+  timed_out : int;  (** status [timeout] *)
+  shed : int;  (** status [overloaded] *)
+  refused : int;  (** status [draining] *)
+  quarantined : int;  (** malformed frames (typed error + quarantine record) *)
+  retries : int;  (** transient-fault retry attempts *)
+  backoff_s_total : float;  (** cumulative backoff the retries asked for *)
+  reloads_accepted : int;
+  reloads_rejected : int;
+  epoch : int;  (** current snapshot epoch (starts at 1) *)
+  drained : bool;  (** the loop shut down through drain/EOF *)
+}
+
+val reconciled : summary -> bool
+(** [seen = answered + typed_errors + timed_out + shed + refused +
+    quarantined] — no request unaccounted. *)
+
+val render_summary : summary -> string
+
+(** {1 The server} *)
+
+type t
+
+val create : ?config:config -> Tangled_core.Pipeline.t -> t
+(** A server over this world: queries answer against the world's
+    universe, population, Notary coverage index, and a snapshot seeded
+    from the world's own store dump (epoch 1). *)
+
+val summary : t -> summary
+val draining : t -> bool
+
+val quarantine : t -> Ingest.quarantined list
+(** Quarantined frames in arrival order; [line] is the 1-based frame
+    ordinal in the stream. *)
+
+val serve_burst : t -> string list -> string list
+(** One admission round over a burst of frames: frames beyond
+    [queue_capacity] are shed, admitted frames are answered in order
+    (all of them, even when a [drain] lands mid-burst — in-flight work
+    always completes).  Returns exactly one response line per input
+    frame, in input order.  Never raises. *)
+
+val serve_channel : ?summary_frame:bool -> t -> in_channel -> out_channel -> summary
+(** The stdin/socket loop: read up to [batch] frames, answer them,
+    flush, repeat until EOF or a processed [drain]; then emit a final
+    summary frame ([summary_frame], default true) and return the
+    totals.  EOF counts as a clean drain. *)

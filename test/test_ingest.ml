@@ -101,6 +101,38 @@ let test_garbage_is_quarantined_not_fatal () =
   check Alcotest.int "bad records quarantined" 2
     r.Ingest.stats.Ingest.quarantined_total
 
+(* Raw NUL/control bytes are caught before the JSON parser ever runs
+   and get their own taxonomy label; the whitespace controls a normal
+   serializer emits (tab, CR) stay exempt. *)
+let test_control_bytes_quarantined () =
+  check Alcotest.bool "NUL detected" true (Ingest.has_control_bytes "a\x00b");
+  check Alcotest.bool "DEL detected" true (Ingest.has_control_bytes "a\x7fb");
+  check Alcotest.bool "ESC detected" true (Ingest.has_control_bytes "\x1b[1m");
+  check Alcotest.bool "tab exempt" false (Ingest.has_control_bytes "a\tb");
+  check Alcotest.bool "CR exempt" false (Ingest.has_control_bytes "a\rb");
+  check Alcotest.bool "plain text clean" false (Ingest.has_control_bytes "{}");
+  let w = world () in
+  let doc = Export.sessions_jsonl ~limit:3 w in
+  let lines = String.split_on_char '\n' (String.trim doc) in
+  let header, records =
+    match lines with h :: t -> (h, t) | [] -> assert false
+  in
+  let poisoned =
+    List.mapi (fun i r -> if i = 1 then "\x00" ^ r else r) records
+  in
+  let r =
+    Ingest.sessions_of_string (String.concat "\n" (header :: poisoned) ^ "\n")
+  in
+  check Alcotest.int "clean records accepted" 2 r.Ingest.stats.Ingest.accepted;
+  check Alcotest.int "poisoned record quarantined" 1
+    r.Ingest.stats.Ingest.quarantined_total;
+  match r.Ingest.quarantine with
+  | [ q ] ->
+      check Alcotest.string "typed label" "control-bytes"
+        (Ingest.reason_label q.Ingest.reason)
+  | qs ->
+      Alcotest.failf "expected one quarantine record, got %d" (List.length qs)
+
 let test_duplicate_vs_conflict () =
   let w = world () in
   let doc = Export.sessions_jsonl ~limit:5 w in
@@ -289,6 +321,8 @@ let suite =
     Alcotest.test_case "stores roundtrip (Table 1)" `Quick test_stores_roundtrip;
     Alcotest.test_case "garbage quarantined, never fatal" `Quick
       test_garbage_is_quarantined_not_fatal;
+    Alcotest.test_case "control bytes get a typed label" `Quick
+      test_control_bytes_quarantined;
     Alcotest.test_case "duplicate vs conflicting records" `Quick
       test_duplicate_vs_conflict;
     Alcotest.test_case "dropped records reconciled via manifest" `Quick

@@ -28,6 +28,7 @@ let () =
       ("properties", Test_properties.suite);
       ("engine", Test_engine.suite);
       ("determinism", Test_determinism.suite);
+      ("serve", Test_serve.suite);
       (* last: obs tests reset the process-wide instrumentation state *)
       ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,419 @@
+(* The trust-decision server: total decoding under fuzzed frames, and
+   each robustness mechanism — admission control, deadlines,
+   retry/backoff, snapshot degradation, drain — pinned by a unit test.
+   The full chaos composition runs in the drill ([serve --drill] and
+   the @check gate); here a pinned-seed drill run doubles as the
+   end-to-end regression. *)
+
+module Pipeline = Tangled_core.Pipeline
+module Export = Tangled_core.Export
+module Serve = Tangled_serve.Serve
+module Drill = Tangled_serve.Drill
+module Ingest = Tangled_ingest.Ingest
+module Fault = Tangled_fault.Fault
+module J = Tangled_util.Json
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let world () = Lazy.force Pipeline.quick
+
+let server ?config () = Serve.create ?config (world ())
+
+let frame fields = J.to_string (J.Obj fields)
+let health id = frame [ ("id", J.Int id); ("op", J.String "health") ]
+
+let known_statuses = [ "ok"; "error"; "timeout"; "overloaded"; "draining" ]
+
+let status_of line =
+  match J.parse line with
+  | Ok json -> (
+      match J.member "status" json with
+      | Some (J.String s) -> Some s
+      | _ -> None)
+  | Error _ -> None
+
+let error_label line =
+  match J.parse line with
+  | Ok json -> (
+      match J.member "error" json with
+      | Some e -> (
+          match J.member "label" e with
+          | Some (J.String l) -> Some l
+          | _ -> None)
+      | None -> None)
+  | Error _ -> None
+
+(* a clock the tests advance by hand, for deterministic deadlines *)
+let fake_clock () =
+  let now = ref 0.0 in
+  ((fun () -> now := !now +. 1.0; !now), now)
+
+(* --- decoder totality (fuzz) ------------------------------------------- *)
+
+(* One long-lived server eats arbitrary byte sequences: every frame —
+   valid, malformed, binary junk — must yield exactly one well-formed
+   response, and the control totals must stay reconciled.  The server
+   is shared across iterations, so the property also covers state
+   carried between hostile bursts. *)
+let prop_serve_total =
+  let shared = lazy (server ()) in
+  QCheck.Test.make ~name:"serve_burst total on arbitrary bytes" ~count:400
+    QCheck.(small_list string)
+    (fun lines ->
+      let t = Lazy.force shared in
+      let responses = Serve.serve_burst t lines in
+      List.length responses = List.length lines
+      && List.for_all
+           (fun r ->
+             match status_of r with
+             | Some s -> List.mem s known_statuses
+             | None -> false)
+           responses
+      && Serve.reconciled (Serve.summary t))
+
+(* every quarantined frame carries a label from the shared ingest
+   taxonomy, and quarantine records line up with error responses *)
+let prop_malformed_quarantined =
+  QCheck.Test.make ~name:"malformed frames land in the ingest taxonomy"
+    ~count:200 QCheck.string
+    (fun s ->
+      QCheck.assume (match J.parse s with Ok (J.Obj _) -> false | _ -> true);
+      let t = server () in
+      match Serve.serve_burst t [ s ] with
+      | [ r ] ->
+          status_of r = Some "error"
+          && (match Serve.quarantine t with
+             | [ q ] -> String.length (Ingest.reason_label q.Ingest.reason) > 0
+             | _ -> false)
+      | _ -> false)
+
+(* --- unit: protocol basics --------------------------------------------- *)
+
+let test_basic_ops () =
+  let t = server () in
+  (match Serve.serve_burst t [ health 1 ] with
+  | [ r ] ->
+      check (Alcotest.option Alcotest.string) "health ok" (Some "ok")
+        (status_of r)
+  | _ -> Alcotest.fail "expected one response");
+  (match
+     Serve.serve_burst t
+       [ frame [ ("id", J.String "d1"); ("op", J.String "diff");
+                 ("store", J.String "mozilla") ] ]
+   with
+  | [ r ] ->
+      check (Alcotest.option Alcotest.string) "diff ok" (Some "ok") (status_of r);
+      (* the id round-trips verbatim, string-typed ids included *)
+      check Alcotest.bool "id echoed" true
+        (match J.parse r with
+        | Ok j -> J.member "id" j = Some (J.String "d1")
+        | Error _ -> false)
+  | _ -> Alcotest.fail "expected one response");
+  match
+    Serve.serve_burst t
+      [ frame [ ("id", J.Int 3); ("op", J.String "diff");
+                ("store", J.String "waterfox") ] ]
+  with
+  | [ r ] ->
+      check (Alcotest.option Alcotest.string) "unknown store is typed"
+        (Some "unknown-store") (error_label r)
+  | _ -> Alcotest.fail "expected one response"
+
+let test_schema_violations_quarantined () =
+  let t = server () in
+  let bad =
+    [
+      "";                                          (* empty line *)
+      "\x00{\"id\":1,\"op\":\"health\"}";          (* control bytes *)
+      "[1,2,3]";                                   (* not an object *)
+      "{\"op\":\"health\"}";                       (* missing id *)
+      "{\"id\":1}";                                (* missing op *)
+      "{\"id\":true,\"op\":\"health\"}";           (* id of the wrong type *)
+      "{\"id\":1,\"op\":\"warp\"}";                (* unknown op *)
+      "{\"id\":1,\"op\":\"health\",\"deadline_ms\":-5}";
+      "{\"id\":1,\"op\":\"validate\",\"store\":\"aosp44\"}"; (* no chain *)
+    ]
+  in
+  let responses = Serve.serve_burst t bad in
+  check Alcotest.int "one response per frame" (List.length bad)
+    (List.length responses);
+  List.iter
+    (fun r ->
+      check (Alcotest.option Alcotest.string) "typed error" (Some "error")
+        (status_of r))
+    responses;
+  let s = Serve.summary t in
+  check Alcotest.int "all quarantined" (List.length bad) s.Serve.quarantined;
+  check Alcotest.bool "reconciled" true (Serve.reconciled s);
+  let labels =
+    List.map (fun (q : Ingest.quarantined) -> Ingest.reason_label q.Ingest.reason)
+      (Serve.quarantine t)
+  in
+  check Alcotest.bool "control-bytes label present" true
+    (List.mem "control-bytes" labels);
+  check Alcotest.bool "missing-field label present" true
+    (List.mem "missing-field" labels)
+
+(* --- unit: admission control ------------------------------------------- *)
+
+let test_overload_sheds_explicitly () =
+  let config = { Serve.default_config with Serve.queue_capacity = 4 } in
+  let t = server ~config () in
+  let burst = List.init 10 health in
+  let responses = Serve.serve_burst t burst in
+  check Alcotest.int "one response per frame" 10 (List.length responses);
+  let statuses = List.filter_map status_of responses in
+  check Alcotest.int "admitted answered" 4
+    (List.length (List.filter (( = ) "ok") statuses));
+  check Alcotest.int "surplus shed" 6
+    (List.length (List.filter (( = ) "overloaded") statuses));
+  let s = Serve.summary t in
+  check Alcotest.int "shed counted" 6 s.Serve.shed;
+  check Alcotest.bool "reconciled" true (Serve.reconciled s)
+
+(* --- unit: deadlines ---------------------------------------------------- *)
+
+let test_deadline_times_out () =
+  (* the fake clock advances 1s per reading: any op with a checkpoint
+     blows a sub-second deadline deterministically *)
+  let clock, _ = fake_clock () in
+  let config = { Serve.default_config with Serve.clock } in
+  let t = server ~config () in
+  match
+    Serve.serve_burst t
+      [
+        frame
+          [ ("id", J.Int 1); ("op", J.String "diff");
+            ("store", J.String "mozilla"); ("deadline_ms", J.Int 100) ];
+        health 2;
+      ]
+  with
+  | [ r1; r2 ] ->
+      check (Alcotest.option Alcotest.string) "deadline exceeded"
+        (Some "timeout") (status_of r1);
+      (* health has no checkpoint: it answers even under the fake clock *)
+      check (Alcotest.option Alcotest.string) "next request unaffected"
+        (Some "ok") (status_of r2);
+      let s = Serve.summary t in
+      check Alcotest.int "timeout counted" 1 s.Serve.timed_out;
+      check Alcotest.bool "reconciled" true (Serve.reconciled s)
+  | _ -> Alcotest.fail "expected two responses"
+
+(* --- unit: retry / backoff --------------------------------------------- *)
+
+let test_transient_fault_retries_then_succeeds () =
+  let waits = ref [] in
+  let config =
+    {
+      Serve.default_config with
+      Serve.fault_hook =
+        (fun ~seq:_ ~attempt -> if attempt < 2 then Some Fault.Truncate else None);
+      sleep = (fun s -> waits := s :: !waits);
+    }
+  in
+  let t = server ~config () in
+  (match Serve.serve_burst t [ health 1 ] with
+  | [ r ] ->
+      check (Alcotest.option Alcotest.string) "recovers to ok" (Some "ok")
+        (status_of r)
+  | _ -> Alcotest.fail "expected one response");
+  let s = Serve.summary t in
+  check Alcotest.int "two retries" 2 s.Serve.retries;
+  (* exponential: base, then double *)
+  check (Alcotest.list (Alcotest.float 1e-9)) "backoff doubles"
+    [ Serve.default_config.Serve.backoff_s;
+      2.0 *. Serve.default_config.Serve.backoff_s ]
+    (List.rev !waits)
+
+let test_transient_fault_exhausts_budget () =
+  let config =
+    {
+      Serve.default_config with
+      Serve.fault_hook = (fun ~seq:_ ~attempt:_ -> Some Fault.Bit_flip);
+    }
+  in
+  let t = server ~config () in
+  (match Serve.serve_burst t [ health 1 ] with
+  | [ r ] ->
+      check (Alcotest.option Alcotest.string) "typed transient error"
+        (Some "fault-transient") (error_label r)
+  | _ -> Alcotest.fail "expected one response");
+  let s = Serve.summary t in
+  check Alcotest.int "budget spent" Serve.default_config.Serve.max_retries
+    s.Serve.retries;
+  check Alcotest.int "typed error counted" 1 s.Serve.typed_errors
+
+let test_permanent_fault_quarantines () =
+  let config =
+    {
+      Serve.default_config with
+      Serve.fault_hook = (fun ~seq:_ ~attempt:_ -> Some Fault.Missing_field);
+    }
+  in
+  let t = server ~config () in
+  (match Serve.serve_burst t [ health 1 ] with
+  | [ r ] ->
+      check (Alcotest.option Alcotest.string) "typed poison error"
+        (Some "poisoned-request") (error_label r)
+  | _ -> Alcotest.fail "expected one response");
+  let s = Serve.summary t in
+  check Alcotest.int "no retries for poison" 0 s.Serve.retries;
+  check Alcotest.int "request quarantined" 1 s.Serve.quarantined;
+  check Alcotest.bool "reconciled" true (Serve.reconciled s)
+
+(* --- unit: snapshot degradation ---------------------------------------- *)
+
+let test_reload_good_and_poisoned () =
+  let t = server () in
+  let doc = Export.stores_jsonl (world ()) in
+  let reload id payload =
+    frame [ ("id", J.Int id); ("op", J.String "reload");
+            ("payload", J.String payload) ]
+  in
+  let config = { Serve.default_config with Serve.max_frame_bytes = 1 lsl 23 } in
+  let t = if String.length doc > 1 lsl 19 then server ~config () else t in
+  (* clean payload: the epoch advances *)
+  (match Serve.serve_burst t [ reload 1 doc ] with
+  | [ r ] ->
+      check (Alcotest.option Alcotest.string) "clean reload ok" (Some "ok")
+        (status_of r)
+  | _ -> Alcotest.fail "expected one response");
+  check Alcotest.int "epoch advanced" 2 (Serve.summary t).Serve.epoch;
+  (* a truncated payload is rejected; the last good snapshot survives *)
+  let poisoned = String.sub doc 0 (String.length doc - 40) in
+  (match Serve.serve_burst t [ reload 2 poisoned ] with
+  | [ r ] ->
+      check (Alcotest.option Alcotest.string) "poisoned reload rejected"
+        (Some "update-rejected") (error_label r)
+  | _ -> Alcotest.fail "expected one response");
+  let s = Serve.summary t in
+  check Alcotest.int "epoch unchanged" 2 s.Serve.epoch;
+  check Alcotest.int "one accepted" 1 s.Serve.reloads_accepted;
+  check Alcotest.int "one rejected" 1 s.Serve.reloads_rejected;
+  (* reads still answer from the surviving snapshot *)
+  match Serve.serve_burst t [ frame [ ("id", J.Int 3); ("op", J.String "stores") ] ] with
+  | [ r ] ->
+      check (Alcotest.option Alcotest.string) "reads keep answering"
+        (Some "ok") (status_of r)
+  | _ -> Alcotest.fail "expected one response"
+
+(* --- unit: graceful shutdown ------------------------------------------- *)
+
+let test_drain_completes_in_flight () =
+  let t = server () in
+  let responses =
+    Serve.serve_burst t
+      [ frame [ ("id", J.Int 1); ("op", J.String "drain") ]; health 2 ]
+  in
+  (match List.map status_of responses with
+  | [ Some "ok"; Some "ok" ] -> ()
+  | sts ->
+      Alcotest.failf "in-flight frame not completed: %s"
+        (String.concat ","
+           (List.map (function Some s -> s | None -> "?") sts)));
+  check Alcotest.bool "now draining" true (Serve.draining t);
+  (* late arrivals are refused with a typed response, never dropped *)
+  match Serve.serve_burst t [ health 3; health 4 ] with
+  | [ r1; r2 ] ->
+      check (Alcotest.option Alcotest.string) "late refused" (Some "draining")
+        (status_of r1);
+      check (Alcotest.option Alcotest.string) "late refused" (Some "draining")
+        (status_of r2);
+      let s = Serve.summary t in
+      check Alcotest.int "refused counted" 2 s.Serve.refused;
+      check Alcotest.bool "reconciled" true (Serve.reconciled s)
+  | _ -> Alcotest.fail "expected two responses"
+
+let test_serve_channel_eof_drains () =
+  let path = Filename.temp_file "serve_test" ".jsonl" in
+  Export.write_text path (String.concat "\n" [ health 1; health 2 ] ^ "\n");
+  let ic = open_in path in
+  let out_path = Filename.temp_file "serve_test" ".out" in
+  let oc = open_out out_path in
+  let t = server () in
+  let s = Serve.serve_channel t ic oc in
+  close_in ic;
+  close_out oc;
+  check Alcotest.int "both served" 2 s.Serve.seen;
+  check Alcotest.int "both answered" 2 s.Serve.answered;
+  check Alcotest.bool "EOF drained" true s.Serve.drained;
+  check Alcotest.bool "reconciled" true (Serve.reconciled s);
+  (* the stream ends with the summary frame *)
+  let lines = ref [] in
+  let ic = open_in out_path in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  check Alcotest.int "two responses + summary" 3 (List.length !lines);
+  check (Alcotest.option Alcotest.string) "summary frame last"
+    (Some "summary") (status_of (List.hd !lines));
+  Sys.remove path;
+  Sys.remove out_path
+
+(* --- unit: fault severity ---------------------------------------------- *)
+
+let test_fault_classification () =
+  let expect =
+    [
+      (Fault.Bit_flip, Fault.Transient);
+      (Fault.Truncate, Fault.Transient);
+      (Fault.Drop, Fault.Transient);
+      (Fault.Duplicate, Fault.Transient);
+      (Fault.Missing_field, Fault.Permanent);
+      (Fault.Type_confusion, Fault.Permanent);
+      (Fault.Clock_skew, Fault.Permanent);
+      (Fault.Identity_conflict, Fault.Permanent);
+    ]
+  in
+  check Alcotest.int "total over all kinds" (List.length Fault.all_kinds)
+    (List.length expect);
+  List.iter
+    (fun (kind, severity) ->
+      check Alcotest.string
+        ("classify " ^ Fault.kind_to_string kind)
+        (Fault.severity_to_string severity)
+        (Fault.severity_to_string (Fault.classify kind)))
+    expect
+
+(* --- the composed drill at a pinned seed ------------------------------- *)
+
+let test_drill_pinned_seed () =
+  let o = Drill.run ~seed:12 ~rate:0.08 ~requests:200 (world ()) in
+  List.iter
+    (fun (name, passed) ->
+      check Alcotest.bool ("drill check: " ^ name) true passed)
+    o.Drill.checks;
+  check Alcotest.bool "drill verdict" true o.Drill.ok;
+  check Alcotest.int "no malformed responses" 0 o.Drill.malformed_responses
+
+let suite =
+  [
+    Alcotest.test_case "basic ops answer and echo ids" `Quick test_basic_ops;
+    Alcotest.test_case "schema violations quarantined under the taxonomy"
+      `Quick test_schema_violations_quarantined;
+    Alcotest.test_case "overload sheds explicitly" `Quick
+      test_overload_sheds_explicitly;
+    Alcotest.test_case "deadlines yield typed timeouts" `Quick
+      test_deadline_times_out;
+    Alcotest.test_case "transient faults retry with backoff" `Quick
+      test_transient_fault_retries_then_succeeds;
+    Alcotest.test_case "retry budget exhaustion is a typed error" `Quick
+      test_transient_fault_exhausts_budget;
+    Alcotest.test_case "permanent faults poison the request" `Quick
+      test_permanent_fault_quarantines;
+    Alcotest.test_case "reload degrades gracefully" `Quick
+      test_reload_good_and_poisoned;
+    Alcotest.test_case "drain completes in-flight work" `Quick
+      test_drain_completes_in_flight;
+    Alcotest.test_case "serve_channel drains on EOF" `Quick
+      test_serve_channel_eof_drains;
+    Alcotest.test_case "fault severity classification" `Quick
+      test_fault_classification;
+    Alcotest.test_case "chaos drill at pinned seed" `Slow
+      test_drill_pinned_seed;
+    qtest prop_serve_total;
+    qtest prop_malformed_quarantined;
+  ]
