@@ -222,25 +222,27 @@ let hash_core_tests () =
 
 (* --- notary_queries: coverage index vs chain-array scan ------------------ *)
 
-(* The pre-index implementation, kept verbatim as the reference the
-   index is measured against. *)
+(* The pre-index implementation, kept as the reference the index is
+   measured against: one pass over the corpus, reading anchor keys off
+   the arena columns. *)
 let scan_validated_by_store (n : Notary.t) store =
-  Array.fold_left
-    (fun acc (c : Notary.chain) ->
-      match c.Notary.anchor with
-      | Some key when (not c.Notary.expired) && Rs.mem_key store key -> acc + 1
-      | _ -> acc)
-    0 n.Notary.chains
+  let acc = ref 0 in
+  for i = 0 to Notary.total n - 1 do
+    match Notary.anchor_key n i with
+    | Some key when (not (Notary.chain_expired n i)) && Rs.mem_key store key ->
+        incr acc
+    | _ -> ()
+  done;
+  !acc
 
 let scan_per_root_counts (n : Notary.t) =
   let tbl = Hashtbl.create 512 in
-  Array.iter
-    (fun (c : Notary.chain) ->
-      match c.Notary.anchor with
-      | Some key when not c.Notary.expired ->
-          Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
-      | _ -> ())
-    n.Notary.chains;
+  for i = 0 to Notary.total n - 1 do
+    match Notary.anchor_key n i with
+    | Some key when not (Notary.chain_expired n i) ->
+        Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+    | _ -> ()
+  done;
   tbl
 
 let notary_query_tests () =
@@ -312,10 +314,10 @@ let ablation_tests () =
   let now = Ts.paper_epoch in
   let certs44 = Rs.certs (u.BP.aosp PD.V4_4) in
   let some_chain =
-    let c = w.Pipeline.notary.Notary.chains.(0) in
+    let c = Notary.chain w.Pipeline.notary 0 in
     c.Notary.leaf :: c.Notary.intermediates
   in
-  let anchor = w.Pipeline.notary.Notary.chains.(0).Notary.anchor in
+  let anchor = Notary.anchor_key w.Pipeline.notary 0 in
   let store = u.BP.aosp PD.V4_4 in
   (* identity definition: (subject, modulus) equivalence vs full-DER *)
   let dedup keyf certs =

@@ -811,6 +811,228 @@ let selfcheck_cmd =
           obs trace schema validation")
     Term.(const run $ logs_term $ golden_arg $ update_arg)
 
+(* --- scale -------------------------------------------------------------- *)
+
+(* The paper-scale gate: build the Notary corpus at increasing leaf
+   counts on the columnar arena and check the properties the refactor
+   promises — flat boxed memory (peak OCaml heap bounded whatever the
+   corpus size), bytes/cert within a fixed ratio of raw DER, and
+   scale-invariant analysis fractions (Table 3 store fractions, Table 4
+   zero-validation fractions) byte-identical at every scale.  Optionally
+   re-builds the largest scale with a different worker count and
+   compares arena digests, pinning jobs-independence off-heap. *)
+
+let scale_cmd =
+  let module BP = Tangled_pki.Blueprint in
+  let module PD = Tangled_pki.Paper_data in
+  let module Notary = Tangled_notary.Notary in
+  let module Arena = Tangled_x509.Arena in
+  let module J = Tangled_util.Json in
+  let leaves_all_arg =
+    let doc = "Unexpired-leaf count to measure; repeatable, ascending runs." in
+    Arg.(value & opt_all int [ 20_000; 200_000 ] & info [ "leaves" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the measurements as JSON to this file." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let check_jobs_arg =
+    let doc =
+      "Rebuild the largest scale with 4 worker domains and require its arena \
+       digest to be byte-identical to the single-domain build."
+    in
+    Arg.(value & flag & info [ "check-jobs" ] ~doc)
+  in
+  let max_heap_arg =
+    let doc =
+      "Fail unless the OCaml heap's high-water mark stays under this many MB \
+       at every scale (0 disables the assertion; the arena is off-heap and \
+       accounted separately)."
+    in
+    Arg.(value & opt int 0 & info [ "max-heap-mb" ] ~docv:"MB" ~doc)
+  in
+  let max_ratio_arg =
+    let doc =
+      "Fail if committed arena bytes per certificate exceed this multiple of \
+       the mean raw DER size."
+    in
+    Arg.(value & opt float 2.0 & info [ "max-der-ratio" ] ~docv:"R" ~doc)
+  in
+  let fraction_dp_arg =
+    let doc =
+      "Per-store validated fractions must agree across scales within \
+       10^-N (apportionment remainders shift them by O(1/leaves)); \
+       zero-validation fractions must agree exactly, byte for byte."
+    in
+    Arg.(value & opt int 2 & info [ "fraction-dp" ] ~docv:"N" ~doc)
+  in
+  let run () seed key_bits leaves_list out check_jobs max_heap_mb max_ratio
+      fraction_dp =
+    let failures = ref [] in
+    let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+    Logs.app (fun m -> m "building universe (seed %d, %d-bit keys)..." seed key_bits);
+    let universe = BP.build ~key_bits ~seed () in
+    let store_names =
+      List.map (fun v -> ("aosp_" ^ PD.version_to_string v, `Aosp v))
+        PD.android_versions
+      @ [ ("mozilla", `Mozilla); ("ios7", `Ios) ]
+    in
+    let store_of = function
+      | `Aosp v -> universe.BP.aosp v
+      | `Mozilla -> universe.BP.mozilla
+      | `Ios -> universe.BP.ios7
+    in
+    let word_mb = float_of_int (Sys.word_size / 8) /. 1e6 in
+    let measure leaves jobs =
+      Gc.compact ();
+      let t0 = Unix.gettimeofday () in
+      let n = Notary.generate ~leaves ~jobs ~seed:(seed + 3) universe in
+      let dt = Unix.gettimeofday () -. t0 in
+      let a = Notary.arena n in
+      let mem = Arena.memory a in
+      let total = Notary.total n in
+      let unexpired = float_of_int (Notary.unexpired n) in
+      let avg_der = float_of_int mem.Arena.blob_bytes /. float_of_int total in
+      let top_heap_mb =
+        float_of_int (Gc.quick_stat ()).Gc.top_heap_words *. word_mb
+      in
+      let validated =
+        List.map
+          (fun (name, which) ->
+            ( name,
+              float_of_int (Notary.validated_by_store n (store_of which))
+              /. unexpired ))
+          store_names
+      in
+      let zero =
+        List.map
+          (fun (label, _, _) ->
+            let counts =
+              Notary.counts_for_certs n (BP.store_of_category universe label)
+            in
+            (label, Tangled_util.Stats.fraction (fun c -> c = 0.0) counts))
+          PD.table4_rows
+      in
+      Logs.app (fun m ->
+          m
+            "leaves %d (jobs %d): %d chains in %.1fs (%.0f certs/s), arena \
+             %.1f MB, %.0f bytes/cert (%.2fx DER), heap high-water %.0f MB"
+            leaves jobs total dt
+            (float_of_int total /. dt)
+            (float_of_int (mem.Arena.blob_bytes + mem.Arena.column_bytes) /. 1e6)
+            (Arena.bytes_per_cert a)
+            (Arena.bytes_per_cert a /. avg_der)
+            top_heap_mb);
+      if Arena.bytes_per_cert a > max_ratio *. avg_der then
+        fail "leaves %d: %.0f bytes/cert exceeds %.1fx mean DER (%.0f B)" leaves
+          (Arena.bytes_per_cert a) max_ratio avg_der;
+      if max_heap_mb > 0 && top_heap_mb > float_of_int max_heap_mb then
+        fail "leaves %d: heap high-water %.0f MB exceeds the %d MB budget"
+          leaves top_heap_mb max_heap_mb;
+      let digest = Tangled_util.Hex.encode (Arena.digest a) in
+      ( digest,
+        J.Obj
+          [
+            ("leaves", J.Int leaves);
+            ("jobs", J.Int jobs);
+            ("total_chains", J.Int total);
+            ("build_s", J.Float dt);
+            ("certs_per_s", J.Float (float_of_int total /. dt));
+            ("arena_blob_bytes", J.Int mem.Arena.blob_bytes);
+            ("arena_column_bytes", J.Int mem.Arena.column_bytes);
+            ("bytes_per_cert", J.Float (Arena.bytes_per_cert a));
+            ("mean_der_bytes", J.Float avg_der);
+            ("der_ratio", J.Float (Arena.bytes_per_cert a /. avg_der));
+            ("top_heap_mb", J.Float top_heap_mb);
+            ("arena_sha256", J.String digest);
+            ( "validated_fraction",
+              J.Obj (List.map (fun (k, v) -> (k, J.Float v)) validated) );
+            ( "zero_fraction",
+              J.Obj (List.map (fun (k, v) -> (k, J.Float v)) zero) );
+          ],
+        validated,
+        zero )
+    in
+    let leaves_list = List.sort_uniq compare leaves_list in
+    let runs = List.map (fun l -> (l, measure l 1)) leaves_list in
+    (* scale invariance: validated fractions converge within 10^-dp,
+       zero fractions are byte-identical floats at every scale *)
+    let tol = 10. ** float_of_int (-fraction_dp) in
+    (match runs with
+    | (l0, (_, _, v0, z0)) :: rest ->
+        List.iter
+          (fun (l, (_, _, v, z)) ->
+            List.iter2
+              (fun (name, f0) (_, f) ->
+                if Float.abs (f -. f0) > tol then
+                  fail
+                    "validated fraction for %s drifts with scale: %.6f at %d \
+                     vs %.6f at %d (tolerance %.0e)"
+                    name f0 l0 f l tol)
+              v0 v;
+            List.iter2
+              (fun (label, f0) (_, f) ->
+                if f0 <> f then
+                  fail
+                    "zero fraction for %s drifts with scale: %.4f at %d vs \
+                     %.4f at %d"
+                    label f0 l0 f l)
+              z0 z)
+          rest
+    | [] -> ());
+    (* jobs-independence off-heap: the 4-domain rebuild of the largest
+       scale must reproduce the arena byte for byte *)
+    let jobs_entry =
+      if not check_jobs then []
+      else
+        match List.rev runs with
+        | (l, (d1, _, _, _)) :: _ ->
+            let d4, _, _, _ = measure l 4 in
+            if d1 <> d4 then
+              fail "arena digest differs between jobs 1 and jobs 4 at %d leaves" l;
+            [
+              ( "jobs_identity",
+                J.Obj
+                  [
+                    ("leaves", J.Int l);
+                    ("arena_digest_identical", J.Bool (d1 = d4));
+                  ] );
+            ]
+        | [] -> []
+    in
+    let doc =
+      J.Obj
+        ([
+           ("bench", J.String "scale");
+           ("seed", J.Int seed);
+           ("key_bits", J.Int key_bits);
+           ("fraction_dp", J.Int fraction_dp);
+           ("scales", J.List (List.map (fun (_, (_, j, _, _)) -> j) runs));
+           ("fractions_scale_invariant", J.Bool (!failures = []));
+         ]
+        @ jobs_entry)
+    in
+    (match out with
+    | Some path ->
+        Tangled_core.Export.write_text path (J.to_string doc ^ "\n");
+        Logs.app (fun m -> m "wrote %s" path)
+    | None -> print_endline (J.to_string doc));
+    match !failures with
+    | [] -> ()
+    | ms ->
+        List.iter (fun m -> Printf.eprintf "scale: %s\n%!" m) (List.rev ms);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Build the Notary corpus at increasing scales on the off-heap arena \
+          and assert flat peak memory, bounded bytes/cert, scale-invariant \
+          fractions, and (optionally) jobs-independent arena bytes")
+    Term.(const run $ logs_term $ seed_arg $ key_bits_arg $ leaves_all_arg
+          $ out_arg $ check_jobs_arg $ max_heap_arg $ max_ratio_arg
+          $ fraction_dp_arg)
+
 (* --- intercept --------------------------------------------------------- *)
 
 let intercept_cmd =
@@ -827,7 +1049,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "tangled-mass" ~version:"1.0.0" ~doc)
     [ tables_cmd; figures_cmd; report_cmd; analyze_cmd; audit_cmd; export_cmd;
-      ingest_cmd; chaos_cmd; serve_cmd; sensitivity_cmd; stores_cmd;
+      ingest_cmd; chaos_cmd; serve_cmd; sensitivity_cmd; scale_cmd; stores_cmd;
       intercept_cmd; selfcheck_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -125,15 +125,16 @@ let notary_meta ?limit (w : Pipeline.t) =
     ("validated_by_store", J.Obj store_counts);
   ]
 
+(* chains are materialised from the arena one handle at a time and
+   dropped as soon as they are rendered — never the whole corpus *)
+let exported_chain_records ?limit n =
+  List.init (exported_count limit (Notary.total n)) (fun i ->
+      chain_json (Notary.chain n i))
+
 let notary_json ?limit (w : Pipeline.t) =
   let n = w.Pipeline.notary in
   J.Obj
-    (notary_meta ?limit w
-    @ [
-        ( "chains",
-          J.List (take limit (Array.to_list n.Notary.chains) |> List.map chain_json)
-        );
-      ])
+    (notary_meta ?limit w @ [ ("chains", J.List (exported_chain_records ?limit n)) ])
 
 let cert_json cert =
   J.Obj
@@ -188,8 +189,7 @@ let sessions_jsonl ?limit (w : Pipeline.t) =
 
 let notary_jsonl ?limit (w : Pipeline.t) =
   let n = w.Pipeline.notary in
-  jsonl (notary_meta ?limit w)
-    (take limit (Array.to_list n.Notary.chains) |> List.map chain_json)
+  jsonl (notary_meta ?limit w) (exported_chain_records ?limit n)
 
 let stores_jsonl (w : Pipeline.t) =
   let cert_record store cert =

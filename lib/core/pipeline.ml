@@ -49,7 +49,7 @@ let run ?(config = default_config) ?universe () =
     v
   in
   let universe, population, dataset, notary =
-    (* one root span per run; the five stages nest under it in the
+    (* one root span per run; the four stages nest under it in the
        global span tree *)
     Obs.span "pipeline" (fun () ->
         let universe =
@@ -68,13 +68,14 @@ let run ?(config = default_config) ?universe () =
               Net.collect ~probe_sample:config.probe_sample ~seed:(config.seed + 2)
                 population)
         in
-        let raw =
+        let notary =
+          (* generation streams into the arena and folds the coverage
+             index incrementally — there is no separate index stage *)
           stage "notary" (fun () ->
-              Notary.generate_raw ~leaves:config.notary_leaves
+              Notary.generate ~leaves:config.notary_leaves
                 ~expired_fraction:config.expired_fraction ~jobs
                 ~seed:(config.seed + 3) universe)
         in
-        let notary = stage "index" (fun () -> Notary.index raw) in
         (universe, population, dataset, notary))
   in
   { config; jobs; universe; population; dataset; notary;

@@ -1,30 +1,55 @@
 type t = {
-  n_ids : int;
-  counts : int array;
-  anchors : int array;
-  expired : Bytes.t;
-  total : int;
-  unexpired : int;
+  mutable counts : int array;
+  mutable n_ids : int;
+  mutable total : int;
+  mutable unexpired : int;
 }
 
+let create ?(n_ids = 0) () =
+  { counts = Array.make (Stdlib.max 1 n_ids) 0; n_ids; total = 0; unexpired = 0 }
+
+let grow t need =
+  let cap = Array.length t.counts in
+  if need > cap then begin
+    let cap' = ref cap in
+    while need > !cap' do
+      cap' := 2 * !cap'
+    done;
+    let counts = Array.make !cap' 0 in
+    Array.blit t.counts 0 counts 0 t.n_ids;
+    t.counts <- counts
+  end
+
+let append t ~anchor ~expired =
+  t.total <- t.total + 1;
+  if not expired then begin
+    t.unexpired <- t.unexpired + 1;
+    if anchor >= 0 then begin
+      grow t (anchor + 1);
+      if anchor >= t.n_ids then t.n_ids <- anchor + 1;
+      t.counts.(anchor) <- t.counts.(anchor) + 1
+    end
+  end
+
+(* Deliberately not a fold of [append]: the QCheck suite uses this
+   one-shot pass as the independent rebuild-from-scratch oracle. *)
 let build ~n_ids ~total ~anchor ~expired =
-  let counts = Array.make (Stdlib.max 1 n_ids) 0 in
-  let anchors = Array.make (Stdlib.max 1 total) (-1) in
-  let expired_bits = Bytes.make (Stdlib.max 1 ((total + 7) / 8)) '\000' in
-  let unexpired = ref 0 in
+  let max_id = ref (n_ids - 1) in
   for i = 0 to total - 1 do
     let a = anchor i in
-    anchors.(i) <- a;
-    if expired i then begin
-      let byte = Char.code (Bytes.get expired_bits (i / 8)) in
-      Bytes.set expired_bits (i / 8) (Char.chr (byte lor (1 lsl (i mod 8))))
-    end
-    else begin
+    if a > !max_id then max_id := a
+  done;
+  let n_ids = !max_id + 1 in
+  let counts = Array.make (Stdlib.max 1 n_ids) 0 in
+  let unexpired = ref 0 in
+  for i = 0 to total - 1 do
+    if not (expired i) then begin
       incr unexpired;
-      if a >= 0 && a < n_ids then counts.(a) <- counts.(a) + 1
+      let a = anchor i in
+      if a >= 0 then counts.(a) <- counts.(a) + 1
     end
   done;
-  { n_ids; counts; anchors; expired = expired_bits; total; unexpired = !unexpired }
+  { counts; n_ids; total; unexpired = !unexpired }
 
 let count t id = if id >= 0 && id < t.n_ids then t.counts.(id) else 0
 
@@ -35,10 +60,18 @@ let validated_by t set =
   done;
   !acc
 
-let anchor t i = t.anchors.(i)
-
-let chain_expired t i =
-  Char.code (Bytes.get t.expired (i / 8)) land (1 lsl (i mod 8)) <> 0
-
+let n_ids t = t.n_ids
+let counts t = Array.sub t.counts 0 t.n_ids
 let total t = t.total
 let unexpired t = t.unexpired
+
+let equal a b =
+  a.total = b.total
+  && a.unexpired = b.unexpired
+  &&
+  let hi = Stdlib.max a.n_ids b.n_ids in
+  let ok = ref true in
+  for id = 0 to hi - 1 do
+    if count a id <> count b id then ok := false
+  done;
+  !ok

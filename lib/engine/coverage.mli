@@ -1,49 +1,58 @@
-(** The one-pass coverage index.
+(** The incremental coverage index.
 
     The paper's headline joins — Table 3's per-store validation counts,
     Figure 3's per-root series, Table 4's zero-validation fractions and
     the §5.3 minimization loop — are all queries of the form "how many
-    verified chains anchor inside this set of roots?".  The seed
-    implementation answered each one by re-scanning the whole chain
-    array.  This index is built once, right after Notary generation, by
-    a single pass over the chains; every query is then a reduction over
-    per-root-id counts ([O(ids)]) instead of a chain scan
+    verified chains anchor inside this set of roots?".  The index keeps
+    one unexpired-validated counter per interned root id; every query
+    is a reduction over that array ([O(ids)]) instead of a chain scan
     ([O(chains)]), with chains outnumbering ids by ~15× at default
-    scale and ~1,400× at the paper's.
+    scale and ~14,000× at the paper's 1.9 M.
 
-    The record is exposed read-only: the arrays are owned by the index
-    and must not be mutated. *)
+    The index is {e incremental}: appending a chain updates the
+    counters in O(1), so streaming world generation folds chains in as
+    they are built and never rebuilds from scratch.  Per-chain state
+    (anchor id, expired bit) is deliberately {e not} stored here — it
+    lives in the certificate arena's columns, next to the rest of the
+    per-chain row; the index holds per-root aggregates only. *)
 
-type t = private {
-  n_ids : int;  (** interner cardinal at build time *)
-  counts : int array;
-      (** [counts.(id)] = unexpired chains whose verified anchor is
-          [id] — the raw series behind Figure 3 *)
-  anchors : int array;  (** per chain: anchor root id, or [-1] *)
-  expired : Bytes.t;  (** per chain: expired bit *)
-  total : int;  (** chain count *)
-  unexpired : int;
-}
+type t
+
+val create : ?n_ids:int -> unit -> t
+(** An empty index.  [n_ids] pre-sizes the counter array (it grows on
+    demand when later anchors carry larger ids). *)
+
+val append : t -> anchor:int -> expired:bool -> unit
+(** Fold one chain in: [anchor] is its verified anchor's interned id
+    ([-1] when the chain does not verify).  Expired chains count
+    toward {!total} only — the paper's store fractions are over
+    unexpired chains. *)
 
 val build :
   n_ids:int -> total:int -> anchor:(int -> int) -> expired:(int -> bool) -> t
-(** [build ~n_ids ~total ~anchor ~expired] indexes chains
-    [0 .. total - 1] in one pass; [anchor i] is chain [i]'s verified
-    anchor id ([-1] when the chain does not verify). *)
+(** One-shot construction over chains [0 .. total - 1] — a separate
+    single-pass implementation kept as the rebuild-from-scratch oracle
+    the QCheck suite holds {!append} to. *)
 
 val count : t -> int -> int
 (** Unexpired validated chains anchored at this root id (0 for ids
-    minted after the index was built — they cannot anchor any indexed
-    chain). *)
+    never seen anchoring, or out of range). *)
 
 val validated_by : t -> Id_set.t -> int
 (** Unexpired chains whose anchor lies in the id set — the Table 3
     store query, as an array reduction. *)
 
-val anchor : t -> int -> int
-(** Chain [i]'s anchor id, or [-1]. *)
+val n_ids : t -> int
+(** Upper bound of ids with a counter (grows as anchors appear). *)
 
-val chain_expired : t -> int -> bool
+val counts : t -> int array
+(** Copy of the per-id counters [0 .. n_ids - 1] — for tests and
+    digests; the live array is never exposed. *)
 
 val total : t -> int
 val unexpired : t -> int
+
+val equal : t -> t -> bool
+(** Same totals and same per-id counters (trailing zero counters are
+    insignificant: an index that saw ids 0..9 equals one pre-sized for
+    100 ids with zeros beyond). *)

@@ -5,6 +5,7 @@ module Ts = Tangled_util.Timestamp
 module C = Tangled_x509.Certificate
 module Dn = Tangled_x509.Dn
 module Authority = Tangled_x509.Authority
+module Arena = Tangled_x509.Arena
 module Rsa = Tangled_crypto.Rsa
 module Rs = Tangled_store.Root_store
 module Chain = Tangled_validation.Chain
@@ -26,17 +27,20 @@ type chain = {
   anchor : string option;
 }
 
-type raw = { r_universe : BP.t; r_chains : chain array; r_scale : float }
-
 type t = {
   universe : BP.t;
-  chains : chain array;
+  arena : Arena.t;
+  inter_certs : C.t array;
   scale : float;
   interner : Interner.t;
   coverage : Coverage.t;
 }
 
 let key_pool_size = 32
+
+(* chains built (boxed) per streaming batch before they are appended to
+   the arena and dropped; peak boxed memory is O(batch), not O(total) *)
+let batch_size = 4096
 
 (* Largest-remainder apportionment of [total] items over [weights]. *)
 let apportion weights total =
@@ -87,20 +91,7 @@ let verify_chain ~now ~issuer_root chain_certs leaf =
   ignore now;
   walk leaf chain_certs
 
-(* Everything random about one chain, drawn in the sequential planning
-   pass.  Construction from a plan is pure, so the expensive build
-   (RSA-sign the leaf, verify the chain) parallelises across domains
-   without perturbing the PRNG stream: any worker count produces the
-   same bytes the old single-pass generator did. *)
-type plan = {
-  p_issuer : int;
-  p_via_intermediate : bool;
-  p_serial : int;
-  p_leaf_no : int;
-  p_expired : bool;
-}
-
-let generate_raw ?(leaves = 10_000) ?(expired_fraction = 0.10) ?(jobs = 1) ~seed
+let generate ?(leaves = 10_000) ?(expired_fraction = 0.10) ?(jobs = 1) ~seed
     universe =
   let master = Prng.create seed in
   let rng_keys = Prng.split master "notary-keys" in
@@ -142,95 +133,142 @@ let generate_raw ?(leaves = 10_000) ?(expired_fraction = 0.10) ?(jobs = 1) ~seed
           (null_rng ()) ~parent:authority
           (Dn.make ~o:parent_cn (parent_cn ^ " Issuing CA")))
   in
-  (* sequential planning pass: replicates the seed generator's draw
-     order exactly (one bool per chain; one issuer pick per expired
-     chain) *)
   Obs.span "notary.plan_and_build" @@ fun () ->
-  let plans = ref [] in
-  let serial = ref 1_000_000 in
-  let leaf_no = ref 0 in
-  let plan_one ~expired issuer_i =
+  (* sequential planning pass into flat arrays: replicates the seed
+     generator's draw order exactly (one bool per chain, with the
+     issuer pick of an expired chain drawn before its bool), so seeded
+     output is byte-identical to the pre-streaming generator *)
+  let assigned = Array.fold_left ( + ) 0 counts in
+  let n_expired = int_of_float (float_of_int leaves *. expired_fraction) in
+  let total = assigned + n_expired in
+  let p_issuer = Array.make (Stdlib.max 1 total) 0 in
+  let p_via = Bytes.make (Stdlib.max 1 total) '\000' in
+  let next = ref 0 in
+  let plan_one issuer_i =
     let via_intermediate = Prng.bool rng_issue in
-    incr serial;
-    incr leaf_no;
-    plans :=
-      {
-        p_issuer = issuer_i;
-        p_via_intermediate = via_intermediate;
-        p_serial = !serial;
-        p_leaf_no = !leaf_no;
-        p_expired = expired;
-      }
-      :: !plans
+    p_issuer.(!next) <- issuer_i;
+    if via_intermediate then Bytes.set p_via !next '\001';
+    incr next
   in
   Array.iteri
     (fun i n ->
       for _ = 1 to n do
-        plan_one ~expired:false i
+        plan_one i
       done)
     counts;
-  let n_expired = int_of_float (float_of_int leaves *. expired_fraction) in
   for _ = 1 to n_expired do
-    plan_one ~expired:true (Prng.int rng_issue (Array.length issuers))
+    plan_one (Prng.int rng_issue (Array.length issuers))
   done;
-  let plans = Array.of_list (List.rev !plans) in
-  (* parallel build + verify: pure per plan *)
-  let build (p : plan) =
-    let authority, _ = issuers.(p.p_issuer) in
-    let parent = if p.p_via_intermediate then intermediates.(p.p_issuer) else authority in
-    let domain = Printf.sprintf "www.site%06d.example" p.p_leaf_no in
+  (* streaming build: construct a batch of boxed chains in parallel
+     (pure per plan), fold each into the arena + incremental coverage
+     index sequentially, drop the batch.  Peak boxed memory is one
+     batch whatever the corpus size; the appended corpus lives off-heap. *)
+  let interner = universe.BP.interner in
+  let arena =
+    Arena.create
+      ~blob_capacity:(Stdlib.max (1 lsl 20) (total * 512))
+      ~capacity:(Stdlib.max 1 total) ()
+  in
+  let coverage = Coverage.create ~n_ids:(Interner.cardinal interner) () in
+  let build j =
+    let issuer_i = p_issuer.(j) in
+    let authority, _ = issuers.(issuer_i) in
+    let via = Bytes.get p_via j <> '\000' in
+    let expired = j >= assigned in
+    let parent = if via then intermediates.(issuer_i) else authority in
+    let leaf_no = j + 1 in
+    let domain = Printf.sprintf "www.site%06d.example" leaf_no in
     let not_before, not_after =
-      if p.p_expired then (Ts.of_date 2010 1 1, Ts.add_days Ts.notary_start (-30))
+      if expired then (Ts.of_date 2010 1 1, Ts.add_days Ts.notary_start (-30))
       else (Ts.of_date 2012 6 1, Ts.add_years now 2)
     in
     let leaf =
       Authority.issue_leaf ~bits ~digest
-        ~key:leaf_keys.(p.p_leaf_no mod key_pool_size)
-        ~serial:(Tangled_numeric.Bigint.of_int p.p_serial)
+        ~key:leaf_keys.(leaf_no mod key_pool_size)
+        ~serial:(Tangled_numeric.Bigint.of_int (1_000_000 + leaf_no))
         ~not_before ~not_after (null_rng ()) ~parent ~dns_names:[ domain ]
         (Dn.make domain)
     in
-    let inters = if p.p_via_intermediate then [ parent.Authority.certificate ] else [] in
+    let inters = if via then [ parent.Authority.certificate ] else [] in
     let anchor =
       verify_chain ~now ~issuer_root:authority.Authority.certificate inters leaf
     in
-    { leaf; intermediates = inters; expired = p.p_expired; anchor }
+    (leaf, anchor)
   in
-  let chains = Parallel.tabulate ~jobs (Array.length plans) (fun i -> build plans.(i)) in
-  Obs.set_gauge chains_gauge (Array.length chains);
+  let lo = ref 0 in
+  while !lo < total do
+    let nb = Stdlib.min batch_size (total - !lo) in
+    let base = !lo in
+    let batch = Parallel.tabulate ~jobs nb (fun i -> build (base + i)) in
+    (* sequential fold: anchor interning and index updates happen in
+       chain order, independent of the worker count above *)
+    Array.iteri
+      (fun i (leaf, anchor) ->
+        let j = base + i in
+        let expired = j >= assigned in
+        let anchor_id =
+          match anchor with
+          | Some key -> Interner.intern interner key
+          | None -> -1
+        in
+        let flags =
+          (if expired then Arena.flag_expired else 0)
+          lor
+          if Bytes.get p_via j <> '\000' then Arena.flag_via_intermediate else 0
+        in
+        let key_fp = String.get_int64_be (C.fingerprint leaf) 0 in
+        let (_ : int) =
+          Arena.append arena ~der:leaf.C.raw ~subject_id:(-1)
+            ~issuer_id:p_issuer.(j) ~anchor_id ~not_before:leaf.C.not_before
+            ~not_after:leaf.C.not_after ~flags ~key_fp
+        in
+        Coverage.append coverage ~anchor:anchor_id ~expired)
+      batch;
+    lo := base + nb
+  done;
+  Obs.set_gauge chains_gauge total;
   {
-    r_universe = universe;
-    r_chains = chains;
-    r_scale = float_of_int leaves /. float_of_int PD.notary_unexpired_certs;
+    universe;
+    arena;
+    inter_certs = Array.map (fun a -> a.Authority.certificate) intermediates;
+    scale = float_of_int leaves /. float_of_int PD.notary_unexpired_certs;
+    interner;
+    coverage;
   }
 
-let index raw =
-  let universe = raw.r_universe in
-  let interner = universe.BP.interner in
-  let chains = raw.r_chains in
-  (* anchors are issuer identities interned at blueprint build; intern
-     defensively so an unexpected anchor still gets counted *)
-  let anchor_ids =
-    Array.map
-      (fun c ->
-        match c.anchor with Some key -> Interner.intern interner key | None -> -1)
-      chains
-  in
-  let coverage =
-    Coverage.build
-      ~n_ids:(Interner.cardinal interner)
-      ~total:(Array.length chains)
-      ~anchor:(fun i -> anchor_ids.(i))
-      ~expired:(fun i -> chains.(i).expired)
-  in
-  { universe; chains; scale = raw.r_scale; interner; coverage }
+let arena t = t.arena
 
-let generate ?leaves ?expired_fraction ?jobs ~seed universe =
-  index (generate_raw ?leaves ?expired_fraction ?jobs ~seed universe)
+let total t = Arena.length t.arena
 
 let unexpired t = Coverage.unexpired t.coverage
 
-let total t = Array.length t.chains
+let anchor_id t i = Arena.anchor_id t.arena i
+
+let anchor_key t i =
+  let a = Arena.anchor_id t.arena i in
+  if a >= 0 then Some (Interner.key t.interner a) else None
+
+let chain_expired t i = Arena.expired t.arena i
+
+let via_intermediate t i = Arena.via_intermediate t.arena i
+
+let chain t i =
+  let leaf =
+    match Arena.decode t.arena i with
+    | Ok c -> c
+    | Error e -> invalid_arg (Printf.sprintf "Notary.chain %d: %s" i e)
+  in
+  let intermediates =
+    if Arena.via_intermediate t.arena i then
+      [ t.inter_certs.(Arena.issuer_id t.arena i) ]
+    else []
+  in
+  {
+    leaf;
+    intermediates;
+    expired = Arena.expired t.arena i;
+    anchor = anchor_key t i;
+  }
 
 let store_ids t store = Rs.id_set t.interner store
 
@@ -285,12 +323,11 @@ let crosscheck t store ~sample ~seed =
   let ids = store_ids t store in
   let ok = ref true in
   for _ = 1 to sample do
-    let i = Prng.int rng (Array.length t.chains) in
-    let c = t.chains.(i) in
-    (* the production path: anchor-id membership against the index *)
+    let i = Prng.int rng (total t) in
+    let c = chain t i in
+    (* the production path: anchor-id membership against the columns *)
     let fast =
-      (not (Coverage.chain_expired t.coverage i))
-      && Id_set.mem ids (Coverage.anchor t.coverage i)
+      (not (Arena.expired t.arena i)) && Id_set.mem ids (Arena.anchor_id t.arena i)
     in
     let slow =
       (not c.expired)

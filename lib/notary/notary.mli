@@ -8,16 +8,23 @@
     the paper measures — cryptographically verifying every chain once
     and aggregating per-root and per-store validation counts.
 
-    Generation is split into two phases: a sequential {e planning} pass
-    that performs every PRNG draw in the same order the original
-    single-pass generator did, and a pure {e build} pass (RSA issuance
-    and chain verification) that fans out across domains.  Seeded
-    output is therefore byte-identical at any [jobs] count.
+    {2 Streaming generation over a columnar arena}
 
-    After generation the chains are folded once into a
-    {!Tangled_engine.Coverage} index keyed by the universe's interned
-    root ids; every aggregate query below is an array reduction over
-    that index rather than a scan of the chain array. *)
+    The corpus is held in a {!Tangled_x509.Arena}: raw leaf DER in one
+    off-heap blob plus fixed-width columns (issuer index, verified
+    anchor id, validity window, flags, key fingerprint).  A chain is
+    an [int] handle; the boxed {!chain} view is re-materialised on
+    demand by {!chain} and dropped by the caller.  Generation streams:
+    a sequential {e planning} pass performs every PRNG draw in the same
+    order the original single-pass generator did, then fixed-size
+    batches of chains are built in parallel (pure RSA issuance + chain
+    verification), appended to the arena, folded into the incremental
+    {!Tangled_engine.Coverage} index, and dropped.  Peak boxed memory
+    is one batch whatever the corpus size, and seeded output is
+    byte-identical at any [jobs] count — including the arena digest.
+
+    Every aggregate query below is an array reduction over the
+    coverage index rather than a scan of the corpus. *)
 
 type chain = {
   leaf : Tangled_x509.Certificate.t;
@@ -27,38 +34,24 @@ type chain = {
       (** equivalence key of the verified issuing root; [None] when the
           signature chain does not verify *)
 }
-
-type raw = {
-  r_universe : Tangled_pki.Blueprint.t;
-  r_chains : chain array;
-  r_scale : float;
-}
-(** Generated chains before indexing — what {!generate_raw} produces
-    and {!index} consumes; split out so the pipeline can time the two
-    stages separately. *)
+(** Materialised view of one chain handle — decode on demand, drop when
+    done; nothing retains these. *)
 
 type t = {
   universe : Tangled_pki.Blueprint.t;
-  chains : chain array;
+  arena : Tangled_x509.Arena.t;
+      (** the corpus: one row + DER slice per chain, handle = chain
+          index *)
+  inter_certs : Tangled_x509.Certificate.t array;
+      (** per-issuer shared intermediate, indexed by the arena's
+          [issuer_id] column *)
   scale : float;  (** leaves here per paper leaf (~1 M) *)
   interner : Tangled_engine.Interner.t;
       (** the universe's root-identity table (shared, not a copy) *)
   coverage : Tangled_engine.Coverage.t;
-      (** per-root validated counts + per-chain anchor ids *)
+      (** incremental per-root validated counts, folded during
+          generation *)
 }
-
-val generate_raw :
-  ?leaves:int ->
-  ?expired_fraction:float ->
-  ?jobs:int ->
-  seed:int ->
-  Tangled_pki.Blueprint.t ->
-  raw
-(** Generation without the index; see {!generate}. *)
-
-val index : raw -> t
-(** One pass over the chains: resolve each verified anchor to its
-    interned id and build the {!Tangled_engine.Coverage} index. *)
 
 val generate :
   ?leaves:int ->
@@ -79,6 +72,27 @@ val generate :
 
 val unexpired : t -> int
 val total : t -> int
+
+val arena : t -> Tangled_x509.Arena.t
+(** The backing arena (also reachable through the record) — digest,
+    memory accounting, column reads. *)
+
+(** {2 Per-chain reads} — O(1) column lookups; no DER decode. *)
+
+val anchor_id : t -> int -> int
+(** Chain [i]'s verified anchor as an interned root id, or [-1]. *)
+
+val anchor_key : t -> int -> string option
+(** Chain [i]'s verified anchor equivalence key. *)
+
+val chain_expired : t -> int -> bool
+val via_intermediate : t -> int -> bool
+
+val chain : t -> int -> chain
+(** Materialise chain [i] from its DER slice and columns.  Costs one
+    certificate decode; callers iterate handles and drop the view. *)
+
+(** {2 Aggregate queries} *)
 
 val store_ids : t -> Tangled_store.Root_store.t -> Tangled_engine.Id_set.t
 (** The store's enabled membership as interned root ids — compute once,
@@ -120,6 +134,6 @@ val classify :
 
 val crosscheck : t -> Tangled_store.Root_store.t -> sample:int -> seed:int -> bool
 (** Validate [sample] random chains with the full path-building
-    validator and compare with the index's anchor-id membership
+    validator and compare with the arena's anchor-id membership
     shortcut; [true] when they agree everywhere.  Used by the test
     suite to justify the fast counting path. *)

@@ -1,9 +1,9 @@
 (** Unified observability: one instrumentation API for the whole
     pipeline.
 
-    [Obs] subsumes the old [Engine.Timing] (flat wall-clock spans) and
-    [Engine.Metrics] (process-global counters) pair with a single
-    subsystem:
+    [Obs] replaced the engine's earlier [Timing] (flat wall-clock
+    spans) and [Metrics] (process-global counters) pair — both since
+    deleted — with a single subsystem:
 
     - {b hierarchical spans} — {!span} nests via a domain-local stack,
       records wall-clock duration and a success/error status, and
@@ -56,8 +56,8 @@ val span : string -> (unit -> 'a) -> 'a
     [Timing.time] silently dropped raising spans; this is the fix. *)
 
 val spanned : string -> (unit -> 'a) -> 'a * span
-(** Like {!span} but also returns the completed span record (shims and
-    collectors use this).  When recording is disabled the span is
+(** Like {!span} but also returns the completed span record
+    (collectors use this).  When recording is disabled the span is
     synthesized with [id = 0] and not retained. *)
 
 val spans : unit -> span list

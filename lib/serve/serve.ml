@@ -91,11 +91,27 @@ let reconciled s =
 
 (* --- server state ------------------------------------------------------- *)
 
-type snapshot = { epoch : int; store_sizes : (string * int) list }
+module Arena = Tangled_x509.Arena
+module Interner = Tangled_engine.Interner
+
+type snapshot = {
+  epoch : int;
+  store_sizes : (string * int) list;
+  base : Arena.mark;  (** where this epoch's corpus starts in the arena *)
+  count : int;  (** certificates in this epoch's corpus *)
+}
 
 type t = {
   config : config;
   world : Pipeline.t;
+  corpus : Arena.t;
+      (** reloaded store corpora as arena epochs: the live epoch is the
+          window [snapshot.base, extent).  A reload appends
+          speculatively past the extent and either commits by
+          publishing the new window or vanishes via [Arena.truncate] —
+          a rejected reload retains nothing, immediately, rather than
+          waiting on the GC to collect a half-built boxed corpus. *)
+  store_names : Interner.t;  (** store name -> corpus column id *)
   mutable snapshot : snapshot;
   mutable draining : bool;
   mutable seq : int;  (* admitted-request ordinal, drives the fault hook *)
@@ -112,14 +128,55 @@ type t = {
   mutable quarantine_rev : Ingest.quarantined list;
 }
 
+(* One arena row per ingested store certificate.  The record's payload
+   is its SHA-256 fingerprint (store dumps carry no DER); columns hold
+   the interned store name, the 32-bit hash id, the validity horizon
+   and the fingerprint's leading 64 bits. *)
+let append_corpus corpus store_names (r : Ingest.cert_view Ingest.ingest) =
+  Array.iter
+    (fun (v : Ingest.cert_view) ->
+      let fp =
+        match Hex.decode_opt v.Ingest.fingerprint with
+        | Some raw -> raw
+        | None -> v.Ingest.fingerprint
+      in
+      let key_fp =
+        if String.length fp >= 8 then String.get_int64_be fp 0 else 0L
+      in
+      let hash_id =
+        match int_of_string_opt ("0x" ^ v.Ingest.hash_id) with
+        | Some h -> h
+        | None -> -1
+      in
+      let (_ : int) =
+        Arena.append corpus ~der:fp
+          ~subject_id:(Interner.intern store_names v.Ingest.store)
+          ~issuer_id:hash_id ~anchor_id:(-1) ~not_before:0
+          ~not_after:v.Ingest.cert_not_after ~flags:0 ~key_fp
+      in
+      ())
+    r.Ingest.records
+
 let create ?(config = default_config) world =
   (* the epoch-1 snapshot is the world's own store dump, pushed through
      the same quarantining ingest path a reload would take *)
   let r = Ingest.stores_of_string (Export.stores_jsonl world) in
+  let corpus = Arena.create () in
+  let store_names = Interner.create () in
+  let base = Arena.mark corpus in
+  append_corpus corpus store_names r;
   {
     config;
     world;
-    snapshot = { epoch = 1; store_sizes = Ingest.store_sizes r };
+    corpus;
+    store_names;
+    snapshot =
+      {
+        epoch = 1;
+        store_sizes = Ingest.store_sizes r;
+        base;
+        count = Array.length r.Ingest.records;
+      };
     draining = false;
     seq = 0;
     n_seen = 0;
@@ -393,12 +450,16 @@ let exec_coverage t deadline name : (J.t, string * string) result =
            ])
 
 let exec_stores t : (J.t, string * string) result =
+  let m = Arena.memory t.corpus in
   Ok
     (J.Obj
        [
          ("snapshot_epoch", J.Int t.snapshot.epoch);
          ( "sizes",
            J.Obj (List.map (fun (s, n) -> (s, J.Int n)) t.snapshot.store_sizes) );
+         ("corpus_certs", J.Int t.snapshot.count);
+         ( "corpus_bytes",
+           J.Int (m.Arena.blob_bytes - t.snapshot.base.Arena.m_bytes) );
        ])
 
 let exec_health t : (J.t, string * string) result =
@@ -422,11 +483,21 @@ let exec_health t : (J.t, string * string) result =
    field data.  It is accepted only when it reconciles perfectly:
    nothing quarantined, nothing missing, control total honoured.
    Anything less is a poisoned update — the last good snapshot keeps
-   answering and the attempt is recorded, never applied. *)
+   answering and the attempt is recorded, never applied.
+
+   The ingested corpus is appended to the epoch arena {e speculatively}:
+   past the live epoch's extent, under a mark taken first.  Acceptance
+   publishes the appended window as the new epoch; rejection truncates
+   back to the mark, so a half-built corpus is reclaimed on the spot
+   (off-heap, deterministic) instead of lingering until the GC notices.
+   Readers of the live epoch are untouched either way — the committed
+   prefix of an append-only arena is immutable. *)
 let exec_reload t deadline payload : (J.t, string * string) result =
   check_deadline t deadline;
   let r = Ingest.stores_of_string payload in
   let st = r.Ingest.stats in
+  let speculative = Arena.mark t.corpus in
+  append_corpus t.corpus t.store_names r;
   let clean =
     st.Ingest.quarantined_total = 0
     && st.Ingest.missing = 0
@@ -437,7 +508,12 @@ let exec_reload t deadline payload : (J.t, string * string) result =
   in
   if clean then begin
     t.snapshot <-
-      { epoch = t.snapshot.epoch + 1; store_sizes = Ingest.store_sizes r };
+      {
+        epoch = t.snapshot.epoch + 1;
+        store_sizes = Ingest.store_sizes r;
+        base = speculative;
+        count = Array.length r.Ingest.records;
+      };
     t.n_reloads_accepted <- t.n_reloads_accepted + 1;
     Obs.event "serve.reload_accepted"
       ~fields:[ ("epoch", string_of_int t.snapshot.epoch) ];
@@ -449,6 +525,7 @@ let exec_reload t deadline payload : (J.t, string * string) result =
          ])
   end
   else begin
+    Arena.truncate t.corpus speculative;
     t.n_reloads_rejected <- t.n_reloads_rejected + 1;
     Obs.event "serve.reload_rejected"
       ~fields:

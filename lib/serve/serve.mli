@@ -47,7 +47,11 @@
       poisoned request and answer a typed error immediately.
     - {e Graceful degradation}: reads answer from the last good
       snapshot; a poisoned [reload] is rejected (typed
-      [update-rejected]) without touching it.
+      [update-rejected]) without touching it.  Snapshots are epochs of
+      an append-only {!Tangled_x509.Arena}: a reload appends its corpus
+      speculatively and either publishes the new window or truncates
+      back to the mark, so a rejected reload retains nothing — the
+      half-built corpus is reclaimed off-heap, immediately.
     - {e Graceful shutdown}: [drain] (or EOF) completes every admitted
       request before the loop exits; late frames get a typed
       [draining] response.

@@ -1,12 +1,14 @@
 (* Unit tests for the measurement-engine substrate: the interned
-   identity table, the id bitset, the one-pass coverage index, the
-   deterministic domain fan-out, and the stage-timing collector. *)
+   identity table, the id bitset, the incremental coverage index (with
+   a QCheck oracle holding it to the one-shot rebuild), and the
+   deterministic domain fan-out. *)
 
 module Interner = Tangled_engine.Interner
 module Id_set = Tangled_engine.Id_set
 module Coverage = Tangled_engine.Coverage
 module Parallel = Tangled_engine.Parallel
-module Timing = Tangled_engine.Timing
+
+let qtest = QCheck_alcotest.to_alcotest
 
 let test_interner_dense_ids () =
   let t = Interner.create ~capacity:2 () in
@@ -62,13 +64,55 @@ let test_coverage_counts () =
   Alcotest.(check int) "count id 1" 3 (Coverage.count cov 1);
   Alcotest.(check int) "count id 2" 0 (Coverage.count cov 2);
   Alcotest.(check int) "count out of range" 0 (Coverage.count cov 99);
-  Alcotest.(check int) "anchor passthrough" (-1) (Coverage.anchor cov 3);
-  Alcotest.(check bool) "expired passthrough" true (Coverage.chain_expired cov 4);
   let set = Id_set.of_list [ 0; 1 ] in
   Alcotest.(check int) "validated_by sums member counts" 4
     (Coverage.validated_by cov set);
   let empty = Id_set.create 3 in
   Alcotest.(check int) "validated_by empty" 0 (Coverage.validated_by cov empty)
+
+let test_coverage_incremental_basics () =
+  let cov = Coverage.create () in
+  Alcotest.(check int) "empty total" 0 (Coverage.total cov);
+  Alcotest.(check int) "empty n_ids" 0 (Coverage.n_ids cov);
+  Coverage.append cov ~anchor:2 ~expired:false;
+  Coverage.append cov ~anchor:(-1) ~expired:false;
+  Coverage.append cov ~anchor:2 ~expired:true;
+  Coverage.append cov ~anchor:0 ~expired:false;
+  Alcotest.(check int) "total" 4 (Coverage.total cov);
+  Alcotest.(check int) "unexpired" 3 (Coverage.unexpired cov);
+  Alcotest.(check int) "n_ids grows to max anchor + 1" 3 (Coverage.n_ids cov);
+  Alcotest.(check (array int)) "counts" [| 1; 0; 1 |] (Coverage.counts cov);
+  (* a pre-sized index with trailing zero counters still compares equal *)
+  let wide = Coverage.create ~n_ids:64 () in
+  Coverage.append wide ~anchor:2 ~expired:false;
+  Coverage.append wide ~anchor:(-1) ~expired:false;
+  Coverage.append wide ~anchor:2 ~expired:true;
+  Coverage.append wide ~anchor:0 ~expired:false;
+  Alcotest.(check bool) "equal ignores trailing zeros" true
+    (Coverage.equal cov wide)
+
+(* The tentpole's central oracle: folding any append sequence into the
+   incremental index must equal a rebuild-from-scratch over the same
+   chains — [build] is an independent one-shot implementation, not a
+   loop over [append]. *)
+let prop_incremental_equals_rebuild =
+  QCheck.Test.make ~name:"incremental coverage equals rebuild-from-scratch"
+    ~count:200
+    QCheck.(
+      pair (0 -- 8)
+        (small_list (pair (-1 -- 12) bool)))
+    (fun (pre_ids, chains) ->
+      let inc = Coverage.create ~n_ids:pre_ids () in
+      List.iter (fun (anchor, expired) -> Coverage.append inc ~anchor ~expired) chains;
+      let arr = Array.of_list chains in
+      let rebuilt =
+        Coverage.build ~n_ids:pre_ids ~total:(Array.length arr)
+          ~anchor:(fun i -> fst arr.(i))
+          ~expired:(fun i -> snd arr.(i))
+      in
+      Coverage.equal inc rebuilt
+      && Coverage.total inc = Coverage.total rebuilt
+      && Coverage.unexpired inc = Coverage.unexpired rebuilt)
 
 let test_parallel_matches_sequential () =
   let f i = (i * 37) mod 101 in
@@ -101,34 +145,17 @@ let test_parallel_resolve () =
   let auto = Parallel.resolve 0 in
   Alcotest.(check bool) "auto in range" true (auto >= 1 && auto <= Parallel.max_jobs)
 
-let test_timing_spans () =
-  let tm = Timing.create () in
-  let x = Timing.time tm "first" (fun () -> 41 + 1) in
-  Alcotest.(check int) "value returned" 42 x;
-  ignore (Timing.time tm "second" (fun () -> ()));
-  let spans = Timing.spans tm in
-  Alcotest.(check (list string)) "ordered stages" [ "first"; "second" ]
-    (List.map (fun (s : Timing.span) -> s.Timing.stage) spans);
-  Alcotest.(check bool) "non-negative" true
-    (List.for_all (fun (s : Timing.span) -> s.Timing.seconds >= 0.0) spans);
-  Alcotest.(check bool) "total sums" true (Timing.total spans >= 0.0);
-  let contains hay needle =
-    let nh = String.length hay and nn = String.length needle in
-    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-    go 0
-  in
-  let rendered = Timing.render ~title:"T" spans in
-  Alcotest.(check bool) "render mentions stage" true (contains rendered "first")
-
 let suite =
   [
     Alcotest.test_case "interner dense ids" `Quick test_interner_dense_ids;
     Alcotest.test_case "interner growth" `Quick test_interner_growth;
     Alcotest.test_case "id_set basics" `Quick test_id_set_basics;
     Alcotest.test_case "coverage counts" `Quick test_coverage_counts;
+    Alcotest.test_case "coverage incremental basics" `Quick
+      test_coverage_incremental_basics;
+    qtest prop_incremental_equals_rebuild;
     Alcotest.test_case "parallel tabulate deterministic" `Quick
       test_parallel_matches_sequential;
     Alcotest.test_case "parallel map" `Quick test_parallel_map;
     Alcotest.test_case "parallel resolve" `Quick test_parallel_resolve;
-    Alcotest.test_case "timing spans" `Quick test_timing_spans;
   ]

@@ -12,6 +12,7 @@ let () =
       ("rsa", Test_rsa.suite);
       ("asn1", Test_asn1.suite);
       ("x509", Test_x509.suite);
+      ("arena", Test_arena.suite);
       ("store", Test_store.suite);
       ("validation", Test_validation.suite);
       ("pki", Test_pki.suite);

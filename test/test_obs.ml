@@ -1,12 +1,9 @@
 (* Unit and property tests for the unified observability layer: span
    nesting and failure recording, histogram bucketing and quantiles
    against a naive sorted-list oracle, the bounded event log,
-   reset_all, the deprecated Timing/Metrics shims, and the JSONL trace
-   exporter's stable/volatile split. *)
+   reset_all, and the JSONL trace exporter's stable/volatile split. *)
 
 module Obs = Tangled_obs.Obs
-module Timing = Tangled_engine.Timing
-module Metrics = Tangled_engine.Metrics
 module Pipeline = Tangled_core.Pipeline
 
 let qtest = QCheck_alcotest.to_alcotest
@@ -178,36 +175,6 @@ let test_reset_all_clears_everything () =
   Alcotest.(check int) "span ids restart at 1" 1
     (List.hd (Obs.spans ())).Obs.id
 
-(* --- deprecated shims ----------------------------------------------------- *)
-
-let test_shim_equivalence () =
-  Obs.reset_all ();
-  let tm = Timing.create () in
-  ignore (Timing.time tm "alpha" (fun () -> ()));
-  ignore (Timing.time tm "beta" (fun () -> 1));
-  let spans = Timing.spans tm in
-  let rows =
-    List.map (fun (s : Timing.span) -> (s.Timing.stage, s.Timing.seconds)) spans
-  in
-  Alcotest.(check string) "Timing.render = Obs.render_span_table"
-    (Obs.render_span_table ~title:"T" rows)
-    (Timing.render ~title:"T" spans);
-  (* a Metrics counter and the Obs counter of the same name are one cell *)
-  let mc = Metrics.counter "obs.test.shared_counter" in
-  Metrics.incr mc;
-  Metrics.add mc 4;
-  Alcotest.(check int) "Metrics increments visible through Obs" 5
-    (Obs.value (Obs.counter "obs.test.shared_counter"));
-  Alcotest.(check int) "Metrics.get agrees" 5 (Metrics.get mc);
-  Alcotest.(check bool) "snapshot is the unified registry" true
-    (Metrics.snapshot () = Obs.counters ());
-  Alcotest.(check string) "renders agree" (Obs.render_counters ~title:"C" ())
-    (Metrics.render ~title:"C" ());
-  (* shimmed Timing.time also lands in the unified span tree *)
-  Alcotest.(check (list string)) "shim spans in the Obs tree"
-    [ "alpha"; "beta" ]
-    (List.map (fun (s : Obs.span) -> s.Obs.name) (Obs.spans ()))
-
 (* --- trace export ---------------------------------------------------------- *)
 
 let test_trace_schema_valid () =
@@ -314,8 +281,6 @@ let suite =
     Alcotest.test_case "event log bounded" `Quick test_event_log_bounded;
     Alcotest.test_case "reset_all clears everything" `Quick
       test_reset_all_clears_everything;
-    Alcotest.test_case "deprecated shims delegate to Obs" `Quick
-      test_shim_equivalence;
     Alcotest.test_case "trace passes its own schema" `Quick test_trace_schema_valid;
     Alcotest.test_case "trace validation rejects malformed" `Quick
       test_trace_validation_rejects;

@@ -290,12 +290,41 @@ let test_reload_good_and_poisoned () =
   check Alcotest.int "epoch unchanged" 2 s.Serve.epoch;
   check Alcotest.int "one accepted" 1 s.Serve.reloads_accepted;
   check Alcotest.int "one rejected" 1 s.Serve.reloads_rejected;
-  (* reads still answer from the surviving snapshot *)
-  match Serve.serve_burst t [ frame [ ("id", J.Int 3); ("op", J.String "stores") ] ] with
+  (* reads still answer from the surviving snapshot, and the rejected
+     reload's half-built corpus was truncated out of the epoch arena:
+     the corpus accounting matches the surviving epoch exactly *)
+  let corpus_stats () =
+    match
+      Serve.serve_burst t [ frame [ ("id", J.Int 3); ("op", J.String "stores") ] ]
+    with
+    | [ r ] -> (
+        check (Alcotest.option Alcotest.string) "reads keep answering" (Some "ok")
+          (status_of r);
+        match J.parse r with
+        | Ok json -> (
+            match J.member "result" json with
+            | Some result -> (
+                match
+                  ( J.member "corpus_certs" result,
+                    J.member "corpus_bytes" result )
+                with
+                | Some (J.Int c), Some (J.Int b) -> (c, b)
+                | _ -> Alcotest.fail "stores response lacks corpus accounting")
+            | None -> Alcotest.fail "stores response lacks a result")
+        | Error e -> Alcotest.fail e)
+    | _ -> Alcotest.fail "expected one response"
+  in
+  let certs, bytes = corpus_stats () in
+  check Alcotest.bool "epoch corpus non-empty" true (certs > 0 && bytes > 0);
+  (* another poisoned attempt must leave the accounting byte-identical *)
+  (match Serve.serve_burst t [ reload 4 poisoned ] with
   | [ r ] ->
-      check (Alcotest.option Alcotest.string) "reads keep answering"
-        (Some "ok") (status_of r)
-  | _ -> Alcotest.fail "expected one response"
+      check (Alcotest.option Alcotest.string) "second poison rejected"
+        (Some "update-rejected") (error_label r)
+  | _ -> Alcotest.fail "expected one response");
+  check
+    Alcotest.(pair int int)
+    "rejected reload retains nothing" (certs, bytes) (corpus_stats ())
 
 (* --- unit: graceful shutdown ------------------------------------------- *)
 
