@@ -17,16 +17,24 @@
    path as a JSON ratio.  The serve section drives the trust-decision
    server end to end over a mixed request corpus — cold and warm
    sustained qps, plus per-class p50/p99 from the server's own
-   latency histograms.  After timing, the harness prints every
-   artefact itself so bench output doubles as a compact reproduction
-   report, and writes the measurements to a JSON file (BENCH_6.json by
-   default) so later PRs have a perf baseline to diff against.
+   latency histograms.  The cache_precompute group pairs the general
+   modpow against the per-key exponent-schedule, fixed-base-comb and
+   sparse-65537 fast paths and the RSA sign loop with the precompute
+   caches on vs off; the serve-cache section measures warm qps with
+   the decision cache off vs on and sweeps hit rate across capacities
+   over a corpus whose key space exceeds the largest capacity; and the
+   scale section times Notary corpus generation (certs/s) with the
+   signing precompute off vs on at paper scale.  After timing, the
+   harness prints every artefact itself so bench output doubles as a
+   compact reproduction report, and writes the measurements to a JSON
+   file (BENCH_8.json by default) so later PRs have a perf baseline to
+   diff against.
 
    Flags:
      --quick      smoke mode for the @check gate: substrate,
-                  notary_queries and serve groups only, short quota,
-                  no report
-     --out FILE   where to write the JSON (default BENCH_6.json)
+                  notary_queries, serve and cache groups only, short
+                  quota, no report
+     --out FILE   where to write the JSON (default BENCH_8.json)
      --no-json    skip the JSON dump *)
 
 open Bechamel
@@ -533,6 +541,216 @@ let run_serve_bench ?(requests = 1024) ?(warm_rounds = 3) () =
       ("warm_latency_us", J.Obj per_class);
     ]
 
+(* --- the decision cache and the signing precompute --------------------- *)
+
+(* Microbenches for the PR 8 fast paths: the per-key exponent schedule
+   (allocation-free windowed powm), the sparse 65537 walk, the
+   fixed-base comb against the general modpow it shortcuts, and the
+   end-to-end RSA sign/verify pair with the per-key precompute caches
+   on vs off.  384-bit operands — the Notary corpus default. *)
+let precompute_tests () =
+  let module B = Tangled_numeric.Bigint in
+  let module Mont = Tangled_numeric.Montgomery in
+  let rng = Prng.create 77517 in
+  let key = Rsa.generate ~mr_rounds:6 rng ~bits:384 in
+  let n = key.Rsa.pub.Rsa.n in
+  let ctx = Mont.create n in
+  let b = B.random_below rng n in
+  let e = B.random_below rng n in
+  let sched = Mont.schedule e in
+  let sc = Mont.scratch ctx in
+  let fb =
+    Mont.Fixed_base.precompute ctx b ~bits:(max 1 (Mont.schedule_bits sched))
+  in
+  let sched_65537 = Mont.schedule (B.of_int 65537) in
+  let msg = String.make 64 'm' in
+  [
+    Test.make ~name:"modpow_384bit_full_exp"
+      (Staged.stage (fun () -> ignore (Mont.modpow ctx b e)));
+    Test.make ~name:"powm_scheduled_384bit"
+      (Staged.stage (fun () -> ignore (Mont.powm ctx sc sched b)));
+    Test.make ~name:"fixed_base_powm_384bit"
+      (Staged.stage (fun () -> ignore (Mont.Fixed_base.powm fb sched)));
+    Test.make ~name:"powm_sparse_65537"
+      (Staged.stage (fun () -> ignore (Mont.powm_sparse ctx sc sched_65537 b)));
+    Test.make ~name:"rsa384_sign_precompute_on"
+      (Staged.stage (fun () ->
+           Rsa.set_precompute true;
+           ignore (Rsa.sign key ~digest:Dk.SHA1 msg)));
+    Test.make ~name:"rsa384_sign_precompute_off"
+      (Staged.stage (fun () ->
+           Rsa.set_precompute false;
+           ignore (Rsa.sign key ~digest:Dk.SHA1 msg)));
+  ]
+
+(* --- serve decision cache: warm qps on/off + capacity sweep ------------ *)
+
+let serve_cache_results : (string * J.t) list ref = ref []
+
+(* a validate-only corpus whose key space (two-leaf chains crossed
+   with six stores, ~14k combinations from 48 minted leaves) is wider
+   than the largest capacity in the sweep, so the hit rate genuinely
+   tracks capacity instead of saturating *)
+let sweep_corpus n =
+  let w = Lazy.force world in
+  let u = w.Pipeline.universe in
+  let rng = Prng.create 9090 in
+  let leaves =
+    Array.init 48 (fun i ->
+        let r = u.BP.roots.(i mod Array.length u.BP.roots) in
+        let leaf =
+          Authority.issue_leaf ~bits:384 ~digest:Dk.SHA1 rng
+            ~parent:r.BP.authority ~dns_names:[ "sweep.example" ]
+            (Tangled_x509.Dn.make (Printf.sprintf "sweep%d.example" i))
+        in
+        Hex.encode (C.encode leaf))
+  in
+  let stores = [| "aosp41"; "aosp42"; "aosp43"; "aosp44"; "mozilla"; "ios7" |] in
+  let frame fields = J.to_string (J.Obj fields) in
+  List.init n (fun i ->
+      frame
+        [
+          ("id", J.Int i);
+          ("op", J.String "validate");
+          ("store", J.String (Prng.choose rng stores));
+          ( "chain",
+            J.List
+              [ J.String (Prng.choose rng leaves);
+                J.String (Prng.choose rng leaves) ] );
+        ])
+
+let run_serve_cache_bench ?(requests = 1024) ?(warm_rounds = 2) () =
+  let w = Lazy.force world in
+  let module Cache = Tangled_cache.Cache in
+  let qcap = Serve.default_config.Serve.queue_capacity in
+  let chunks corpus =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | l ->
+          let burst = List.filteri (fun i _ -> i < qcap) l in
+          let rest = List.filteri (fun i _ -> i >= qcap) l in
+          go (burst :: acc) rest
+    in
+    go [] corpus
+  in
+  let pump server bursts =
+    List.iter (fun b -> ignore (Serve.serve_burst server b)) bursts
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  Printf.printf "--- serve decision cache %s\n%!" (String.make 35 '-');
+  (* warm qps over the realistic mixed corpus, cache off vs on: the
+     "before" side replays PR 6's cacheless request loop *)
+  let mixed = chunks (serve_corpus requests) in
+  let warm_qps capacity =
+    Obs.reset_all ();
+    Chain.clear_verify_cache ();
+    let config = { Serve.default_config with Serve.cache_capacity = capacity } in
+    let server = Serve.create ~config w in
+    pump server mixed;
+    (* cold round: verify memo + decision cache warm from here *)
+    let s = ref 0.0 in
+    for _ = 1 to warm_rounds do
+      s := !s +. timed (fun () -> pump server mixed)
+    done;
+    float_of_int (requests * warm_rounds) /. !s
+  in
+  let qps_off = warm_qps 0 in
+  let qps_on = warm_qps Serve.default_config.Serve.cache_capacity in
+  Printf.printf "  %-38s %8.0f req/s\n%!" "warm_qps cache off (before)" qps_off;
+  Printf.printf "  %-38s %8.0f req/s\n%!"
+    (Printf.sprintf "warm_qps cache %d (after)"
+       Serve.default_config.Serve.cache_capacity)
+    qps_on;
+  Printf.printf "  %-38s %8.2fx\n%!" "warm speedup" (qps_on /. qps_off);
+  (* hit rate vs capacity over the wide-key-space corpus: three rounds
+     each (one fill, two steady), counters reset per capacity *)
+  (* 8x the mixed-corpus size: at the full run's 1024 requests the
+     draw touches ~5.6k distinct keys out of the ~13.8k key space, so
+     1k < 4k < 5.6k < 16k and the three capacities separate *)
+  let wide = chunks (sweep_corpus (8 * requests)) in
+  let sweep =
+    List.map
+      (fun capacity ->
+        Obs.reset_all ();
+        Chain.clear_verify_cache ();
+        let config =
+          { Serve.default_config with Serve.cache_capacity = capacity }
+        in
+        let server = Serve.create ~config w in
+        for _ = 1 to 3 do
+          pump server wide
+        done;
+        match Serve.cache_stats server with
+        | Some cs ->
+            let total = cs.Cache.hits + cs.Cache.misses in
+            let rate =
+              if total = 0 then 0.0
+              else float_of_int cs.Cache.hits /. float_of_int total
+            in
+            Printf.printf "  %-38s %7.1f%% hit   (%d entries, %d evictions)\n%!"
+              (Printf.sprintf "capacity %6d" capacity)
+              (100.0 *. rate) cs.Cache.entries cs.Cache.evictions;
+            ( string_of_int capacity,
+              J.Obj
+                [
+                  ("hit_rate", J.Float rate);
+                  ("hits", J.Int cs.Cache.hits);
+                  ("misses", J.Int cs.Cache.misses);
+                  ("evictions", J.Int cs.Cache.evictions);
+                  ("entries", J.Int cs.Cache.entries);
+                ] )
+        | None -> (string_of_int capacity, J.Null))
+      [ 1024; 4096; 16384 ]
+  in
+  serve_cache_results :=
+    [
+      ("requests", J.Int requests);
+      ("warm_rounds", J.Int warm_rounds);
+      ("warm_qps_cache_off", J.Float qps_off);
+      ("warm_qps_cache_on", J.Float qps_on);
+      ("warm_speedup", J.Float (qps_on /. qps_off));
+      ("hit_rate_by_capacity", J.Obj sweep);
+    ]
+
+(* --- scale certs/s with the precompute off vs on ----------------------- *)
+
+let scale_results : (string * J.t) list ref = ref []
+
+(* the paper-scale gate's own workload — Notary corpus generation on
+   the columnar arena — timed with the per-key signing precompute
+   disabled (PR 7's code path, the "before") and enabled *)
+let run_scale_pair ?(leaves = 200_000) () =
+  let w = Lazy.force world in
+  let u = w.Pipeline.universe in
+  let measure () =
+    Chain.clear_verify_cache ();
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    let n = Notary.generate ~leaves ~jobs:1 ~seed:774 u in
+    let dt = Unix.gettimeofday () -. t0 in
+    float_of_int (Notary.total n) /. dt
+  in
+  Printf.printf "--- scale certs/s at %d leaves %s\n%!" leaves
+    (String.make 25 '-');
+  Rsa.set_precompute false;
+  let before = measure () in
+  Rsa.set_precompute true;
+  let after = measure () in
+  Printf.printf "  %-38s %8.0f certs/s\n%!" "precompute off (before)" before;
+  Printf.printf "  %-38s %8.0f certs/s\n%!" "precompute on (after)" after;
+  Printf.printf "  %-38s %8.2fx\n%!" "speedup" (after /. before);
+  scale_results :=
+    [
+      ("leaves", J.Int leaves);
+      ("before_certs_s", J.Float before);
+      ("after_certs_s", J.Float after);
+      ("speedup", J.Float (after /. before));
+    ]
+
 (* --- harness -------------------------------------------------------------- *)
 
 (* every estimate lands here as (group, test, ns/run) for the JSON dump *)
@@ -617,6 +835,18 @@ let json_report () =
     @ ratio "hex_decode_speedup"
         [| "hash_cores"; "hex_decode_chars_1024B" |]
         [| "hash_cores"; "hex_decode_1024B" |]
+    @ ratio "powm_schedule_speedup_384"
+        [| "cache_precompute"; "modpow_384bit_full_exp" |]
+        [| "cache_precompute"; "powm_scheduled_384bit" |]
+    @ ratio "fixed_base_speedup_384"
+        [| "cache_precompute"; "modpow_384bit_full_exp" |]
+        [| "cache_precompute"; "fixed_base_powm_384bit" |]
+    @ ratio "sparse_65537_speedup_384"
+        [| "cache_precompute"; "modpow_384bit_full_exp" |]
+        [| "cache_precompute"; "powm_sparse_65537" |]
+    @ ratio "rsa_sign_precompute_speedup_384"
+        [| "cache_precompute"; "rsa384_sign_precompute_off" |]
+        [| "cache_precompute"; "rsa384_sign_precompute_on" |]
   in
   (* digest throughput at each scaling size, derived from the ns/run
      estimates: bytes hashed per second, reported in MB/s *)
@@ -650,10 +880,18 @@ let json_report () =
   let serve =
     match !serve_results with [] -> [] | rows -> [ ("serve", J.Obj rows) ]
   in
+  let serve_cache =
+    match !serve_cache_results with
+    | [] -> []
+    | rows -> [ ("serve_cache", J.Obj rows) ]
+  in
+  let scale =
+    match !scale_results with [] -> [] | rows -> [ ("scale", J.Obj rows) ]
+  in
   let hits, misses = Chain.verify_cache_stats () in
   J.Obj
     ([
-       ("pr", J.Int 6);
+       ("pr", J.Int 8);
        ("world", J.String "quick");
        ("unit", J.String "ns_per_run");
        ("jobs", J.Int w.Pipeline.jobs);
@@ -661,7 +899,7 @@ let json_report () =
        ( "verify_cache",
          J.Obj [ ("hits", J.Int hits); ("misses", J.Int misses) ] );
      ]
-    @ speedup @ obs_overhead @ throughput @ serve
+    @ speedup @ obs_overhead @ throughput @ serve @ serve_cache @ scale
     @ [ ("benches", J.Obj groups) ])
 
 let () =
@@ -669,7 +907,7 @@ let () =
   let no_json = Array.exists (( = ) "--no-json") Sys.argv in
   let out =
     let rec find i =
-      if i + 1 >= Array.length Sys.argv then "BENCH_6.json"
+      if i + 1 >= Array.length Sys.argv then "BENCH_8.json"
       else if Sys.argv.(i) = "--out" then Sys.argv.(i + 1)
       else find (i + 1)
     in
@@ -682,6 +920,11 @@ let () =
   print_string (Pipeline.render_timings (Lazy.force world));
   print_newline ();
   let quota = if quick then 0.1 else 0.5 in
+  (* the paper-scale pair runs first, on a freshly built world, so the
+     certs/s ratio is not depressed by GC overhead from the resident
+     heap the later groups accumulate (a constant per-cert cost on both
+     sides shrinks the measured speedup) *)
+  if not quick then run_scale_pair ();
   if not quick then
     run_group ~quota "paper artefacts (Tables 1-6, Figures 1-3) + extensions"
       (artefact_tests ());
@@ -690,6 +933,12 @@ let () =
   run_group ~quota "notary_queries" (notary_query_tests ());
   if quick then run_serve_bench ~requests:256 ~warm_rounds:1 ()
   else run_serve_bench ();
+  run_group ~quota "cache_precompute" (precompute_tests ());
+  (* the sign on/off pair leaves the toggle wherever Bechamel's last
+     iteration put it — restore the default before anything downstream *)
+  Rsa.set_precompute true;
+  if quick then run_serve_cache_bench ~requests:256 ~warm_rounds:1 ()
+  else run_serve_cache_bench ();
   if not quick then begin
     run_group ~quota "hash_cores" (hash_core_tests ());
     run_group ~quota "substrate scaling" (scaling_tests ());
@@ -733,6 +982,21 @@ let () =
       Printf.printf "chain-validate verify-cache speedup (cold/cached): %.1fx\n%!"
         (cold /. cached)
   | _ -> ());
+  List.iter
+    (fun (label, before, after) ->
+      match
+        (find_ns "cache_precompute" before, find_ns "cache_precompute" after)
+      with
+      | Some b, Some a when a > 0.0 ->
+          Printf.printf "%s speedup: %.1fx\n%!" label (b /. a)
+      | _ -> ())
+    [
+      ("powm schedule 384-bit", "modpow_384bit_full_exp", "powm_scheduled_384bit");
+      ("fixed-base comb 384-bit", "modpow_384bit_full_exp", "fixed_base_powm_384bit");
+      ("sparse 65537 384-bit", "modpow_384bit_full_exp", "powm_sparse_65537");
+      ("rsa sign precompute 384-bit", "rsa384_sign_precompute_off",
+       "rsa384_sign_precompute_on");
+    ];
   (match !obs_overhead_pct with
   | Some pct ->
       Printf.printf

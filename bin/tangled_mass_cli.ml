@@ -496,8 +496,16 @@ let serve_cmd =
     let doc = "Default per-request deadline in milliseconds." in
     Arg.(value & opt int 250 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
   in
+  let cache_arg =
+    let doc =
+      "Request-level decision-cache capacity (0 disables caching); \
+       validate/diff/coverage answers are cached per snapshot epoch."
+    in
+    Arg.(value & opt int Serve.default_config.Serve.cache_capacity
+         & info [ "cache-capacity" ] ~docv:"N" ~doc)
+  in
   let run () common sessions leaves key_bits drill requests rate fault_seed
-      queue_capacity batch deadline_ms =
+      queue_capacity batch deadline_ms cache_capacity =
     (* stdout is the protocol channel in serve mode: human chatter
        (world build progress, the closing summary table) goes to stderr
        so piped clients read pure JSONL *)
@@ -506,7 +514,8 @@ let serve_cmd =
     let world = build_world ~jobs:common.jobs common.seed sessions leaves key_bits in
     if drill then begin
       let outcome =
-        Tangled_serve.Drill.run ~seed:fault_seed ~rate ~requests world
+        Tangled_serve.Drill.run ~seed:fault_seed ~rate ~requests
+          ~cache_capacity world
       in
       print_string (Tangled_serve.Drill.render outcome);
       write_trace ~jobs:world.Pipeline.jobs common;
@@ -519,6 +528,7 @@ let serve_cmd =
           Serve.queue_capacity;
           batch;
           default_deadline_s = float_of_int deadline_ms /. 1000.0;
+          cache_capacity;
         }
       in
       let server = Serve.create ~config world in
@@ -539,7 +549,8 @@ let serve_cmd =
           and graceful degradation ($(b,--drill) audits it under chaos)")
     Term.(const run $ logs_term $ common_term $ sessions_arg $ leaves_arg
           $ key_bits_arg $ drill_arg $ requests_arg $ rate_arg
-          $ fault_seed_arg $ queue_arg $ batch_arg $ deadline_arg)
+          $ fault_seed_arg $ queue_arg $ batch_arg $ deadline_arg
+          $ cache_arg)
 
 (* --- sensitivity ---------------------------------------------------------- *)
 

@@ -1,0 +1,141 @@
+(* Fixed-capacity CLOCK cache over flat arrays.
+
+   Layout: four parallel arrays (key, value, slot epoch, reference
+   bit) plus a key→slot index.  The clock hand walks the ring on
+   insertion; a live slot with its reference bit set gets a second
+   chance (bit cleared, hand moves on), a live slot without one is
+   evicted, and a slot whose epoch is stale is free — reusing it is
+   reclamation, not eviction.  Nothing here allocates per entry
+   beyond the value itself, so capacity bounds resident memory for
+   the life of the process.
+
+   Epoch invalidation drops the whole index in one call and leaves
+   the arrays to be overwritten lazily; the per-slot epoch is what
+   lets the hand tell "dead since the bump" from "live right now". *)
+
+module Obs = Tangled_obs.Obs
+
+type 'v t = {
+  name : string;
+  cap : int;
+  keys : string array;
+  values : 'v option array;
+  slot_epoch : int array; (* = cur_epoch iff the slot is live *)
+  refbit : Bytes.t;
+  index : (string, int) Hashtbl.t;
+  mutable hand : int;
+  mutable cur_epoch : int;
+  hits : Obs.counter;
+  misses : Obs.counter;
+  evictions : Obs.counter;
+}
+
+(* min_int never equals a caller epoch, so freshly created or cleared
+   slots read as free regardless of set_epoch history *)
+let free_epoch = min_int
+
+let create ~name ~capacity () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    name;
+    cap = capacity;
+    keys = Array.make capacity "";
+    values = Array.make capacity None;
+    slot_epoch = Array.make capacity free_epoch;
+    refbit = Bytes.make capacity '\000';
+    index = Hashtbl.create (min capacity 1024);
+    hand = 0;
+    cur_epoch = 0;
+    hits = Obs.counter (Printf.sprintf "cache.%s.hits" name);
+    misses = Obs.counter (Printf.sprintf "cache.%s.misses" name);
+    evictions = Obs.counter (Printf.sprintf "cache.%s.evictions" name);
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.index
+let epoch t = t.cur_epoch
+
+let bump_epoch t =
+  t.cur_epoch <- t.cur_epoch + 1;
+  Hashtbl.reset t.index
+
+let set_epoch t e =
+  if e <> t.cur_epoch then begin
+    t.cur_epoch <- e;
+    Hashtbl.reset t.index
+  end
+
+let clear t =
+  Hashtbl.reset t.index;
+  Array.fill t.slot_epoch 0 t.cap free_epoch;
+  t.hand <- 0
+
+let find t key =
+  match Hashtbl.find_opt t.index key with
+  | Some slot ->
+      Obs.incr t.hits;
+      Bytes.unsafe_set t.refbit slot '\001';
+      t.values.(slot)
+  | None ->
+      Obs.incr t.misses;
+      None
+
+(* advance the hand to a usable slot: free slots are taken silently,
+   referenced live slots get their second chance, unreferenced live
+   slots are evicted (and counted) *)
+let take_slot t =
+  let rec go () =
+    let i = t.hand in
+    t.hand <- (if i + 1 = t.cap then 0 else i + 1);
+    if t.slot_epoch.(i) <> t.cur_epoch then i
+    else if Bytes.unsafe_get t.refbit i = '\001' then begin
+      Bytes.unsafe_set t.refbit i '\000';
+      go ()
+    end
+    else begin
+      Hashtbl.remove t.index t.keys.(i);
+      Obs.incr t.evictions;
+      i
+    end
+  in
+  go ()
+
+let add t key v =
+  match Hashtbl.find_opt t.index key with
+  | Some slot ->
+      t.values.(slot) <- Some v;
+      Bytes.unsafe_set t.refbit slot '\001'
+  | None ->
+      let slot = take_slot t in
+      t.keys.(slot) <- key;
+      t.values.(slot) <- Some v;
+      t.slot_epoch.(slot) <- t.cur_epoch;
+      Bytes.unsafe_set t.refbit slot '\001';
+      Hashtbl.replace t.index key slot
+
+let find_or_add t key compute =
+  match find t key with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      add t key v;
+      v
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+  epoch : int;
+}
+
+let stats (t : _ t) =
+  {
+    hits = Obs.value t.hits;
+    misses = Obs.value t.misses;
+    evictions = Obs.value t.evictions;
+    entries = Hashtbl.length t.index;
+    capacity = t.cap;
+    epoch = t.cur_epoch;
+  }

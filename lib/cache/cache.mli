@@ -1,0 +1,83 @@
+(** Sized, evicting decision caches with epoch invalidation.
+
+    A cache is a fixed-capacity CLOCK ring: entries live in flat
+    arrays, eviction walks a clock hand over second-chance reference
+    bits, and no per-entry list cells are ever allocated — the steady
+    state is allocation-free apart from the values themselves.  This
+    is the bounded replacement for the unbounded per-domain memo
+    tables the hot paths grew up with: memory is provably capped at
+    [capacity] entries no matter how long a serve session or scale
+    run lives.
+
+    {b Epochs.} [bump_epoch] logically invalidates every current
+    entry in O(1): the key index is dropped and slots are reclaimed
+    lazily as the hand reuses them.  Stale slots are not evictions —
+    the eviction counter only counts live entries displaced by
+    capacity pressure, so "evictions over capacity" is a meaningful
+    invariant (it must be zero when the working set fits).
+
+    {b Determinism.} A cache stores decisions, not state: a lookup
+    may only ever return a value some earlier [add] stored for the
+    same key in the same epoch.  Callers keep report paths
+    byte-identical by keying entries on every input that feeds the
+    computation (the QCheck suite enforces cached-vs-uncached
+    equivalence for the chain-validation and serve users).
+
+    {b Concurrency.} Instances are single-domain (no internal locks);
+    parallel users hold one instance per domain, e.g. under
+    [Domain.DLS].  The hit/miss/eviction counters are process-global
+    {!Tangled_obs.Obs} atomics shared by every instance with the same
+    [name], so fleet-wide rates aggregate for free — and they surface
+    under the trace's ["volatile"] member, keeping the stable obs
+    view byte-identical at any [--jobs]. *)
+
+type 'v t
+
+val create : name:string -> capacity:int -> unit -> 'v t
+(** [create ~name ~capacity ()] is an empty cache holding at most
+    [capacity] entries.  [name] keys the shared obs counters
+    ([cache.<name>.hits] / [.misses] / [.evictions]).
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'v t -> int
+
+val length : 'v t -> int
+(** Live entries in the current epoch — always [<= capacity]. *)
+
+val epoch : 'v t -> int
+(** The current epoch, starting at 0. *)
+
+val bump_epoch : 'v t -> unit
+(** Invalidate every current entry; slots are reclaimed lazily. *)
+
+val set_epoch : 'v t -> int -> unit
+(** [set_epoch t e] jumps to epoch [e]; a no-op when [e] equals the
+    current epoch, otherwise equivalent to invalidation.  Used to
+    sync a per-domain instance with a process-global epoch. *)
+
+val find : 'v t -> string -> 'v option
+(** [find t key] is the cached value, counting a hit or miss and
+    marking the entry recently-used on hit. *)
+
+val add : 'v t -> string -> 'v -> unit
+(** [add t key v] installs or overwrites [key]'s entry in the current
+    epoch, evicting via CLOCK second-chance when full. *)
+
+val find_or_add : 'v t -> string -> (unit -> 'v) -> 'v
+(** [find_or_add t key compute] is [find] falling back to [compute]
+    (whose result is installed).  [compute] runs on miss only. *)
+
+val clear : 'v t -> unit
+(** Drop all entries and reset the hand; epoch is unchanged and no
+    evictions are counted. *)
+
+type stats = {
+  hits : int;       (** process-global across same-named instances *)
+  misses : int;     (** process-global across same-named instances *)
+  evictions : int;  (** process-global across same-named instances *)
+  entries : int;    (** this instance, current epoch *)
+  capacity : int;
+  epoch : int;
+}
+
+val stats : 'v t -> stats

@@ -3,6 +3,7 @@ module Mont = Tangled_numeric.Montgomery
 module Prime = Tangled_numeric.Prime
 module Prng = Tangled_util.Prng
 module Dk = Tangled_hash.Digest_kind
+module Cache = Tangled_cache.Cache
 
 type public = { n : B.t; e : B.t; mutable mont_n : Mont.t option }
 
@@ -44,10 +45,80 @@ let mont_n pub = mont_ctx pub.n (fun () -> pub.mont_n) (fun c -> pub.mont_n <- c
 let mont_p key = mont_ctx key.p (fun () -> key.mont_p) (fun c -> key.mont_p <- c)
 let mont_q key = mont_ctx key.q (fun () -> key.mont_q) (fun c -> key.mont_q <- c)
 
-let public_op pub x =
+(* --- per-key operation precompute ------------------------------------
+
+   A handful of CA keys sign (and a pool of public keys verifies)
+   millions of times each, so everything reusable about an
+   exponentiation against one key is hoisted into an op context: the
+   exponent's window schedule, and the preallocated Montgomery
+   scratch that makes the steady-state sign/verify allocation-free.
+   Contexts live in bounded per-domain caches from lib/cache keyed by
+   the key's modulus bytes — scratch buffers are mutable, so they
+   must never be shared across domains, and the capacity bound means
+   a run over an unbounded key population cannot grow the heap.
+
+   [set_precompute false] routes every operation through the plain
+   Mont.modpow path instead; results are byte-identical either way
+   (the QCheck suite pins this), so the toggle exists purely for the
+   bench's before/after pairs and cache ablations. *)
+
+let precompute_on = Atomic.make true
+let set_precompute b = Atomic.set precompute_on b
+let precompute_enabled () = Atomic.get precompute_on
+
+type sign_ctx = {
+  sg_p : Mont.t;
+  sg_dp : Mont.schedule;
+  sg_scr_p : Mont.scratch;
+  sg_q : Mont.t;
+  sg_dq : Mont.schedule;
+  sg_scr_q : Mont.scratch;
+}
+
+type verify_ctx = {
+  vf_n : Mont.t;
+  vf_e : Mont.schedule;
+  vf_scr : Mont.scratch;
+}
+
+let sign_ctxs : sign_ctx Cache.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Cache.create ~name:"rsa.sign_ctx" ~capacity:64 ())
+
+let verify_ctxs : verify_ctx Cache.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Cache.create ~name:"rsa.verify_ctx" ~capacity:256 ())
+
+let sign_ctx key =
+  match (mont_p key, mont_q key) with
+  | Some sg_p, Some sg_q ->
+      let cache = Domain.DLS.get sign_ctxs in
+      Some
+        (Cache.find_or_add cache (B.to_bytes_be key.pub.n) (fun () ->
+             {
+               sg_p;
+               sg_dp = Mont.schedule key.dp;
+               sg_scr_p = Mont.scratch sg_p;
+               sg_q;
+               sg_dq = Mont.schedule key.dq;
+               sg_scr_q = Mont.scratch sg_q;
+             }))
+  | _ -> None
+
+let verify_ctx pub =
   match mont_n pub with
-  | Some ctx -> Mont.modpow ctx x pub.e
-  | None -> B.modpow x pub.e pub.n
+  | Some vf_n when B.sign pub.e >= 0 ->
+      let cache = Domain.DLS.get verify_ctxs in
+      Some
+        (Cache.find_or_add cache (B.to_bytes_be pub.n) (fun () ->
+             { vf_n; vf_e = Mont.schedule pub.e; vf_scr = Mont.scratch vf_n }))
+  | _ -> None
+
+let public_op pub x =
+  match (if precompute_enabled () then verify_ctx pub else None) with
+  | Some vc -> Mont.powm_auto vc.vf_n vc.vf_scr vc.vf_e x
+  | None -> (
+      match mont_n pub with
+      | Some ctx -> Mont.modpow ctx x pub.e
+      | None -> B.modpow x pub.e pub.n)
 
 let f4 = B.of_int 65537
 
@@ -135,15 +206,22 @@ let left_pad len s =
    exponentiations instead of one full-size one, ~4x faster — each
    through the cached per-prime Montgomery context. *)
 let private_op key m =
-  let half ctx_of dx px =
-    match ctx_of key with
-    | Some ctx -> Mont.modpow ctx m dx
-    | None -> B.modpow m dx px
-  in
-  let m1 = half mont_p key.dp key.p in
-  let m2 = half mont_q key.dq key.q in
-  let h = B.erem (B.mul key.qinv (B.sub m1 m2)) key.p in
-  B.add m2 (B.mul h key.q)
+  match (if precompute_enabled () then sign_ctx key else None) with
+  | Some sg ->
+      let m1 = Mont.powm_auto sg.sg_p sg.sg_scr_p sg.sg_dp m in
+      let m2 = Mont.powm_auto sg.sg_q sg.sg_scr_q sg.sg_dq m in
+      let h = B.erem (B.mul key.qinv (B.sub m1 m2)) key.p in
+      B.add m2 (B.mul h key.q)
+  | None ->
+      let half ctx_of dx px =
+        match ctx_of key with
+        | Some ctx -> Mont.modpow ctx m dx
+        | None -> B.modpow m dx px
+      in
+      let m1 = half mont_p key.dp key.p in
+      let m2 = half mont_q key.dq key.q in
+      let h = B.erem (B.mul key.qinv (B.sub m1 m2)) key.p in
+      B.add m2 (B.mul h key.q)
 
 let sign key ~digest msg =
   let k = key_size_bytes key.pub in

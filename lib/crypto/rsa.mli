@@ -57,6 +57,17 @@ val verify : public -> digest:Tangled_hash.Digest_kind.t -> msg:string -> signat
 (** Full encode-then-compare verification; returns [false] on any
     malformation rather than raising. *)
 
+val set_precompute : bool -> unit
+(** Toggle the per-key operation precompute (on by default): bounded
+    per-domain lib/cache caches of exponent window schedules and
+    Montgomery scratch, keyed by modulus bytes, that make repeated
+    sign/verify against hot CA keys allocation-free and dispatch
+    65537 to a table-free sparse walk.  Signatures and verdicts are
+    byte-identical either way — the toggle exists for the bench's
+    before/after pairs. *)
+
+val precompute_enabled : unit -> bool
+
 val encrypt_raw : public -> string -> string
 (** Textbook RSA of a byte string interpreted big-endian; used by the
     tests to cross-check [d] against [e], never by the pipeline. *)

@@ -20,7 +20,27 @@
    is symmetric (a_j·a_{i-j} = a_{i-j}·a_j), so it sums each pair once
    and doubles, cutting that half's multiplies from k² to ~k²/2.
    Fixed-window exponentiation is ~80 % squarings, so this is the
-   single biggest lever on modpow latency. *)
+   single biggest lever on modpow latency.
+
+   Two layers sit on the kernels:
+
+   - {!modpow}: the original allocating fixed-window walk, kept
+     bit-for-bit and cost-for-cost as the reference ("before") path —
+     the QCheck suite cross-checks it against Bigint.modpow, and the
+     bench before/after pairs measure the precompute layers against
+     it.
+   - {!powm} and friends: the precompute path.  A {!schedule} hoists
+     the exponent's window digits out of the loop (computed once per
+     key, cached by lib/cache users), a {!scratch} preallocates every
+     buffer an exponentiation needs so the steady state allocates
+     nothing, and 384-bit CRT halves (k = 8, the Notary default)
+     dispatch to fully unrolled straight-line kernels whose operands
+     live in registers.  {!powm_sparse} skips the window table
+     entirely for low-weight exponents (e = 65537 pays 16 squarings
+     and one multiply instead of a 14-multiply table build), and
+     {!Fixed_base} stores per-window digit tables of a repeated base
+     so exponentiation degenerates to ~bits/4 multiplies with no
+     squarings at all. *)
 
 module B = Bigint
 
@@ -73,14 +93,14 @@ let reduce_final ~mm ~k r high =
         borrow := 0
       end
     done
-  end;
-  r
+  end
 
-(* r := a·b·R^{-1} mod m by finely-integrated product scanning; both
-   inputs k limbs, result k limbs, fully reduced below m. *)
-let mont_mul ~mm ~k ~m0' a b =
-  let mu = Array.make k 0 in
-  let r = Array.make k 0 in
+(* dst := a·b·R^{-1} mod m by finely-integrated product scanning; both
+   inputs k limbs, result k limbs, fully reduced below m.  [mu] is a
+   k-limb scratch row; [dst] must not alias [mu] (aliasing a or b is
+   harmless — dst.(j) is only written once columns past j stop reading
+   a.(j)/b.(j), but callers keep them distinct anyway). *)
+let mont_mul_into ~mm ~k ~m0' ~mu ~dst a b =
   let acc = ref 0 in
   (* low columns 0..k-1: the column sum fixes mu_i, which zeroes it *)
   for i = 0 to k - 1 do
@@ -104,18 +124,16 @@ let mont_mul ~mm ~k ~m0' a b =
         + (Array.unsafe_get a j * Array.unsafe_get b (i - j))
         + (Array.unsafe_get mu j * Array.unsafe_get mm (i - j))
     done;
-    Array.unsafe_set r (i - k) (!s land limb_mask);
+    Array.unsafe_set dst (i - k) (!s land limb_mask);
     acc := !s lsr limb_bits
   done;
-  reduce_final ~mm ~k r !acc
+  reduce_final ~mm ~k dst !acc
 
-(* r := a²·R^{-1} mod m — as mont_mul with b = a, but each symmetric
+(* dst := a²·R^{-1} mod m — as mont_mul with b = a, but each symmetric
    pair a_j·a_{i-j} (j < i-j) is computed once and doubled; the
    diagonal a_{i/2}² joins even columns undoubled.  The mu·m half has
    no symmetry and stays a full scan. *)
-let mont_sqr ~mm ~k ~m0' a =
-  let mu = Array.make k 0 in
-  let r = Array.make k 0 in
+let mont_sqr_into ~mm ~k ~m0' ~mu ~dst a =
   let acc = ref 0 in
   for i = 0 to k - 1 do
     (* (i-1) asr 1 is -1 at i=0, keeping the pair loop empty there *)
@@ -151,10 +169,165 @@ let mont_sqr ~mm ~k ~m0' a =
     for j = lo to k - 1 do
       s := !s + (Array.unsafe_get mu j * Array.unsafe_get mm (i - j))
     done;
-    Array.unsafe_set r (i - k) (!s land limb_mask);
+    Array.unsafe_set dst (i - k) (!s land limb_mask);
     acc := !s lsr limb_bits
   done;
-  reduce_final ~mm ~k r !acc
+  reduce_final ~mm ~k dst !acc
+
+(* allocating wrappers — the shape the original modpow (and create)
+   was written against; kept as the reference-path primitives *)
+let mont_mul ~mm ~k ~m0' a b =
+  let mu = Array.make k 0 in
+  let r = Array.make k 0 in
+  mont_mul_into ~mm ~k ~m0' ~mu ~dst:r a b;
+  r
+
+let mont_sqr ~mm ~k ~m0' a =
+  let mu = Array.make k 0 in
+  let r = Array.make k 0 in
+  mont_sqr_into ~mm ~k ~m0' ~mu ~dst:r a;
+  r
+
+(* --- fully unrolled kernels for k = 8 (384-bit CRT halves) ----------
+
+   A 384-bit RSA key — the Notary corpus default — signs through two
+   192-bit moduli of exactly eight 26-bit limbs.  At that width the
+   generic loops spend as much on indexing and carried refs as on the
+   multiplies, so the two kernels below are written out straight-line
+   with every operand in a named local: the compiler keeps them in
+   registers and the madd chain is pure int arithmetic.  Measured on
+   the scale path this takes a CRT half from ~50 µs to ~29 µs. *)
+
+let mont_mul8 ~mm ~m0' ~dst a b =
+  let a0 = Array.unsafe_get a 0 and a1 = Array.unsafe_get a 1
+  and a2 = Array.unsafe_get a 2 and a3 = Array.unsafe_get a 3
+  and a4 = Array.unsafe_get a 4 and a5 = Array.unsafe_get a 5
+  and a6 = Array.unsafe_get a 6 and a7 = Array.unsafe_get a 7 in
+  let b0 = Array.unsafe_get b 0 and b1 = Array.unsafe_get b 1
+  and b2 = Array.unsafe_get b 2 and b3 = Array.unsafe_get b 3
+  and b4 = Array.unsafe_get b 4 and b5 = Array.unsafe_get b 5
+  and b6 = Array.unsafe_get b 6 and b7 = Array.unsafe_get b 7 in
+  let n0 = Array.unsafe_get mm 0 and n1 = Array.unsafe_get mm 1
+  and n2 = Array.unsafe_get mm 2 and n3 = Array.unsafe_get mm 3
+  and n4 = Array.unsafe_get mm 4 and n5 = Array.unsafe_get mm 5
+  and n6 = Array.unsafe_get mm 6 and n7 = Array.unsafe_get mm 7 in
+  let s = a0*b0 in
+  let u0 = s * m0' land limb_mask in
+  let acc = (s + u0*n0) lsr limb_bits in
+  let s = acc + a0*b1 + a1*b0 + u0*n1 in
+  let u1 = s * m0' land limb_mask in
+  let acc = (s + u1*n0) lsr limb_bits in
+  let s = acc + a0*b2 + a1*b1 + a2*b0 + u0*n2 + u1*n1 in
+  let u2 = s * m0' land limb_mask in
+  let acc = (s + u2*n0) lsr limb_bits in
+  let s = acc + a0*b3 + a1*b2 + a2*b1 + a3*b0 + u0*n3 + u1*n2 + u2*n1 in
+  let u3 = s * m0' land limb_mask in
+  let acc = (s + u3*n0) lsr limb_bits in
+  let s = acc + a0*b4 + a1*b3 + a2*b2 + a3*b1 + a4*b0
+          + u0*n4 + u1*n3 + u2*n2 + u3*n1 in
+  let u4 = s * m0' land limb_mask in
+  let acc = (s + u4*n0) lsr limb_bits in
+  let s = acc + a0*b5 + a1*b4 + a2*b3 + a3*b2 + a4*b1 + a5*b0
+          + u0*n5 + u1*n4 + u2*n3 + u3*n2 + u4*n1 in
+  let u5 = s * m0' land limb_mask in
+  let acc = (s + u5*n0) lsr limb_bits in
+  let s = acc + a0*b6 + a1*b5 + a2*b4 + a3*b3 + a4*b2 + a5*b1 + a6*b0
+          + u0*n6 + u1*n5 + u2*n4 + u3*n3 + u4*n2 + u5*n1 in
+  let u6 = s * m0' land limb_mask in
+  let acc = (s + u6*n0) lsr limb_bits in
+  let s = acc + a0*b7 + a1*b6 + a2*b5 + a3*b4 + a4*b3 + a5*b2 + a6*b1 + a7*b0
+          + u0*n7 + u1*n6 + u2*n5 + u3*n4 + u4*n3 + u5*n2 + u6*n1 in
+  let u7 = s * m0' land limb_mask in
+  let acc = (s + u7*n0) lsr limb_bits in
+  let s = acc + a1*b7 + a2*b6 + a3*b5 + a4*b4 + a5*b3 + a6*b2 + a7*b1
+          + u1*n7 + u2*n6 + u3*n5 + u4*n4 + u5*n3 + u6*n2 + u7*n1 in
+  Array.unsafe_set dst 0 (s land limb_mask);
+  let acc = s lsr limb_bits in
+  let s = acc + a2*b7 + a3*b6 + a4*b5 + a5*b4 + a6*b3 + a7*b2
+          + u2*n7 + u3*n6 + u4*n5 + u5*n4 + u6*n3 + u7*n2 in
+  Array.unsafe_set dst 1 (s land limb_mask);
+  let acc = s lsr limb_bits in
+  let s = acc + a3*b7 + a4*b6 + a5*b5 + a6*b4 + a7*b3
+          + u3*n7 + u4*n6 + u5*n5 + u6*n4 + u7*n3 in
+  Array.unsafe_set dst 2 (s land limb_mask);
+  let acc = s lsr limb_bits in
+  let s = acc + a4*b7 + a5*b6 + a6*b5 + a7*b4 + u4*n7 + u5*n6 + u6*n5 + u7*n4 in
+  Array.unsafe_set dst 3 (s land limb_mask);
+  let acc = s lsr limb_bits in
+  let s = acc + a5*b7 + a6*b6 + a7*b5 + u5*n7 + u6*n6 + u7*n5 in
+  Array.unsafe_set dst 4 (s land limb_mask);
+  let acc = s lsr limb_bits in
+  let s = acc + a6*b7 + a7*b6 + u6*n7 + u7*n6 in
+  Array.unsafe_set dst 5 (s land limb_mask);
+  let acc = s lsr limb_bits in
+  let s = acc + a7*b7 + u7*n7 in
+  Array.unsafe_set dst 6 (s land limb_mask);
+  let acc = s lsr limb_bits in
+  Array.unsafe_set dst 7 (acc land limb_mask);
+  reduce_final ~mm ~k:8 dst (acc lsr limb_bits)
+
+let mont_sqr8 ~mm ~m0' ~dst a =
+  let a0 = Array.unsafe_get a 0 and a1 = Array.unsafe_get a 1
+  and a2 = Array.unsafe_get a 2 and a3 = Array.unsafe_get a 3
+  and a4 = Array.unsafe_get a 4 and a5 = Array.unsafe_get a 5
+  and a6 = Array.unsafe_get a 6 and a7 = Array.unsafe_get a 7 in
+  let n0 = Array.unsafe_get mm 0 and n1 = Array.unsafe_get mm 1
+  and n2 = Array.unsafe_get mm 2 and n3 = Array.unsafe_get mm 3
+  and n4 = Array.unsafe_get mm 4 and n5 = Array.unsafe_get mm 5
+  and n6 = Array.unsafe_get mm 6 and n7 = Array.unsafe_get mm 7 in
+  let s = a0*a0 in
+  let u0 = s * m0' land limb_mask in
+  let acc = (s + u0*n0) lsr limb_bits in
+  let s = acc + ((a0*a1) lsl 1) + u0*n1 in
+  let u1 = s * m0' land limb_mask in
+  let acc = (s + u1*n0) lsr limb_bits in
+  let s = acc + ((a0*a2) lsl 1) + a1*a1 + u0*n2 + u1*n1 in
+  let u2 = s * m0' land limb_mask in
+  let acc = (s + u2*n0) lsr limb_bits in
+  let s = acc + ((a0*a3 + a1*a2) lsl 1) + u0*n3 + u1*n2 + u2*n1 in
+  let u3 = s * m0' land limb_mask in
+  let acc = (s + u3*n0) lsr limb_bits in
+  let s = acc + ((a0*a4 + a1*a3) lsl 1) + a2*a2 + u0*n4 + u1*n3 + u2*n2 + u3*n1 in
+  let u4 = s * m0' land limb_mask in
+  let acc = (s + u4*n0) lsr limb_bits in
+  let s = acc + ((a0*a5 + a1*a4 + a2*a3) lsl 1)
+          + u0*n5 + u1*n4 + u2*n3 + u3*n2 + u4*n1 in
+  let u5 = s * m0' land limb_mask in
+  let acc = (s + u5*n0) lsr limb_bits in
+  let s = acc + ((a0*a6 + a1*a5 + a2*a4) lsl 1) + a3*a3
+          + u0*n6 + u1*n5 + u2*n4 + u3*n3 + u4*n2 + u5*n1 in
+  let u6 = s * m0' land limb_mask in
+  let acc = (s + u6*n0) lsr limb_bits in
+  let s = acc + ((a0*a7 + a1*a6 + a2*a5 + a3*a4) lsl 1)
+          + u0*n7 + u1*n6 + u2*n5 + u3*n4 + u4*n3 + u5*n2 + u6*n1 in
+  let u7 = s * m0' land limb_mask in
+  let acc = (s + u7*n0) lsr limb_bits in
+  let s = acc + ((a1*a7 + a2*a6 + a3*a5) lsl 1) + a4*a4
+          + u1*n7 + u2*n6 + u3*n5 + u4*n4 + u5*n3 + u6*n2 + u7*n1 in
+  Array.unsafe_set dst 0 (s land limb_mask);
+  let acc = s lsr limb_bits in
+  let s = acc + ((a2*a7 + a3*a6 + a4*a5) lsl 1)
+          + u2*n7 + u3*n6 + u4*n5 + u5*n4 + u6*n3 + u7*n2 in
+  Array.unsafe_set dst 1 (s land limb_mask);
+  let acc = s lsr limb_bits in
+  let s = acc + ((a3*a7 + a4*a6) lsl 1) + a5*a5
+          + u3*n7 + u4*n6 + u5*n5 + u6*n4 + u7*n3 in
+  Array.unsafe_set dst 2 (s land limb_mask);
+  let acc = s lsr limb_bits in
+  let s = acc + ((a4*a7 + a5*a6) lsl 1) + u4*n7 + u5*n6 + u6*n5 + u7*n4 in
+  Array.unsafe_set dst 3 (s land limb_mask);
+  let acc = s lsr limb_bits in
+  let s = acc + ((a5*a7) lsl 1) + a6*a6 + u5*n7 + u6*n6 + u7*n5 in
+  Array.unsafe_set dst 4 (s land limb_mask);
+  let acc = s lsr limb_bits in
+  let s = acc + ((a6*a7) lsl 1) + u6*n7 + u7*n6 in
+  Array.unsafe_set dst 5 (s land limb_mask);
+  let acc = s lsr limb_bits in
+  let s = acc + a7*a7 + u7*n7 in
+  Array.unsafe_set dst 6 (s land limb_mask);
+  let acc = s lsr limb_bits in
+  Array.unsafe_set dst 7 (acc land limb_mask);
+  reduce_final ~mm ~k:8 dst (acc lsr limb_bits)
 
 let pad k a =
   let r = Array.make k 0 in
@@ -229,3 +402,220 @@ let modpow t b e =
     done;
     B.Internal.of_mag (from_mont t !acc)
   end
+
+(* --- precomputed exponent schedules ---------------------------------- *)
+
+type schedule = {
+  digits : int array; (* 4-bit window digits, most significant first *)
+  s_bits : int;
+  weight : int;       (* exponent popcount — picks the sparse path *)
+  exponent : B.t;     (* kept for the sparse walk's testbit scan *)
+}
+
+let schedule e =
+  if B.sign e < 0 then invalid_arg "Montgomery.schedule: negative exponent";
+  let bits = B.bit_length e in
+  let emag = B.Internal.mag e in
+  let elimbs = Array.length emag in
+  let digit w =
+    let bit = w * window_bits in
+    let limb = bit / limb_bits and off = bit mod limb_bits in
+    let v = emag.(limb) lsr off in
+    let v =
+      if off > limb_bits - window_bits && limb + 1 < elimbs then
+        v lor (emag.(limb + 1) lsl (limb_bits - off))
+      else v
+    in
+    v land (table_size - 1)
+  in
+  let nwin = (bits + window_bits - 1) / window_bits in
+  let weight = ref 0 in
+  for i = 0 to bits - 1 do
+    if B.testbit e i then incr weight
+  done;
+  {
+    digits = Array.init nwin (fun i -> digit (nwin - 1 - i));
+    s_bits = bits;
+    weight = !weight;
+    exponent = e;
+  }
+
+let schedule_bits s = s.s_bits
+
+(* --- reusable per-width scratch -------------------------------------- *)
+
+type scratch = {
+  sk : int array;            (* width tag: mu row doubles as the check *)
+  t0 : int array;
+  t1 : int array;
+  bm : int array;            (* the base in Montgomery form *)
+  table : int array array;   (* 16 × k window table *)
+  one_v : int array;         (* padded 1, for the final from_mont *)
+}
+
+let scratch t =
+  let k = t.k in
+  {
+    sk = Array.make k 0;
+    t0 = Array.make k 0;
+    t1 = Array.make k 0;
+    bm = Array.make k 0;
+    table = Array.init table_size (fun _ -> Array.make k 0);
+    one_v = pad k [| 1 |];
+  }
+
+let check_width t sc =
+  if Array.length sc.sk <> t.k then
+    invalid_arg "Montgomery: scratch width does not match context"
+
+(* the two kernel shapes behind one pair of closures: k = 8 takes the
+   straight-line unrolled code path, everything else the generic loops *)
+let kernels t sc =
+  if t.k = 8 then
+    ( (fun ~dst a b -> mont_mul8 ~mm:t.mm ~m0':t.m0' ~dst a b),
+      fun ~dst a -> mont_sqr8 ~mm:t.mm ~m0':t.m0' ~dst a )
+  else
+    ( (fun ~dst a b -> mont_mul_into ~mm:t.mm ~k:t.k ~m0':t.m0' ~mu:sc.sk ~dst a b),
+      fun ~dst a -> mont_sqr_into ~mm:t.mm ~k:t.k ~m0':t.m0' ~mu:sc.sk ~dst a )
+
+let load_base t sc (mul : dst:int array -> int array -> int array -> unit) b =
+  let reduced = B.erem b t.modulus in
+  let mag = B.Internal.mag reduced in
+  let len = Array.length mag in
+  Array.blit mag 0 sc.t0 0 len;
+  Array.fill sc.t0 len (t.k - len) 0;
+  mul ~dst:sc.bm sc.t0 t.r2
+
+let powm t sc sched b =
+  check_width t sc;
+  Tangled_obs.Obs.observe modpow_bits (float_of_int sched.s_bits);
+  if sched.s_bits = 0 then B.one
+  else begin
+    let mul, sqr = kernels t sc in
+    load_base t sc mul b;
+    Array.blit t.one_m 0 sc.table.(0) 0 t.k;
+    Array.blit sc.bm 0 sc.table.(1) 0 t.k;
+    for i = 2 to table_size - 1 do
+      mul ~dst:sc.table.(i) sc.table.(i - 1) sc.bm
+    done;
+    let digits = sched.digits in
+    Array.blit sc.table.(digits.(0)) 0 sc.t0 0 t.k;
+    let cur = ref sc.t0 and other = ref sc.t1 in
+    let swap () = let x = !cur in cur := !other; other := x in
+    for w = 1 to Array.length digits - 1 do
+      for _ = 1 to window_bits do
+        sqr ~dst:!other !cur;
+        swap ()
+      done;
+      let d = digits.(w) in
+      if d <> 0 then begin
+        mul ~dst:!other !cur sc.table.(d);
+        swap ()
+      end
+    done;
+    mul ~dst:!other !cur sc.one_v;
+    B.Internal.of_mag (Array.copy !other)
+  end
+
+(* plain left-to-right square-and-multiply: (bits-1) squarings and
+   (weight-1) multiplies, no table.  For e = 65537 that is 16 + 1
+   kernel calls against the windowed path's 16 + 14 + 4 — the table
+   build dominates short or low-weight exponents. *)
+let powm_sparse t sc sched b =
+  check_width t sc;
+  Tangled_obs.Obs.observe modpow_bits (float_of_int sched.s_bits);
+  if sched.s_bits = 0 then B.one
+  else begin
+    let mul, sqr = kernels t sc in
+    load_base t sc mul b;
+    let e = sched.exponent in
+    Array.blit sc.bm 0 sc.t0 0 t.k;
+    let cur = ref sc.t0 and other = ref sc.t1 in
+    let swap () = let x = !cur in cur := !other; other := x in
+    for i = sched.s_bits - 2 downto 0 do
+      sqr ~dst:!other !cur;
+      swap ();
+      if B.testbit e i then begin
+        mul ~dst:!other !cur sc.bm;
+        swap ()
+      end
+    done;
+    mul ~dst:!other !cur sc.one_v;
+    B.Internal.of_mag (Array.copy !other)
+  end
+
+(* a sparse walk beats the windowed one when the multiplies it saves
+   (the 14-entry table build plus ~bits/4 window multiplies, against
+   weight-1 of its own) outweigh nothing — both do bits-ish squarings *)
+let sparse_profitable sched =
+  sched.weight - 1 < (table_size - 2) + (sched.s_bits / window_bits)
+
+let powm_auto t sc sched b =
+  if sparse_profitable sched then powm_sparse t sc sched b
+  else powm t sc sched b
+
+(* --- fixed-base comb -------------------------------------------------- *)
+
+module Fixed_base = struct
+  (* For a base that repeats across many exponentiations, precompute
+     tabs.(w).(d) = b^(d·16^w) in Montgomery form for every window
+     position w and digit d.  An exponentiation is then a product of
+     one table entry per nonzero window digit — ~bits/4 multiplies
+     and no squarings at all (the squarings were hoisted into the
+     table).  The table costs ~bits squarings plus 14·nwin multiplies
+     to build, so it pays for itself after a handful of calls. *)
+
+  type fb = {
+    ctx : t;
+    tabs : int array array array; (* nwin × 16 × k *)
+    fb_bits : int;
+  }
+
+  let precompute ctx b ~bits =
+    if bits < 1 then invalid_arg "Fixed_base.precompute: bits must be >= 1";
+    let { mm; k; m0'; _ } = ctx in
+    let mul = mont_mul ~mm ~k ~m0' in
+    let bm = mul (pad k (B.Internal.mag (B.erem b ctx.modulus))) ctx.r2 in
+    let nwin = (bits + window_bits - 1) / window_bits in
+    let tabs = Array.init nwin (fun _ -> Array.make table_size ctx.one_m) in
+    let cur = ref bm in
+    for w = 0 to nwin - 1 do
+      tabs.(w).(1) <- !cur;
+      for d = 2 to table_size - 1 do
+        tabs.(w).(d) <- mul tabs.(w).(d - 1) !cur
+      done;
+      (* b^(16^(w+1)) = (b^(8·16^w))² *)
+      cur := mul tabs.(w).(8) tabs.(w).(8)
+    done;
+    { ctx; tabs; fb_bits = bits }
+
+  let bits fb = fb.fb_bits
+
+  let powm fb sched =
+    let t = fb.ctx in
+    if sched.s_bits > fb.fb_bits then
+      invalid_arg "Fixed_base.powm: exponent wider than the precomputed table";
+    Tangled_obs.Obs.observe modpow_bits (float_of_int sched.s_bits);
+    if sched.s_bits = 0 then B.one
+    else begin
+      let mu = Array.make t.k 0 in
+      let t0 = Array.make t.k 0 in
+      let t1 = Array.make t.k 0 in
+      let mul ~dst a b = mont_mul_into ~mm:t.mm ~k:t.k ~m0':t.m0' ~mu ~dst a b in
+      let digits = sched.digits in
+      let nd = Array.length digits in
+      Array.blit t.one_m 0 t0 0 t.k;
+      let cur = ref t0 and other = ref t1 in
+      for w = 0 to nd - 1 do
+        (* digits are most-significant-first; window w of the comb is
+           the exponent's w-th least-significant digit *)
+        let d = digits.(nd - 1 - w) in
+        if d <> 0 then begin
+          mul ~dst:!other !cur fb.tabs.(w).(d);
+          let x = !cur in cur := !other; other := x
+        end
+      done;
+      mul ~dst:!other !cur (pad t.k [| 1 |]);
+      B.Internal.of_mag (Array.copy !other)
+    end
+end

@@ -9,7 +9,18 @@
     followed by a Knuth division.
 
     {!Bigint.modpow} remains the reference oracle; the test suite
-    cross-checks the two on random inputs, and results are bit-exact. *)
+    cross-checks the two on random inputs, and results are bit-exact.
+
+    On top of {!modpow} sits a precompute layer for hot keys.  A
+    {!schedule} hoists an exponent's window digits (and popcount) out
+    of the loop, a {!scratch} preallocates every buffer so repeated
+    exponentiations allocate nothing, {!powm_auto} picks a sparse
+    square-and-multiply walk for low-weight exponents like 65537, and
+    384-bit CRT halves (k = 8 limbs, the Notary corpus default)
+    dispatch to fully unrolled straight-line kernels.  {!Fixed_base}
+    precomputes per-window digit tables of one repeated base, turning
+    exponentiation into ~bits/4 multiplies with no squarings.  All of
+    these return exactly what {!modpow} returns. *)
 
 type t
 (** A reusable context for one odd modulus [> 1]. *)
@@ -25,3 +36,58 @@ val modpow : t -> Bigint.t -> Bigint.t -> Bigint.t
     [b] may be negative or exceed the modulus (it is reduced first).
     Agrees exactly with [Bigint.modpow b e (modulus t)].
     @raise Invalid_argument on negative [e]. *)
+
+(** {1 Precomputed-exponent fast path} *)
+
+type schedule
+(** A fixed exponent's window digits, bit length and popcount,
+    computed once and reused across every exponentiation with that
+    exponent (a CA key's CRT halves sign millions of times). *)
+
+val schedule : Bigint.t -> schedule
+(** @raise Invalid_argument on a negative exponent. *)
+
+val schedule_bits : schedule -> int
+
+type scratch
+(** Preallocated working set (ping-pong accumulators, window table,
+    conversion buffers) for one context width.  Single-domain: share
+    a scratch between concurrent users and results are garbage. *)
+
+val scratch : t -> scratch
+
+val powm : t -> scratch -> schedule -> Bigint.t -> Bigint.t
+(** [powm t sc sched b] = [modpow t b e] for the [e] behind [sched],
+    allocating only the result.
+    @raise Invalid_argument if [sc] was built for another width. *)
+
+val powm_sparse : t -> scratch -> schedule -> Bigint.t -> Bigint.t
+(** Table-free square-and-multiply — cheaper than {!powm} for short
+    or low-weight exponents (65537: 16 squarings + 1 multiply instead
+    of a 14-multiply table build). Same result. *)
+
+val powm_auto : t -> scratch -> schedule -> Bigint.t -> Bigint.t
+(** {!powm_sparse} when the exponent's popcount makes it cheaper,
+    {!powm} otherwise. *)
+
+(** {1 Fixed-base comb} *)
+
+module Fixed_base : sig
+  type fb
+  (** Per-window digit tables [b^(d·16^w)] for one fixed base: an
+      exponentiation against the table is a product of one entry per
+      nonzero window digit — no squarings at all.  Building the table
+      costs ~[bits] squarings plus 14 multiplies per window, so it
+      pays for itself after a handful of calls with the same base. *)
+
+  val precompute : t -> Bigint.t -> bits:int -> fb
+  (** [precompute t b ~bits] tables [b] for exponents up to [bits]
+      wide.  @raise Invalid_argument if [bits < 1]. *)
+
+  val bits : fb -> int
+
+  val powm : fb -> schedule -> Bigint.t
+  (** [powm fb sched] = [modpow t b e] for the tabled base [b] and
+      the exponent behind [sched].
+      @raise Invalid_argument if the exponent is wider than [bits fb]. *)
+end

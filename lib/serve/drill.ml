@@ -173,7 +173,9 @@ let label_of_response json =
       match J.member "label" e with Some (J.String l) -> Some l | _ -> None)
   | None -> None
 
-let run ?(seed = 12) ?(rate = 0.08) ?(requests = 600) (w : Pipeline.t) =
+let run ?(seed = 12) ?(rate = 0.08) ?(requests = 600)
+    ?(cache_capacity = Serve.default_config.Serve.cache_capacity)
+    (w : Pipeline.t) =
   Obs.reset_all ();
   let corpus = build_corpus ~seed ~requests w in
   let frames_built = List.length corpus in
@@ -187,6 +189,7 @@ let run ?(seed = 12) ?(rate = 0.08) ?(requests = 600) (w : Pipeline.t) =
       Serve.default_config with
       Serve.max_frame_bytes = 1 lsl 23;
       (* a store dump travels inside one reload frame *)
+      cache_capacity;
     }
   in
   let hook, chaos_enabled = fault_plan ~seed ~max_retries:config.Serve.max_retries in
@@ -285,6 +288,23 @@ let run ?(seed = 12) ?(rate = 0.08) ?(requests = 600) (w : Pipeline.t) =
       ("server drained cleanly", s.Serve.drained);
       ("obs trace validates", Obs.validate_trace trace = Ok ());
     ]
+    (* the bounded-cache contract, when caching is on: the request mix
+       draws from pools far smaller than the capacity, so the working
+       set must fit — entries within capacity AND zero evictions (the
+       "evictions over capacity" control total) — while the repeated
+       draws must actually hit *)
+    @ (if cache_capacity > 0 then
+         match Serve.cache_stats server with
+         | Some cs ->
+             let module Cache = Tangled_cache.Cache in
+             [
+               ( "decision cache within capacity",
+                 cs.Cache.entries <= cs.Cache.capacity );
+               ("zero evictions over capacity", cs.Cache.evictions = 0);
+               ("decision cache produced hits", cs.Cache.hits > 0);
+             ]
+         | None -> [ ("decision cache present", false) ]
+       else [])
   in
   {
     seed;

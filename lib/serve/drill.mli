@@ -42,6 +42,7 @@ val run :
   ?seed:int ->
   ?rate:float ->
   ?requests:int ->
+  ?cache_capacity:int ->
   Tangled_core.Pipeline.t ->
   outcome
 (** [run w] builds a request corpus over the world [w] (validates with
@@ -50,7 +51,12 @@ val run :
     corrupts the stream with {!Tangled_fault.Fault.inject} at [rate]
     (default 0.08), serves it in bursts — one deliberately over
     capacity — under a seeded store/index fault plan, and audits the
-    contract.  [requests] (default 600) scales the corpus.  Never
-    raises. *)
+    contract.  [requests] (default 600) scales the corpus.
+
+    [cache_capacity] (default 4096) sizes the server's decision cache;
+    when positive the audit also checks the bounded-cache contract:
+    entries within capacity, {e zero} evictions over capacity (the
+    drill's working set fits by construction), and a nonzero hit
+    count.  Never raises. *)
 
 val render : outcome -> string

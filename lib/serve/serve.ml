@@ -14,6 +14,7 @@ module Export = Tangled_core.Export
 module Fault = Tangled_fault.Fault
 module Ingest = Tangled_ingest.Ingest
 module Obs = Tangled_obs.Obs
+module Cache = Tangled_cache.Cache
 
 let protocol_version = "tangled-serve/1"
 
@@ -45,6 +46,7 @@ type config = {
   max_retries : int;
   backoff_s : float;
   max_frame_bytes : int;
+  cache_capacity : int;
   clock : unit -> float;
   sleep : float -> unit;
   fault_hook : seq:int -> attempt:int -> Fault.kind option;
@@ -58,6 +60,7 @@ let default_config =
     max_retries = 3;
     backoff_s = 0.001;
     max_frame_bytes = 1 lsl 20;
+    cache_capacity = 4096;
     clock = Unix.gettimeofday;
     (* the loop is single-domain: blocking on a backoff would stall
        every queued request, so the default records the wait without
@@ -112,6 +115,16 @@ type t = {
           a rejected reload retains nothing, immediately, rather than
           waiting on the GC to collect a half-built boxed corpus. *)
   store_names : Interner.t;  (** store name -> corpus column id *)
+  cache : J.t Cache.t option;
+      (** request-level decision cache (lib/cache CLOCK), keyed by
+          (op, canonical request parameters) and epoch-stamped with the
+          snapshot epoch.  Only pure reads against the snapshot are
+          cached — [validate], [diff] and [coverage] — and only their
+          [ok] results; typed errors and timeouts always re-execute.
+          The cache epoch rolls on {e accepted} reloads only: a
+          rejected reload leaves the snapshot — and therefore every
+          cached decision — untouched, so its entries and counters stay
+          byte-identical.  [None] when [cache_capacity] is 0. *)
   mutable snapshot : snapshot;
   mutable draining : bool;
   mutable seq : int;  (* admitted-request ordinal, drives the fault hook *)
@@ -170,6 +183,12 @@ let create ?(config = default_config) world =
     world;
     corpus;
     store_names;
+    cache =
+      (if config.cache_capacity > 0 then
+         Some
+           (Cache.create ~name:"serve.decisions"
+              ~capacity:config.cache_capacity ())
+       else None);
     snapshot =
       {
         epoch = 1;
@@ -194,6 +213,14 @@ let create ?(config = default_config) world =
 
 let draining t = t.draining
 let quarantine t = List.rev t.quarantine_rev
+
+let cache_stats t =
+  Option.map
+    (fun c ->
+      (* sync first so the entry count is the live snapshot epoch's *)
+      Cache.set_epoch c t.snapshot.epoch;
+      Cache.stats c)
+    t.cache
 
 let summary t =
   {
@@ -449,6 +476,29 @@ let exec_coverage t deadline name : (J.t, string * string) result =
                J.Float (float_of_int count /. float_of_int (max 1 unexpired)) );
            ])
 
+(* decision-cache introspection, embedded in [stores] and [health]
+   responses.  hits/misses/evictions are the process-global Obs
+   counters behind the cache's name; entries/capacity/epoch are this
+   server's instance. *)
+let cache_json t =
+  match t.cache with
+  | None -> J.Obj [ ("enabled", J.Bool false) ]
+  | Some c ->
+      (* sync to the snapshot epoch first so the reported entry count
+         is the live epoch's, even before the next cacheable op *)
+      Cache.set_epoch c t.snapshot.epoch;
+      let s = Cache.stats c in
+      J.Obj
+        [
+          ("enabled", J.Bool true);
+          ("hits", J.Int s.Cache.hits);
+          ("misses", J.Int s.Cache.misses);
+          ("evictions", J.Int s.Cache.evictions);
+          ("entries", J.Int s.Cache.entries);
+          ("capacity", J.Int s.Cache.capacity);
+          ("epoch", J.Int s.Cache.epoch);
+        ]
+
 let exec_stores t : (J.t, string * string) result =
   let m = Arena.memory t.corpus in
   Ok
@@ -460,6 +510,7 @@ let exec_stores t : (J.t, string * string) result =
          ("corpus_certs", J.Int t.snapshot.count);
          ( "corpus_bytes",
            J.Int (m.Arena.blob_bytes - t.snapshot.base.Arena.m_bytes) );
+         ("cache", cache_json t);
        ])
 
 let exec_health t : (J.t, string * string) result =
@@ -477,6 +528,7 @@ let exec_health t : (J.t, string * string) result =
          ("shed", J.Int s.shed);
          ("quarantined", J.Int s.quarantined);
          ("retries", J.Int s.retries);
+         ("cache", cache_json t);
        ])
 
 (* A reload goes through the same quarantining ingest path as any
@@ -541,7 +593,7 @@ let exec_reload t deadline payload : (J.t, string * string) result =
           st.Ingest.quarantined_total st.Ingest.missing t.snapshot.epoch )
   end
 
-let exec_op t deadline = function
+let exec_uncached t deadline = function
   | Validate { store; chain_hex } -> exec_validate t deadline store chain_hex
   | Diff { store; baseline } -> exec_diff t deadline store baseline
   | Coverage { root } -> exec_coverage t deadline root
@@ -552,6 +604,39 @@ let exec_op t deadline = function
       t.draining <- true;
       Obs.event "serve.draining";
       Ok (J.Obj [ ("draining", J.Bool true) ])
+
+(* Cacheable ops are the pure reads whose answer is a function of
+   (snapshot, request parameters) alone: validate, diff, coverage.
+   [stores]/[health] report live counters, [reload]/[drain] mutate —
+   none of those may be replayed.  The key is a SHA-256 over the op
+   tag and its NUL-delimited parameters: fixed 32 bytes resident per
+   entry however long the chain hex runs. *)
+let cache_key_of_op = function
+  | Validate { store; chain_hex } ->
+      Some (String.concat "\x00" ("validate" :: store :: chain_hex))
+  | Diff { store; baseline } ->
+      Some (String.concat "\x00" [ "diff"; store; baseline ])
+  | Coverage { root } -> Some (String.concat "\x00" [ "coverage"; root ])
+  | Stores | Health | Reload _ | Drain -> None
+
+let exec_op t deadline op =
+  match (t.cache, cache_key_of_op op) with
+  | None, _ | _, None -> exec_uncached t deadline op
+  | Some cache, Some raw_key -> (
+      (* the snapshot epoch only advances in [exec_reload]'s accepted
+         branch, so stamping it here rolls the cache epoch on accepted
+         reloads exactly — a rejected reload finds the same epoch and
+         every cached decision still live *)
+      Cache.set_epoch cache t.snapshot.epoch;
+      let key = Tangled_hash.Sha256.digest raw_key in
+      match Cache.find cache key with
+      | Some result -> Ok result
+      | None -> (
+          match exec_uncached t deadline op with
+          | Ok result as r ->
+              Cache.add cache key result;
+              r
+          | Error _ as e -> e))
 
 (* --- the admitted-request path ------------------------------------------ *)
 

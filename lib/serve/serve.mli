@@ -88,6 +88,17 @@ type config = {
       (** base backoff; attempt [n] backs off [backoff_s * 2^n]
           (default 1ms) *)
   max_frame_bytes : int;  (** frames longer than this are quarantined *)
+  cache_capacity : int;
+      (** capacity of the request-level decision cache (default 4096;
+          0 disables caching).  [validate], [diff] and [coverage]
+          answers are cached in a bounded lib/cache CLOCK keyed by
+          (op, canonical parameters) under the snapshot epoch; the
+          epoch — and with it every cached decision — rolls on
+          {e accepted} reloads only, so a rejected reload leaves cache
+          contents and counters byte-identical.  Only [ok] results are
+          cached; errors and timeouts always re-execute.  Cache
+          statistics ride the [stores] and [health] responses and the
+          [serve.decisions] Obs counters (volatile trace member). *)
   clock : unit -> float;
       (** monotonic-enough seconds; tests inject a fake clock to force
           deadlines deterministically *)
@@ -142,6 +153,12 @@ val draining : t -> bool
 val quarantine : t -> Ingest.quarantined list
 (** Quarantined frames in arrival order; [line] is the 1-based frame
     ordinal in the stream. *)
+
+val cache_stats : t -> Tangled_cache.Cache.stats option
+(** Decision-cache statistics ([None] when caching is disabled):
+    process-global hit/miss/eviction counters plus this server's live
+    entry count, capacity and epoch — the same numbers the [stores]
+    and [health] responses embed. *)
 
 val serve_burst : t -> string list -> string list
 (** One admission round over a burst of frames: frames beyond

@@ -6,26 +6,36 @@ module Rsa = Tangled_crypto.Rsa
 module B = Tangled_numeric.Bigint
 module Obs = Tangled_obs.Obs
 
-(* --- signature-verification memo ------------------------------------- *)
+(* --- signature-verification decision cache ---------------------------- *)
 
 (* The Notary re-validates the same CA-signed intermediates thousands
    of times across chains, and every Netalyzr probe re-walks the same
    few server chains per handset.  An RSA verification is pure in
-   (issuer key, TBS bytes, signature), so its verdict is memoised.
+   (issuer key, TBS bytes, signature), so its verdict is cached.
 
-   The memo key is (issuer equivalence key, issuer public exponent,
+   The cache key is (issuer equivalence key, issuer public exponent,
    SHA-256 of the TBS, signature bytes): the equivalence key carries
-   the issuer's subject DN and modulus, the exponent completes the
-   verifying key, and the TBS digest covers both the signed bytes and
-   the signature algorithm (which is encoded inside the TBS).
+   the issuer's subject DN and modulus — the issuer-key fingerprint —
+   the exponent completes the verifying key, and the TBS digest is the
+   certificate fingerprint, covering both the signed bytes and the
+   signature algorithm (which is encoded inside the TBS).  The store
+   epoch is the third key component: {!clear_verify_cache} bumps a
+   process-global epoch that every per-domain cache syncs to before
+   lookup, so invalidation is O(1) and reaches workers lazily.
 
-   Tables are domain-local, so parallel Notary workers never contend
-   or race; the hit/miss counters are process-global atomics surfaced
-   through Obs next to the span tree, and every real (memo-missing)
-   verification lands its wall-clock in a latency histogram. *)
+   PR 3's memo was an unbounded Hashtbl — a long-lived serve session
+   or a 1.9 M-cert scale run grew it without limit.  It is now a
+   bounded CLOCK cache from lib/cache: at most [capacity] verdicts
+   per domain, evicting second-chance, so resident memory is provably
+   capped for the life of the process.
 
-let cache_hits = Obs.counter "chain.verify_cache_hits"
-let cache_misses = Obs.counter "chain.verify_cache_misses"
+   Caches are domain-local, so parallel Notary workers never contend
+   or race; the hit/miss/eviction counters are process-global atomics
+   surfaced through Obs (under the trace's volatile member) next to
+   the span tree, and every real (cache-missing) verification lands
+   its wall-clock in a latency histogram. *)
+
+module Cache = Tangled_cache.Cache
 
 let verify_latency = Obs.histogram "chain.verify_seconds"
 
@@ -39,45 +49,78 @@ let validate_latency = Obs.histogram "chain.validate_seconds"
 let validate_sample_every = 8
 let validate_tick = Atomic.make 0
 
-let memo_key : (string, bool) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+(* process-global knobs: the store epoch (bumped on invalidation and
+   synced lazily into each per-domain cache), the capacity every new
+   per-domain instance is born with, and the enable flag the QCheck
+   cached-vs-uncached oracle and the bench ablations flip *)
+let store_epoch = Atomic.make 0
+let cache_enabled = Atomic.make true
+let cache_capacity = Atomic.make 8192
+
+let set_verify_cache_enabled b = Atomic.set cache_enabled b
+
+let set_verify_cache_capacity n =
+  if n < 1 then invalid_arg "Chain.set_verify_cache_capacity: capacity must be >= 1";
+  Atomic.set cache_capacity n
+
+let cache_slot : bool Cache.t ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      ref
+        (Cache.create ~name:"chain.decisions"
+           ~capacity:(Atomic.get cache_capacity) ()))
+
+(* this domain's decision cache, rebuilt if the configured capacity
+   changed and re-synced to the current store epoch — a stale epoch
+   logically empties it in O(1) *)
+let decision_cache () =
+  let slot = Domain.DLS.get cache_slot in
+  if Cache.capacity !slot <> Atomic.get cache_capacity then
+    slot :=
+      Cache.create ~name:"chain.decisions" ~capacity:(Atomic.get cache_capacity) ();
+  Cache.set_epoch !slot (Atomic.get store_epoch);
+  !slot
 
 let verify_cert ~issuer cert =
-  let key =
-    (* one streaming SHA-256 over the components gives a fixed 32-byte
-       key instead of concatenating them (the old key also digested the
-       TBS separately, so this is one hash pass rather than hash +
-       concat) *)
-    let ctx = Tangled_hash.Sha256.init () in
-    let feed_delim s =
-      Tangled_hash.Sha256.feed ctx s;
-      Tangled_hash.Sha256.feed ctx "\x00"
-    in
-    feed_delim (C.equivalence_key issuer);
-    feed_delim (B.to_bytes_be issuer.C.public_key.Rsa.e);
-    feed_delim cert.C.tbs_der;
-    Tangled_hash.Sha256.feed ctx cert.C.signature;
-    Tangled_hash.Sha256.finalize ctx
+  let verify () =
+    Obs.time_histogram verify_latency (fun () ->
+        C.verify_signature cert ~issuer_key:issuer.C.public_key)
   in
-  let tbl = Domain.DLS.get memo_key in
-  match Hashtbl.find_opt tbl key with
-  | Some verdict ->
-      Obs.incr cache_hits;
-      verdict
-  | None ->
-      Obs.incr cache_misses;
-      let verdict =
-        Obs.time_histogram verify_latency (fun () ->
-            C.verify_signature cert ~issuer_key:issuer.C.public_key)
+  if not (Atomic.get cache_enabled) then verify ()
+  else begin
+    let key =
+      (* one streaming SHA-256 over the components gives a fixed
+         32-byte key instead of concatenating them (the old key also
+         digested the TBS separately, so this is one hash pass rather
+         than hash + concat) *)
+      let ctx = Tangled_hash.Sha256.init () in
+      let feed_delim s =
+        Tangled_hash.Sha256.feed ctx s;
+        Tangled_hash.Sha256.feed ctx "\x00"
       in
-      Hashtbl.add tbl key verdict;
-      verdict
+      feed_delim (C.equivalence_key issuer);
+      feed_delim (B.to_bytes_be issuer.C.public_key.Rsa.e);
+      feed_delim cert.C.tbs_der;
+      Tangled_hash.Sha256.feed ctx cert.C.signature;
+      Tangled_hash.Sha256.finalize ctx
+    in
+    let cache = decision_cache () in
+    match Cache.find cache key with
+    | Some verdict -> verdict
+    | None ->
+        let verdict = verify () in
+        Cache.add cache key verdict;
+        verdict
+  end
 
-let verify_cache_stats () = (Obs.value cache_hits, Obs.value cache_misses)
+let verify_cache_stats () =
+  let s = Cache.stats (decision_cache ()) in
+  (s.Cache.hits, s.Cache.misses)
+
+let verify_cache_info () = Cache.stats (decision_cache ())
 
 let clear_verify_cache () =
   Obs.event "chain.verify_cache_cleared";
-  Hashtbl.reset (Domain.DLS.get memo_key)
+  Atomic.incr store_epoch
 
 type failure =
   | No_trusted_root

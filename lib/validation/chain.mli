@@ -5,18 +5,37 @@
 val verify_cert :
   issuer:Tangled_x509.Certificate.t -> Tangled_x509.Certificate.t -> bool
 (** [verify_cert ~issuer cert] is [Certificate.verify_signature cert
-    ~issuer_key:issuer.public_key] behind a domain-local memo keyed by
-    (issuer equivalence key, issuer exponent, TBS digest, signature
-    bytes).  The Notary and Netalyzr re-verify the same CA-signed
-    intermediates thousands of times; the memo collapses each distinct
-    (issuer, certificate) pair to one RSA operation per domain. *)
+    ~issuer_key:issuer.public_key] behind a domain-local bounded
+    decision cache (lib/cache CLOCK, default capacity 8192) keyed by
+    (store epoch, issuer-key fingerprint, certificate fingerprint) —
+    concretely a SHA-256 over the issuer equivalence key, issuer
+    exponent, TBS bytes and signature, epoch-checked on lookup.  The
+    Notary and Netalyzr re-verify the same CA-signed intermediates
+    thousands of times; the cache collapses each distinct (issuer,
+    certificate) pair to one RSA operation per domain while keeping
+    resident memory capped at the configured capacity. *)
 
 val verify_cache_stats : unit -> int * int
-(** Process-wide [(hits, misses)] of the verification memo, summed
-    over all domains. *)
+(** Process-wide [(hits, misses)] of the decision cache, summed over
+    all domains. *)
+
+val verify_cache_info : unit -> Tangled_cache.Cache.stats
+(** Full cache statistics: process-wide hit/miss/eviction counters
+    plus the calling domain's live-entry count, capacity and epoch. *)
 
 val clear_verify_cache : unit -> unit
-(** Drop the calling domain's memo table (bench cold-path runs). *)
+(** Bump the process-global store epoch: every domain's cached
+    verdicts become logically dead and are reclaimed lazily (bench
+    cold-path runs, store mutations). *)
+
+val set_verify_cache_enabled : bool -> unit
+(** Bypass the decision cache entirely when [false] (every call
+    verifies); decisions are byte-identical either way — the QCheck
+    cached-vs-uncached oracle pins this.  Default [true]. *)
+
+val set_verify_cache_capacity : int -> unit
+(** Capacity for per-domain caches (existing instances are rebuilt on
+    next use).  @raise Invalid_argument when [< 1].  Default 8192. *)
 
 type failure =
   | No_trusted_root

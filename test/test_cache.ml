@@ -1,0 +1,180 @@
+(* The bounded decision cache (lib/cache): the CLOCK ring never holds
+   more than [capacity] live entries, a hit always returns the value
+   the most recent add installed for that key in the current epoch,
+   epoch bumps invalidate in O(1) without counting evictions, and the
+   eviction counter moves only under genuine capacity pressure. *)
+
+module Cache = Tangled_cache.Cache
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* each test gets its own counter name so the process-global obs
+   counters never couple two tests *)
+let fresh_name =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Printf.sprintf "test.%s.%d" prefix !n
+
+(* --- QCheck: model-checked CLOCK behaviour ----------------------------- *)
+
+(* A random program over a small key space against a reference model
+   (a Hashtbl mirroring "what was last added this epoch").  The two
+   properties the users lean on:
+   - bounded: [length] never exceeds [capacity], whatever the program;
+   - coherent: a hit is exactly the model's value — the cache may
+     forget (evict) but never invent or resurrect across epochs. *)
+type op = Add of int * int | Find of int | Bump | Clear
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map2 (fun k v -> Add (k, v)) (int_bound 15) (int_bound 1000));
+        (6, map (fun k -> Find k) (int_bound 15));
+        (1, return Bump);
+        (1, return Clear);
+      ])
+
+let op_print = function
+  | Add (k, v) -> Printf.sprintf "add k%d %d" k v
+  | Find k -> Printf.sprintf "find k%d" k
+  | Bump -> "bump"
+  | Clear -> "clear"
+
+let arb_program =
+  QCheck.make
+    ~print:(fun (cap, ops) ->
+      Printf.sprintf "capacity=%d [%s]" cap
+        (String.concat "; " (List.map op_print ops)))
+    QCheck.Gen.(pair (int_range 1 8) (list_size (int_bound 200) op_gen))
+
+let prop_clock_bounded_and_coherent =
+  QCheck.Test.make ~name:"CLOCK stays bounded and hits return the last add"
+    ~count:300 arb_program
+    (fun (cap, ops) ->
+      let t = Cache.create ~name:(fresh_name "model") ~capacity:cap () in
+      let model = Hashtbl.create 16 in
+      let key k = Printf.sprintf "k%d" k in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Add (k, v) ->
+              Cache.add t (key k) v;
+              Hashtbl.replace model (key k) v;
+              (* an add is immediately visible: its own key may not be
+                 the eviction victim *)
+              if Cache.find t (key k) <> Some v then
+                QCheck.Test.fail_reportf "add k%d %d not visible" k v
+          | Find k -> (
+              match Cache.find t (key k) with
+              | None -> () (* misses are always allowed: eviction *)
+              | Some v ->
+                  let want = Hashtbl.find_opt model (key k) in
+                  if want <> Some v then
+                    QCheck.Test.fail_reportf
+                      "hit on k%d returned %d, model says %s" k v
+                      (match want with
+                      | Some w -> string_of_int w
+                      | None -> "dead"))
+          | Bump ->
+              Cache.bump_epoch t;
+              Hashtbl.reset model
+          | Clear ->
+              Cache.clear t;
+              Hashtbl.reset model);
+          Cache.length t <= cap)
+        ops)
+
+(* --- unit: eviction accounting ----------------------------------------- *)
+
+let test_eviction_only_under_pressure () =
+  let t = Cache.create ~name:(fresh_name "evict") ~capacity:4 () in
+  let ev () = (Cache.stats t).Cache.evictions in
+  let e0 = ev () in
+  for i = 1 to 4 do
+    Cache.add t (string_of_int i) i
+  done;
+  check Alcotest.int "filling to capacity evicts nothing" e0 (ev ());
+  check Alcotest.int "full" 4 (Cache.length t);
+  Cache.add t "5" 5;
+  check Alcotest.int "one past capacity evicts exactly one" (e0 + 1) (ev ());
+  check Alcotest.int "still full" 4 (Cache.length t);
+  (* overwriting a live key is not an eviction *)
+  Cache.add t "5" 50;
+  check Alcotest.int "overwrite in place" (e0 + 1) (ev ());
+  check (Alcotest.option Alcotest.int) "overwrite visible" (Some 50)
+    (Cache.find t "5")
+
+let test_epoch_invalidates_without_evictions () =
+  let t = Cache.create ~name:(fresh_name "epoch") ~capacity:4 () in
+  for i = 1 to 4 do
+    Cache.add t (string_of_int i) i
+  done;
+  let e0 = (Cache.stats t).Cache.evictions in
+  Cache.bump_epoch t;
+  check Alcotest.int "bump empties logically" 0 (Cache.length t);
+  check (Alcotest.option Alcotest.int) "prior entries dead" None
+    (Cache.find t "1");
+  (* refilling reclaims the stale slots silently: they are not live
+     entries being displaced, so the eviction counter must not move *)
+  for i = 5 to 8 do
+    Cache.add t (string_of_int i) i
+  done;
+  check Alcotest.int "stale-slot reclaim is not eviction" e0
+    ((Cache.stats t).Cache.evictions);
+  check Alcotest.int "refilled" 4 (Cache.length t)
+
+let test_set_epoch_sync () =
+  let t = Cache.create ~name:(fresh_name "sync") ~capacity:4 () in
+  Cache.add t "a" 1;
+  Cache.set_epoch t (Cache.epoch t);
+  check (Alcotest.option Alcotest.int) "same epoch is a no-op" (Some 1)
+    (Cache.find t "a");
+  Cache.set_epoch t 42;
+  check Alcotest.int "epoch jumped" 42 (Cache.epoch t);
+  check (Alcotest.option Alcotest.int) "jump invalidates" None (Cache.find t "a")
+
+let test_find_or_add_computes_once () =
+  let t = Cache.create ~name:(fresh_name "foa") ~capacity:4 () in
+  let runs = ref 0 in
+  let compute () = incr runs; 7 in
+  check Alcotest.int "miss computes" 7 (Cache.find_or_add t "k" compute);
+  check Alcotest.int "hit does not" 7 (Cache.find_or_add t "k" compute);
+  check Alcotest.int "computed exactly once" 1 !runs
+
+let test_clear_keeps_epoch () =
+  let t = Cache.create ~name:(fresh_name "clear") ~capacity:4 () in
+  Cache.bump_epoch t;
+  let e = Cache.epoch t in
+  Cache.add t "a" 1;
+  Cache.clear t;
+  check Alcotest.int "empty" 0 (Cache.length t);
+  check Alcotest.int "epoch unchanged" e (Cache.epoch t)
+
+let test_capacity_one () =
+  let t = Cache.create ~name:(fresh_name "one") ~capacity:1 () in
+  Cache.add t "a" 1;
+  Cache.add t "b" 2;
+  check Alcotest.int "bounded at one" 1 (Cache.length t);
+  check (Alcotest.option Alcotest.int) "latest survives" (Some 2)
+    (Cache.find t "b");
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Cache.create: capacity must be >= 1") (fun () ->
+      ignore (Cache.create ~name:(fresh_name "zero") ~capacity:0 ()))
+
+let suite =
+  [
+    qtest prop_clock_bounded_and_coherent;
+    Alcotest.test_case "evictions only under capacity pressure" `Quick
+      test_eviction_only_under_pressure;
+    Alcotest.test_case "epoch bump invalidates without evictions" `Quick
+      test_epoch_invalidates_without_evictions;
+    Alcotest.test_case "set_epoch syncs and invalidates" `Quick
+      test_set_epoch_sync;
+    Alcotest.test_case "find_or_add computes once" `Quick
+      test_find_or_add_computes_once;
+    Alcotest.test_case "clear keeps the epoch" `Quick test_clear_keeps_epoch;
+    Alcotest.test_case "capacity one and zero" `Quick test_capacity_one;
+  ]

@@ -6,6 +6,7 @@ let () =
   Alcotest.run "tangled_mass"
     [
       ("util", Test_util.suite);
+      ("cache", Test_cache.suite);
       ("bigint", Test_bigint.suite);
       ("montgomery", Test_montgomery.suite);
       ("hash", Test_hash.suite);

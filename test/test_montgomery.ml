@@ -160,6 +160,89 @@ let prop_bytes_matches_hex =
       | Ok v -> B.equal v (B.of_bytes_be s)
       | Error _ -> false)
 
+(* --- the precompute layer against the oracle ---------------------------- *)
+
+(* every fast path — windowed with preallocated scratch, sparse
+   square-and-multiply, and the auto dispatcher — must be bit-exact
+   with the legacy oracle on arbitrary inputs *)
+let prop_powm_variants_match_oracle =
+  QCheck.Test.make ~name:"powm/powm_sparse/powm_auto equal modpow" ~count:200
+    arb_triple
+    (fun (b, e, m) ->
+      let ctx = Mont.create m in
+      let sched = Mont.schedule e in
+      let sc = Mont.scratch ctx in
+      let want = B.modpow b e m in
+      B.equal want (Mont.powm ctx sc sched b)
+      && B.equal want (Mont.powm_sparse ctx sc sched b)
+      && B.equal want (Mont.powm_auto ctx sc sched b))
+
+(* fixed-base comb vs Montgomery.modpow across the simulation's key
+   sizes: random ~384..1024-bit odd moduli, random bases and exponents *)
+let arb_fixed_base =
+  let gen =
+    QCheck.Gen.(
+      oneofl [ 384; 512; 768; 1024 ] >>= fun bits ->
+      string_size ~gen:char (return (bits / 8)) >>= fun mraw ->
+      string_size ~gen:char (int_range 0 (bits / 8)) >>= fun eraw ->
+      gen_big >>= fun b ->
+      let m = B.add (B.shift_left (B.of_bytes_be mraw) 1) (B.of_int 3) in
+      return (b, B.of_bytes_be eraw, m))
+  in
+  QCheck.make
+    ~print:(fun (b, e, m) ->
+      Printf.sprintf "base=%s exp=%s m=%s" (B.to_string b) (B.to_string e)
+        (B.to_string m))
+    gen
+
+let prop_fixed_base_matches_oracle =
+  QCheck.Test.make ~name:"Fixed_base.powm equals Montgomery.modpow (384-1024 bit)"
+    ~count:60 arb_fixed_base
+    (fun (b, e, m) ->
+      let ctx = Mont.create m in
+      let sched = Mont.schedule e in
+      let fb =
+        Mont.Fixed_base.precompute ctx b ~bits:(max 1 (Mont.schedule_bits sched))
+      in
+      B.equal (Mont.modpow ctx b e) (Mont.Fixed_base.powm fb sched))
+
+let test_fixed_base_edges () =
+  let m = B.of_int 1_000_003 in
+  let ctx = Mont.create m in
+  let fb = Mont.Fixed_base.precompute ctx (B.of_int 42) ~bits:8 in
+  check big "e = 0 is 1" B.one (Mont.Fixed_base.powm fb (Mont.schedule B.zero));
+  check big "8-bit exponent"
+    (B.modpow (B.of_int 42) (B.of_int 255) m)
+    (Mont.Fixed_base.powm fb (Mont.schedule (B.of_int 255)));
+  Alcotest.check_raises "wider exponent rejected"
+    (Invalid_argument "Fixed_base.powm: exponent wider than the precomputed table")
+    (fun () -> ignore (Mont.Fixed_base.powm fb (Mont.schedule (B.of_int 256))))
+
+(* the per-key sign/verify precompute is a pure speedup: signatures
+   and verdicts are byte-identical with it on or off *)
+let test_rsa_precompute_byte_identity () =
+  let rng = Prng.create 2026 in
+  Fun.protect
+    ~finally:(fun () -> Rsa.set_precompute true)
+    (fun () ->
+      List.iter
+        (fun bits ->
+          let key = Rsa.generate ~mr_rounds:6 rng ~bits in
+          let digest = if bits < 512 then Dk.SHA1 else Dk.SHA256 in
+          let msg = Printf.sprintf "precompute identity at %d bits" bits in
+          Rsa.set_precompute true;
+          let s_on = Rsa.sign key ~digest msg in
+          let v_on = Rsa.verify key.Rsa.pub ~digest ~msg ~signature:s_on in
+          Rsa.set_precompute false;
+          let s_off = Rsa.sign key ~digest msg in
+          let v_off = Rsa.verify key.Rsa.pub ~digest ~msg ~signature:s_on in
+          check Alcotest.string
+            (Printf.sprintf "signature identical at %d bits" bits)
+            s_off s_on;
+          check Alcotest.bool "verdict identical" v_off v_on;
+          check Alcotest.bool "and correct" true v_on)
+        [ 384; 512; 768 ])
+
 (* verification memo: verdicts are stable across repeats and hits
    accumulate *)
 let test_verify_cache_stable () =
@@ -198,5 +281,10 @@ let suite =
     Alcotest.test_case "even-modulus fallback" `Quick test_even_modulus_verify_fallback;
     qtest prop_bytes_roundtrip;
     qtest prop_bytes_matches_hex;
+    qtest prop_powm_variants_match_oracle;
+    qtest prop_fixed_base_matches_oracle;
+    Alcotest.test_case "fixed-base edge cases" `Quick test_fixed_base_edges;
+    Alcotest.test_case "sign/verify precompute byte-identity" `Slow
+      test_rsa_precompute_byte_identity;
     Alcotest.test_case "verify cache stable" `Quick test_verify_cache_stable;
   ]

@@ -326,6 +326,141 @@ let test_reload_good_and_poisoned () =
     Alcotest.(pair int int)
     "rejected reload retains nothing" (certs, bytes) (corpus_stats ())
 
+(* --- unit: the request-level decision cache ---------------------------- *)
+
+(* the cache member of a [stores] response, as raw JSON text *)
+let stores_response t =
+  match
+    Serve.serve_burst t [ frame [ ("id", J.Int 0); ("op", J.String "stores") ] ]
+  with
+  | [ r ] -> r
+  | _ -> Alcotest.fail "expected one stores response"
+
+let cache_member line =
+  match J.parse line with
+  | Ok json -> (
+      match J.member "result" json with
+      | Some result -> (
+          match J.member "cache" result with
+          | Some c -> c
+          | None -> Alcotest.fail "stores response lacks cache stats")
+      | None -> Alcotest.fail "stores response lacks a result")
+  | Error e -> Alcotest.fail e
+
+let cache_int line field =
+  match J.member field (cache_member line) with
+  | Some (J.Int v) -> v
+  | _ -> Alcotest.failf "cache stats lack %s" field
+
+(* 50k requests through a deliberately small cache: live entries never
+   exceed capacity, every frame still answers ok, eviction pressure is
+   real (more distinct keys than slots), and the heap high-water mark
+   stays flat once warm — the regression the unbounded memo this cache
+   replaced would fail *)
+let test_warm_serve_cache_bounded () =
+  let module BP = Tangled_pki.Blueprint in
+  let u = (world ()).Pipeline.universe in
+  let distinct = min (Array.length u.BP.roots) 600 in
+  let capacity = max 4 (distinct / 2) in
+  let config =
+    {
+      Serve.default_config with
+      Serve.queue_capacity = 256;
+      cache_capacity = capacity;
+    }
+  in
+  let t = server ~config () in
+  let rng = Tangled_util.Prng.create 5050 in
+  let coverage i =
+    let r = u.BP.roots.(Tangled_util.Prng.int rng distinct) in
+    frame
+      [ ("id", J.Int i); ("op", J.String "coverage");
+        ("root", J.String r.BP.display_name) ]
+  in
+  let total = 50_000 and burst_size = 250 in
+  let warm_top = ref 0 in
+  for bi = 0 to (total / burst_size) - 1 do
+    let burst = List.init burst_size (fun j -> coverage ((bi * burst_size) + j)) in
+    List.iter
+      (fun r ->
+        if status_of r <> Some "ok" then Alcotest.failf "non-ok response: %s" r)
+      (Serve.serve_burst t burst);
+    if bi mod 20 = 0 then begin
+      let line = stores_response t in
+      let entries = cache_int line "entries" in
+      if entries > capacity then
+        Alcotest.failf "cache grew to %d entries (capacity %d)" entries capacity
+    end;
+    (* high-water after the cache is full and the arena has settled *)
+    if bi = 19 then warm_top := (Gc.quick_stat ()).Gc.top_heap_words
+  done;
+  let line = stores_response t in
+  check Alcotest.bool "entries bounded at the end" true
+    (cache_int line "entries" <= capacity);
+  check Alcotest.bool "hits accumulated" true (cache_int line "hits" > 0);
+  check Alcotest.bool "eviction pressure was real" true
+    (cache_int line "evictions" > 0);
+  let top = (Gc.quick_stat ()).Gc.top_heap_words in
+  (* 45k further requests may not move the high-water mark by more
+     than transient-allocation noise (4M words = 32 MB on 64-bit) *)
+  if top - !warm_top > 4_000_000 then
+    Alcotest.failf "heap high-water grew %d words across the warm phase"
+      (top - !warm_top);
+  let s = Serve.summary t in
+  check Alcotest.bool "reconciled" true (Serve.reconciled s)
+
+(* a rejected reload must leave every observable — snapshot epoch,
+   corpus accounting, cached decisions and their counters — exactly as
+   it found them: the cache epoch rolls on accepted reloads only *)
+let test_rejected_reload_preserves_cache () =
+  let doc = Export.stores_jsonl (world ()) in
+  let config = { Serve.default_config with Serve.max_frame_bytes = 1 lsl 23 } in
+  let t = server ~config () in
+  (* warm the decision cache: a miss then a hit on the same diff *)
+  let diff id =
+    frame [ ("id", J.Int id); ("op", J.String "diff");
+            ("store", J.String "mozilla") ]
+  in
+  List.iter
+    (fun f ->
+      match Serve.serve_burst t [ f ] with
+      | [ r ] ->
+          check (Alcotest.option Alcotest.string) "warmup ok" (Some "ok")
+            (status_of r)
+      | _ -> Alcotest.fail "expected one response")
+    [ diff 1; diff 2 ];
+  let before = stores_response t in
+  check Alcotest.bool "cache warm before the reload" true
+    (cache_int before "hits" > 0 && cache_int before "entries" > 0);
+  (* a truncated payload is rejected *)
+  let poisoned = String.sub doc 0 (String.length doc - 40) in
+  (match
+     Serve.serve_burst t
+       [ frame [ ("id", J.Int 3); ("op", J.String "reload");
+                 ("payload", J.String poisoned) ] ]
+   with
+  | [ r ] ->
+      check (Alcotest.option Alcotest.string) "reload rejected"
+        (Some "update-rejected") (error_label r)
+  | _ -> Alcotest.fail "expected one response");
+  (* the whole stores response — epoch, sizes, corpus accounting and
+     cache statistics — is byte-identical to before the attempt *)
+  check Alcotest.string "stores response byte-identical" before
+    (stores_response t);
+  (* and an accepted reload does roll the cache epoch *)
+  (match
+     Serve.serve_burst t
+       [ frame [ ("id", J.Int 4); ("op", J.String "reload");
+                 ("payload", J.String doc) ] ]
+   with
+  | [ r ] ->
+      check (Alcotest.option Alcotest.string) "clean reload ok" (Some "ok")
+        (status_of r)
+  | _ -> Alcotest.fail "expected one response");
+  let after = stores_response t in
+  check Alcotest.int "cache epoch rolled" 2 (cache_int after "epoch");
+  check Alcotest.int "cached decisions invalidated" 0 (cache_int after "entries")
+
 (* --- unit: graceful shutdown ------------------------------------------- *)
 
 let test_drain_completes_in_flight () =
@@ -435,6 +570,10 @@ let suite =
       test_permanent_fault_quarantines;
     Alcotest.test_case "reload degrades gracefully" `Quick
       test_reload_good_and_poisoned;
+    Alcotest.test_case "50k-request warm serve stays bounded" `Slow
+      test_warm_serve_cache_bounded;
+    Alcotest.test_case "rejected reload preserves cache and corpus" `Quick
+      test_rejected_reload_preserves_cache;
     Alcotest.test_case "drain completes in-flight work" `Quick
       test_drain_completes_in_flight;
     Alcotest.test_case "serve_channel drains on EOF" `Quick

@@ -258,6 +258,86 @@ let test_equivalent_root_validates () =
     (Chain.validate_ok ~now ~store
        [ Lazy.force leaf; (Lazy.force inter).Authority.certificate ])
 
+(* --- decision cache transparency ---------------------------------------- *)
+
+(* The bounded verification cache must be invisible to results: any
+   chain drawn from a pool of related and unrelated certificates
+   validates to the same verdict and path with the cache enabled or
+   bypassed.  The pool deliberately mixes chains that share issuers so
+   cached verdicts from one draw are hit by the next. *)
+let cache_pool =
+  lazy
+    (let direct =
+       Authority.issue_leaf rng ~parent:(Lazy.force other_root)
+         ~dns_names:[ "c.example" ] (Dn.make "c.example")
+     in
+     let expired =
+       Authority.issue_leaf rng ~parent:(Lazy.force inter)
+         ~not_before:(Ts.of_date 2010 1 1) ~not_after:(Ts.of_date 2012 1 1)
+         ~dns_names:[ "x.example" ] (Dn.make "x.example")
+     in
+     [|
+       Lazy.force leaf;
+       (Lazy.force inter).Authority.certificate;
+       (Lazy.force root).Authority.certificate;
+       (Lazy.force other_root).Authority.certificate;
+       direct;
+       expired;
+     |])
+
+let verdict_repr (r : Chain.result) =
+  ( (match r.Chain.verdict with
+    | Ok anchor -> "ok:" ^ C.equivalence_key anchor
+    | Error f -> "err:" ^ Chain.failure_to_string f),
+    List.map C.byte_identity r.Chain.path )
+
+let prop_cached_equals_uncached =
+  QCheck.Test.make ~name:"validation identical with cache on, off or cleared"
+    ~count:100
+    QCheck.(
+      make
+        ~print:(fun (idxs, other) ->
+          Printf.sprintf "chain=[%s] store=%s"
+            (String.concat ";" (List.map string_of_int idxs))
+            (if other then "other" else "trusted"))
+        Gen.(pair (list_size (int_range 1 6) (int_bound 5)) bool))
+    (fun (idxs, other_store) ->
+      let pool = Lazy.force cache_pool in
+      let chain = List.map (fun i -> pool.(i)) idxs in
+      let store =
+        if other_store then
+          store_with [ (Lazy.force other_root).Authority.certificate ]
+        else Lazy.force trusted
+      in
+      let cached = verdict_repr (Chain.validate ~now ~store chain) in
+      Chain.set_verify_cache_enabled false;
+      let uncached =
+        Fun.protect
+          ~finally:(fun () -> Chain.set_verify_cache_enabled true)
+          (fun () -> verdict_repr (Chain.validate ~now ~store chain))
+      in
+      (* an epoch bump must only forget, never change answers *)
+      Chain.clear_verify_cache ();
+      let after_bump = verdict_repr (Chain.validate ~now ~store chain) in
+      cached = uncached && cached = after_bump)
+
+let test_cache_stays_bounded () =
+  (* hammer many distinct verifications through a tiny cache: the live
+     entry count must never exceed the configured capacity *)
+  Chain.set_verify_cache_capacity 16;
+  Fun.protect
+    ~finally:(fun () -> Chain.set_verify_cache_capacity 8192)
+    (fun () ->
+      let pool = Lazy.force cache_pool in
+      for round = 0 to 40 do
+        let chain = [ pool.(round mod 6); pool.((round + 1) mod 6) ] in
+        ignore (Chain.validate ~now ~store:(Lazy.force trusted) chain);
+        let s = Chain.verify_cache_info () in
+        if s.Tangled_cache.Cache.entries > 16 then
+          Alcotest.failf "cache grew to %d entries (capacity 16)"
+            s.Tangled_cache.Cache.entries
+      done)
+
 let suite =
   [
     ("valid three-cert chain", `Quick, test_valid_chain);
@@ -278,4 +358,6 @@ let suite =
     ("empty chain", `Quick, test_empty_chain);
     ("anchor key", `Quick, test_anchor_key);
     ("equivalent renewed root", `Quick, test_equivalent_root_validates);
+    QCheck_alcotest.to_alcotest prop_cached_equals_uncached;
+    ("verify cache stays bounded", `Quick, test_cache_stays_bounded);
   ]
