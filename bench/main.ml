@@ -24,17 +24,24 @@
    the decision cache off vs on and sweeps hit rate across capacities
    over a corpus whose key space exceeds the largest capacity; and the
    scale section times Notary corpus generation (certs/s) with the
-   signing precompute off vs on at paper scale.  After timing, the
+   wide multiplication kernel and lean issuance off (PR 8's best
+   path) vs on at paper scale.  The wide_kernel group sweeps the
+   26-bit plane against the 28-bit packed plane (multiply, squaring,
+   and the full windowed walk) across 384-2048-bit operands.  After
+   timing, the
    harness prints every artefact itself so bench output doubles as a
    compact reproduction report, and writes the measurements to a JSON
-   file (BENCH_8.json by default) so later PRs have a perf baseline to
+   file (BENCH_9.json by default) so later PRs have a perf baseline to
    diff against.
 
    Flags:
      --quick      smoke mode for the @check gate: substrate,
                   notary_queries, serve and cache groups only, short
                   quota, no report
-     --out FILE   where to write the JSON (default BENCH_8.json)
+     --out FILE   where to write the JSON (default BENCH_9.json)
+     --assert-floors  exit nonzero unless the scale pair, the MD5
+                  unboxed ratio and the warm serve-cache ratio are
+                  all >= 1.0 (runs the needed groups even in --quick)
      --no-json    skip the JSON dump *)
 
 open Bechamel
@@ -313,6 +320,43 @@ let scaling_tests () =
       [ 256; 512; 1024 ]
   in
   sign_tests @ hash_tests @ modpow_tests
+
+(* --- wide_kernel: 26-bit plane vs the 28-bit packed plane --------------- *)
+
+let wide_kernel_widths = [ 384; 512; 768; 1024; 1536; 2048 ]
+
+(* raw multiply/square on prepacked operands (the kernel the RSA hot
+   path runs), and the full windowed walk, one pair per operand width *)
+let wide_kernel_tests () =
+  let module B = Tangled_numeric.Bigint in
+  let module Mont = Tangled_numeric.Montgomery in
+  let module W = Mont.Wide in
+  let rng = Prng.create 4242 in
+  List.concat_map
+    (fun bits ->
+      let m = Tangled_numeric.Prime.generate ~rounds:6 rng ~bits in
+      let a = B.random_below rng m and b = B.random_below rng m in
+      let e = B.random_below rng m in
+      let ctx = Mont.create m in
+      let sc = Mont.scratch ctx in
+      let wt = W.create m in
+      let wsc = W.scratch wt in
+      let sched = Mont.schedule e in
+      let pa = W.Internal.pack a and pb = W.Internal.pack b in
+      let th = W.Internal.karatsuba_threshold in
+      [
+        Test.make ~name:(Printf.sprintf "bigint_mul_%dbit" bits)
+          (Staged.stage (fun () -> ignore (B.mul a b)));
+        Test.make ~name:(Printf.sprintf "wide_mul_%dbit" bits)
+          (Staged.stage (fun () -> ignore (W.Internal.mul_limbs ~threshold:th pa pb)));
+        Test.make ~name:(Printf.sprintf "wide_sqr_%dbit" bits)
+          (Staged.stage (fun () -> ignore (W.Internal.sqr_limbs ~threshold:th pa)));
+        Test.make ~name:(Printf.sprintf "powm26_%dbit" bits)
+          (Staged.stage (fun () -> ignore (Mont.powm ctx sc sched a)));
+        Test.make ~name:(Printf.sprintf "powm_wide_%dbit" bits)
+          (Staged.stage (fun () -> ignore (W.powm wt wsc sched a)));
+      ])
+    wide_kernel_widths
 
 (* --- ablation benches (DESIGN.md §5) ------------------------------------ *)
 
@@ -716,13 +760,41 @@ let run_serve_cache_bench ?(requests = 1024) ?(warm_rounds = 2) () =
       ("hit_rate_by_capacity", J.Obj sweep);
     ]
 
+(* paired unboxed-vs-reference MD5 ratio for the regression floor:
+   alternating same-process batches with a median over rounds, so the
+   gate doesn't ride on two Bechamel estimates taken minutes apart in
+   different GC regimes (the cross-group JSON ratio stays as-is) *)
+let measure_md5_pair ?(rounds = 200) ?(batch = 64) () =
+  let msg = String.make 512 'm' in
+  let run f =
+    for _ = 1 to batch do
+      ignore (f msg)
+    done
+  in
+  run Tangled_hash.Md5.digest;
+  run Tangled_hash.Reference.Md5.digest;
+  let ratios = Array.make rounds 1.0 in
+  for r = 0 to rounds - 1 do
+    let t0 = Unix.gettimeofday () in
+    run Tangled_hash.Md5.digest;
+    let unboxed = Unix.gettimeofday () -. t0 in
+    let t1 = Unix.gettimeofday () in
+    run Tangled_hash.Reference.Md5.digest;
+    let boxed = Unix.gettimeofday () -. t1 in
+    if unboxed > 0.0 then ratios.(r) <- boxed /. unboxed
+  done;
+  Array.sort compare ratios;
+  ratios.(rounds / 2)
+
 (* --- scale certs/s with the precompute off vs on ----------------------- *)
 
 let scale_results : (string * J.t) list ref = ref []
 
 (* the paper-scale gate's own workload — Notary corpus generation on
-   the columnar arena — timed with the per-key signing precompute
-   disabled (PR 7's code path, the "before") and enabled *)
+   the columnar arena — timed with the wide multiplication kernel and
+   lean issuance disabled (PR 8's best code path, the "before") and
+   enabled.  The per-key precompute stays on for both sides: it was
+   PR 8's contribution and belongs to the baseline. *)
 let run_scale_pair ?(leaves = 200_000) () =
   let w = Lazy.force world in
   let u = w.Pipeline.universe in
@@ -736,12 +808,17 @@ let run_scale_pair ?(leaves = 200_000) () =
   in
   Printf.printf "--- scale certs/s at %d leaves %s\n%!" leaves
     (String.make 25 '-');
-  Rsa.set_precompute false;
-  let before = measure () in
   Rsa.set_precompute true;
+  Rsa.set_wide_kernel false;
+  Authority.set_lean false;
+  Notary.set_lean false;
+  let before = measure () in
+  Rsa.set_wide_kernel true;
+  Authority.set_lean true;
+  Notary.set_lean true;
   let after = measure () in
-  Printf.printf "  %-38s %8.0f certs/s\n%!" "precompute off (before)" before;
-  Printf.printf "  %-38s %8.0f certs/s\n%!" "precompute on (after)" after;
+  Printf.printf "  %-38s %8.0f certs/s\n%!" "wide kernel + lean off (before)" before;
+  Printf.printf "  %-38s %8.0f certs/s\n%!" "wide kernel + lean on (after)" after;
   Printf.printf "  %-38s %8.2fx\n%!" "speedup" (after /. before);
   scale_results :=
     [
@@ -847,6 +924,17 @@ let json_report () =
     @ ratio "rsa_sign_precompute_speedup_384"
         [| "cache_precompute"; "rsa384_sign_precompute_off" |]
         [| "cache_precompute"; "rsa384_sign_precompute_on" |]
+    @ List.concat_map
+        (fun bits ->
+          ratio
+            (Printf.sprintf "wide_mul_speedup_%d" bits)
+            [| "wide_kernel"; Printf.sprintf "bigint_mul_%dbit" bits |]
+            [| "wide_kernel"; Printf.sprintf "wide_mul_%dbit" bits |]
+          @ ratio
+              (Printf.sprintf "wide_powm_speedup_%d" bits)
+              [| "wide_kernel"; Printf.sprintf "powm26_%dbit" bits |]
+              [| "wide_kernel"; Printf.sprintf "powm_wide_%dbit" bits |])
+        wide_kernel_widths
   in
   (* digest throughput at each scaling size, derived from the ns/run
      estimates: bytes hashed per second, reported in MB/s *)
@@ -891,7 +979,7 @@ let json_report () =
   let hits, misses = Chain.verify_cache_stats () in
   J.Obj
     ([
-       ("pr", J.Int 8);
+       ("pr", J.Int 9);
        ("world", J.String "quick");
        ("unit", J.String "ns_per_run");
        ("jobs", J.Int w.Pipeline.jobs);
@@ -904,10 +992,11 @@ let json_report () =
 
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let assert_floors = Array.exists (( = ) "--assert-floors") Sys.argv in
   let no_json = Array.exists (( = ) "--no-json") Sys.argv in
   let out =
     let rec find i =
-      if i + 1 >= Array.length Sys.argv then "BENCH_8.json"
+      if i + 1 >= Array.length Sys.argv then "BENCH_9.json"
       else if Sys.argv.(i) = "--out" then Sys.argv.(i + 1)
       else find (i + 1)
     in
@@ -942,8 +1031,13 @@ let () =
   if not quick then begin
     run_group ~quota "hash_cores" (hash_core_tests ());
     run_group ~quota "substrate scaling" (scaling_tests ());
+    run_group ~quota "wide_kernel" (wide_kernel_tests ());
     run_group ~quota "ablations" (ablation_tests ())
   end;
+  (* floor asserts need a scale pair even in the quick smoke run; a
+     20k-leaf pair keeps the gate fast (the md5 floor measures its own
+     paired ratio at assert time) *)
+  if quick && assert_floors then run_scale_pair ~leaves:20_000 ();
   (match (find_ns "notary_queries" "scan_validated_by_store",
           find_ns "notary_queries" "index_validated_by_ids") with
   | Some scan, Some index when index > 0.0 ->
@@ -1004,10 +1098,48 @@ let () =
   | None -> ());
   (let hits, misses = Chain.verify_cache_stats () in
    Printf.printf "verify cache: %d hits / %d misses\n%!" hits misses);
+  List.iter
+    (fun bits ->
+      match
+        ( find_ns "wide_kernel" (Printf.sprintf "powm26_%dbit" bits),
+          find_ns "wide_kernel" (Printf.sprintf "powm_wide_%dbit" bits) )
+      with
+      | Some p26, Some pw when pw > 0.0 ->
+          Printf.printf "powm %d-bit wide-plane speedup (26-bit/wide): %.2fx\n%!"
+            bits (p26 /. pw)
+      | _ -> ())
+    wide_kernel_widths;
   if not no_json then begin
     let contents = J.to_string ~pretty:true (json_report ()) ^ "\n" in
     Tangled_core.Export.write_text out contents;
     Printf.printf "wrote %s\n%!" out
+  end;
+  if assert_floors then begin
+    (* regression floors for the @check gate: each optimisation this
+       repo has shipped must still be a speedup, not a slowdown *)
+    let failures = ref [] in
+    let floor name v =
+      match v with
+      | None -> failures := (name ^ " (not measured)") :: !failures
+      | Some x ->
+          Printf.printf "floor %-28s %6.2fx (needs >= 1.0)\n%!" name x;
+          if x < 1.0 then
+            failures := Printf.sprintf "%s = %.3f" name x :: !failures
+    in
+    floor "scale_speedup"
+      (match List.assoc_opt "speedup" !scale_results with
+      | Some (J.Float x) -> Some x
+      | _ -> None);
+    floor "md5_unboxed_speedup_512" (Some (measure_md5_pair ()));
+    floor "warm_serve_cache_speedup"
+      (match List.assoc_opt "warm_speedup" !serve_cache_results with
+      | Some (J.Float x) -> Some x
+      | _ -> None);
+    match !failures with
+    | [] -> Printf.printf "all bench floors hold\n%!"
+    | fs ->
+        prerr_endline ("bench floors violated: " ^ String.concat "; " fs);
+        exit 1
   end;
   if not quick then begin
     (* the artefacts themselves, so bench output records the reproduction *)

@@ -697,6 +697,42 @@ let selfcheck_cmd =
     Printf.printf "montgomery-vs-oracle: %d/%d trials ok\n%!" (trials - !failures) trials;
     !failures = 0
   in
+  let wide_kernel_check () =
+    (* the 28-bit wide multiplication kernel is a pure speedup: RSA
+       signatures must be byte-identical with it on or off, at the
+       simulation's key size and above *)
+    let module Rsa = Tangled_crypto.Rsa in
+    let module Dk = Tangled_hash.Digest_kind in
+    let rng = Prng.create 161803 in
+    let failures = ref 0 in
+    Fun.protect
+      ~finally:(fun () -> Rsa.set_wide_kernel true)
+      (fun () ->
+        List.iter
+          (fun bits ->
+            let key = Rsa.generate ~mr_rounds:6 rng ~bits in
+            let digest = if bits < 512 then Dk.SHA1 else Dk.SHA256 in
+            let msg = Printf.sprintf "wide kernel selfcheck %d" bits in
+            Rsa.set_wide_kernel true;
+            let s_on = Rsa.sign key ~digest msg in
+            Rsa.set_wide_kernel false;
+            let s_off = Rsa.sign key ~digest msg in
+            if not (String.equal s_on s_off) then begin
+              incr failures;
+              Printf.eprintf
+                "selfcheck: wide-kernel signature differs at %d bits\n" bits
+            end;
+            Rsa.set_wide_kernel true;
+            if not (Rsa.verify key.Rsa.pub ~digest ~msg ~signature:s_off) then begin
+              incr failures;
+              Printf.eprintf
+                "selfcheck: wide-kernel verify failed at %d bits\n" bits
+            end)
+          [ 384; 512; 768 ]);
+    Printf.printf "wide-kernel-vs-oracle: %s\n%!"
+      (if !failures = 0 then "ok" else string_of_int !failures ^ " failures");
+    !failures = 0
+  in
   let hash_vectors_check () =
     let module H = Tangled_hash in
     let failures = ref 0 in
@@ -774,6 +810,7 @@ let selfcheck_cmd =
   in
   let run () golden update =
     let ok_mont = mont_crosscheck () in
+    let ok_wide = wide_kernel_check () in
     let ok_hash = hash_vectors_check () in
     let world =
       Pipeline.run
@@ -802,7 +839,7 @@ let selfcheck_cmd =
     if update then begin
       Tangled_core.Export.write_text golden (digest ^ "\n");
       Printf.printf "wrote %s (%s)\n%!" golden digest;
-      if not (ok_mont && ok_hash && ok_trace) then exit 1
+      if not (ok_mont && ok_wide && ok_hash && ok_trace) then exit 1
     end
     else begin
       let expected = String.trim (In_channel.with_open_text golden In_channel.input_all) in
@@ -812,7 +849,7 @@ let selfcheck_cmd =
         Printf.eprintf
           "selfcheck: report digest drifted\n  golden:  %s\n  current: %s\n%!"
           expected digest;
-      if not (ok_mont && ok_hash && ok_digest && ok_trace) then exit 1
+      if not (ok_mont && ok_wide && ok_hash && ok_digest && ok_trace) then exit 1
     end
   in
   Cmd.v

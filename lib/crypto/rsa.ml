@@ -5,7 +5,12 @@ module Prng = Tangled_util.Prng
 module Dk = Tangled_hash.Digest_kind
 module Cache = Tangled_cache.Cache
 
-type public = { n : B.t; e : B.t; mutable mont_n : Mont.t option }
+type public = {
+  n : B.t;
+  e : B.t;
+  mutable mont_n : Mont.t option;
+  mutable n_sha1 : string option;
+}
 
 type private_key = {
   pub : public;
@@ -21,7 +26,18 @@ type private_key = {
 
 type keypair = private_key
 
-let make_public ~n ~e = { n; e; mont_n = None }
+let make_public ~n ~e = { n; e; mont_n = None; n_sha1 = None }
+
+(* SHA-1 of the raw modulus bytes, memoised on the key: X.509 key
+   identifiers hash the same modulus for every certificate a CA signs.
+   Benign race: both domains compute the identical digest. *)
+let modulus_sha1 pub =
+  match pub.n_sha1 with
+  | Some h -> h
+  | None ->
+      let h = Dk.digest Dk.SHA1 (B.to_bytes_be pub.n) in
+      pub.n_sha1 <- Some h;
+      h
 
 (* Montgomery contexts are built on first use and memoised in the key
    record, so setup is paid once per CA rather than once per
@@ -66,6 +82,29 @@ let precompute_on = Atomic.make true
 let set_precompute b = Atomic.set precompute_on b
 let precompute_enabled () = Atomic.get precompute_on
 
+(* The wide-limb (28-bit) Montgomery plane doubles as a second
+   before/after axis: [set_wide_kernel false] pins sign/verify to the
+   26-bit plane that shipped first.  Signatures are byte-identical
+   either way — the toggle exists for the bench pairs and for
+   bisecting, not because results differ. *)
+let wide_on = Atomic.make true
+let set_wide_kernel b = Atomic.set wide_on b
+let wide_enabled () = Atomic.get wide_on
+
+(* Everything the allocation-free CRT sign path needs on the wide
+   plane: per-prime contexts and scratches, q and qinv·R mod p packed
+   once, and the two half-exponentiation result buffers. *)
+type wide_sign = {
+  ws_p : Mont.Wide.t;
+  ws_scr_p : Mont.Wide.wscratch;
+  ws_q : Mont.Wide.t;
+  ws_scr_q : Mont.Wide.wscratch;
+  ws_qinv_m : int array;
+  ws_qlimbs : int array;
+  ws_m1 : int array;
+  ws_m2 : int array;
+}
+
 type sign_ctx = {
   sg_p : Mont.t;
   sg_dp : Mont.schedule;
@@ -73,12 +112,16 @@ type sign_ctx = {
   sg_q : Mont.t;
   sg_dq : Mont.schedule;
   sg_scr_q : Mont.scratch;
+  sg_wide : wide_sign option;
 }
 
 type verify_ctx = {
   vf_n : Mont.t;
   vf_e : Mont.schedule;
   vf_scr : Mont.scratch;
+  vf_wide : (Mont.Wide.t * Mont.Wide.wscratch) option;
+  vf_nbytes : string;
+  vf_m : int array;
 }
 
 let sign_ctxs : sign_ctx Cache.t Domain.DLS.key =
@@ -86,6 +129,35 @@ let sign_ctxs : sign_ctx Cache.t Domain.DLS.key =
 
 let verify_ctxs : verify_ctx Cache.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Cache.create ~name:"rsa.verify_ctx" ~capacity:256 ())
+
+(* The wide CRT path needs [q < 2p] (equal prime bit lengths) for the
+   one-subtraction reduction in the recombination, and the EMSA block
+   must fit the 2k-limb division-free base load of each half. *)
+let wide_sign_ctx key =
+  if B.bit_length key.p <> B.bit_length key.q then None
+  else begin
+    let em_bits = ((B.bit_length (B.mul key.p key.q) + 7) / 8) * 8 in
+    let ws_p = Mont.Wide.create key.p in
+    let ws_q = Mont.Wide.create key.q in
+    let fits t = em_bits <= 2 * Mont.Wide.k t * 28 in
+    if not (fits ws_p && fits ws_q) then None
+    else begin
+      let ws_scr_p = Mont.Wide.scratch ws_p in
+      Some
+        {
+          ws_p;
+          ws_scr_p;
+          ws_q;
+          ws_scr_q = Mont.Wide.scratch ws_q;
+          ws_qinv_m =
+            Mont.Wide.to_mont_limbs ws_p ws_scr_p
+              (Mont.Wide.limbs_of_bigint ws_p key.qinv);
+          ws_qlimbs = Mont.Wide.limbs_of_bigint ws_q key.q;
+          ws_m1 = Array.make (Mont.Wide.k ws_p) 0;
+          ws_m2 = Array.make (Mont.Wide.k ws_q) 0;
+        }
+    end
+  end
 
 let sign_ctx key =
   match (mont_p key, mont_q key) with
@@ -100,6 +172,7 @@ let sign_ctx key =
                sg_q;
                sg_dq = Mont.schedule key.dq;
                sg_scr_q = Mont.scratch sg_q;
+               sg_wide = wide_sign_ctx key;
              }))
   | _ -> None
 
@@ -109,7 +182,24 @@ let verify_ctx pub =
       let cache = Domain.DLS.get verify_ctxs in
       Some
         (Cache.find_or_add cache (B.to_bytes_be pub.n) (fun () ->
-             { vf_n; vf_e = Mont.schedule pub.e; vf_scr = Mont.scratch vf_n }))
+             let vf_e = Mont.schedule pub.e in
+             let wt = Mont.Wide.create pub.n in
+             let nbytes = B.to_bytes_be pub.n in
+             let vf_wide =
+               if
+                 Mont.schedule_bits vf_e > 0
+                 && String.length nbytes * 8 <= 2 * Mont.Wide.k wt * 28
+               then Some (wt, Mont.Wide.scratch wt)
+               else None
+             in
+             {
+               vf_n;
+               vf_e;
+               vf_scr = Mont.scratch vf_n;
+               vf_wide;
+               vf_nbytes = nbytes;
+               vf_m = Array.make (Mont.Wide.k wt) 0;
+             }))
   | _ -> None
 
 let public_op pub x =
@@ -226,23 +316,56 @@ let private_op key m =
 let sign key ~digest msg =
   let k = key_size_bytes key.pub in
   let em = emsa_pkcs1_v1_5 ~digest msg k in
-  let m = B.of_bytes_be em in
-  let s = private_op key m in
-  left_pad k (B.to_bytes_be s)
+  match
+    if precompute_enabled () && wide_enabled () then sign_ctx key else None
+  with
+  | Some { sg_dp; sg_dq; sg_wide = Some w; _ } ->
+      (* both CRT halves and the recombination stay on the wide plane:
+         bytes in, bytes out, the signature buffer is the only
+         allocation *)
+      Mont.Wide.load_base_bytes w.ws_p w.ws_scr_p em;
+      Mont.Wide.powm_auto_loaded w.ws_p w.ws_scr_p sg_dp ~dst:w.ws_m1;
+      Mont.Wide.load_base_bytes w.ws_q w.ws_scr_q em;
+      Mont.Wide.powm_auto_loaded w.ws_q w.ws_scr_q sg_dq ~dst:w.ws_m2;
+      let out = Bytes.create k in
+      Mont.Wide.crt_combine ~pctx:w.ws_p ~psc:w.ws_scr_p ~qinv_m:w.ws_qinv_m
+        ~qlimbs:w.ws_qlimbs ~m1:w.ws_m1 ~m2:w.ws_m2 ~out;
+      Bytes.unsafe_to_string out
+  | _ ->
+      let m = B.of_bytes_be em in
+      let s = private_op key m in
+      left_pad k (B.to_bytes_be s)
 
 let verify pub ~digest ~msg ~signature =
   let k = key_size_bytes pub in
   if String.length signature <> k then false
   else begin
-    let s = B.of_bytes_be signature in
-    if B.compare s pub.n >= 0 then false
-    else begin
-      let m = public_op pub s in
-      let em' = left_pad k (B.to_bytes_be m) in
-      match emsa_pkcs1_v1_5 ~digest msg k with
-      | em -> String.equal em em'
-      | exception Invalid_argument _ -> false
-    end
+    match
+      if precompute_enabled () && wide_enabled () then verify_ctx pub else None
+    with
+    | Some ({ vf_wide = Some (wt, wsc); _ } as vc) ->
+        (* equal-length big-endian strings compare like the integers
+           they encode, so the s < n range check needs no Bigint *)
+        if String.compare signature vc.vf_nbytes >= 0 then false
+        else begin
+          Mont.Wide.load_base_bytes wt wsc signature;
+          Mont.Wide.powm_auto_loaded wt wsc vc.vf_e ~dst:vc.vf_m;
+          let em' = Bytes.create k in
+          Mont.Wide.write_bytes_be vc.vf_m (Array.length vc.vf_m) em';
+          match emsa_pkcs1_v1_5 ~digest msg k with
+          | em -> String.equal em (Bytes.unsafe_to_string em')
+          | exception Invalid_argument _ -> false
+        end
+    | _ ->
+        let s = B.of_bytes_be signature in
+        if B.compare s pub.n >= 0 then false
+        else begin
+          let m = public_op pub s in
+          let em' = left_pad k (B.to_bytes_be m) in
+          match emsa_pkcs1_v1_5 ~digest msg k with
+          | em -> String.equal em em'
+          | exception Invalid_argument _ -> false
+        end
   end
 
 let encrypt_raw pub data =

@@ -13,6 +13,8 @@ type public = {
   mutable mont_n : Tangled_numeric.Montgomery.t option;
       (** lazily-built Montgomery context for [n]; build with
           {!make_public} and leave this field to the library *)
+  mutable n_sha1 : string option;
+      (** memoised SHA-1 of the modulus bytes ({!modulus_sha1}) *)
 }
 
 type private_key = {
@@ -47,6 +49,11 @@ val modulus_bytes : public -> string
 (** Big-endian modulus — the paper's "RSA key modulus" identity
     component (§4.1). *)
 
+val modulus_sha1 : public -> string
+(** SHA-1 of {!modulus_bytes}, memoised on the key: the X.509 key
+    identifier hashes the same modulus for every certificate a CA
+    signs, and a CA pool signs hundreds of thousands. *)
+
 val sign : private_key -> digest:Tangled_hash.Digest_kind.t -> string -> string
 (** [sign key ~digest msg] is the PKCS#1 v1.5 signature over [msg]:
     EMSA-PKCS1-v1_5 encoding of DigestInfo(digest, H(msg)) followed by
@@ -67,6 +74,16 @@ val set_precompute : bool -> unit
     before/after pairs. *)
 
 val precompute_enabled : unit -> bool
+
+val set_wide_kernel : bool -> unit
+(** Toggle the wide-limb (28-bit) Montgomery plane for sign/verify (on
+    by default; only reachable while the precompute is also on).  Off
+    pins both operations to the original 26-bit plane.  Byte-identical
+    results either way — the QCheck suite pins sign and verify across
+    all four toggle combinations; the switch exists for the bench's
+    before/after pairs. *)
+
+val wide_enabled : unit -> bool
 
 val encrypt_raw : public -> string -> string
 (** Textbook RSA of a byte string interpreted big-endian; used by the

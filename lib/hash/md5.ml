@@ -47,14 +47,48 @@ let compress ctx str off =
       lor (Char.code (String.unsafe_get str (j + 3)) lsl 24))
   done;
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
-  for i = 0 to 63 do
+  (* Four unrolled 16-round passes.  The fused single loop bound the
+     round function and schedule index as [let f, g = ...], which boxes
+     a tuple every round without flambda — 64 allocations per block. *)
+  for i = 0 to 15 do
     let bv = !b and dv = !d in
-    let f, g =
-      if i < 16 then ((bv land !c) lor (lnot bv land mask32 land dv), i)
-      else if i < 32 then ((dv land bv) lor (lnot dv land mask32 land !c), ((5 * i) + 1) mod 16)
-      else if i < 48 then (bv lxor !c lxor dv, ((3 * i) + 5) mod 16)
-      else (!c lxor (bv lor (lnot dv land mask32)), (7 * i) mod 16)
+    let f = (bv land !c) lor (lnot bv land mask32 land dv) in
+    let f =
+      (f + !a + Array.unsafe_get k i + Array.unsafe_get m i) land mask32
     in
+    a := dv;
+    d := !c;
+    c := bv;
+    b := (bv + rotl f (Array.unsafe_get s i)) land mask32
+  done;
+  for i = 16 to 31 do
+    let bv = !b and dv = !d in
+    let f = (dv land bv) lor (lnot dv land mask32 land !c) in
+    let g = ((5 * i) + 1) mod 16 in
+    let f =
+      (f + !a + Array.unsafe_get k i + Array.unsafe_get m g) land mask32
+    in
+    a := dv;
+    d := !c;
+    c := bv;
+    b := (bv + rotl f (Array.unsafe_get s i)) land mask32
+  done;
+  for i = 32 to 47 do
+    let bv = !b and dv = !d in
+    let f = bv lxor !c lxor dv in
+    let g = ((3 * i) + 5) mod 16 in
+    let f =
+      (f + !a + Array.unsafe_get k i + Array.unsafe_get m g) land mask32
+    in
+    a := dv;
+    d := !c;
+    c := bv;
+    b := (bv + rotl f (Array.unsafe_get s i)) land mask32
+  done;
+  for i = 48 to 63 do
+    let bv = !b and dv = !d in
+    let f = !c lxor (bv lor (lnot dv land mask32)) in
+    let g = (7 * i) mod 16 in
     let f =
       (f + !a + Array.unsafe_get k i + Array.unsafe_get m g) land mask32
     in

@@ -137,3 +137,13 @@ val crosscheck : t -> Tangled_store.Root_store.t -> sample:int -> seed:int -> bo
     validator and compare with the arena's anchor-id membership
     shortcut; [true] when they agree everywhere.  Used by the test
     suite to justify the fast counting path. *)
+
+val set_lean : bool -> unit
+(** Toggle lean generation (on by default): cryptographically verify a
+    deterministic 1-in-64 sample of the chains it just signed instead
+    of every one (an audited chain that fails aborts generation), and
+    skip the redundant re-decode of freshly issued leaves.  The arena
+    is byte-identical either way and at any [jobs]; the toggle exists
+    for the bench's before/after pairs. *)
+
+val lean_enabled : unit -> bool

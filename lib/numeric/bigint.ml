@@ -89,9 +89,21 @@ let rec of_int n =
     make true (add_mag half.mag half.mag)
   else begin
     let neg = n < 0 in
-    let rec limbs n = if n = 0 then [] else (n land limb_mask) :: limbs (n lsr limb_bits) in
     let v = abs n in
-    { neg; mag = Array.of_list (limbs v) }
+    (* size the magnitude, then fill it in place — no cons cells, no
+       Array.of_list copy *)
+    let nl = ref 0 and t = ref v in
+    while !t <> 0 do
+      incr nl;
+      t := !t lsr limb_bits
+    done;
+    let mag = Array.make !nl 0 in
+    let t = ref v in
+    for i = 0 to !nl - 1 do
+      Array.unsafe_set mag i (!t land limb_mask);
+      t := !t lsr limb_bits
+    done;
+    { neg; mag }
   end
 
 let one = of_int 1

@@ -91,3 +91,108 @@ module Fixed_base : sig
       the exponent behind [sched].
       @raise Invalid_argument if the exponent is wider than [bits fb]. *)
 end
+
+(** {1 Wide-limb kernel plane} *)
+
+module Wide : sig
+  (** A second, internal limb plane for the multiplication-bound hot
+      paths: magnitudes repacked from the public 26-bit representation
+      into 28-bit limbs (products < 2^56 leave 7 headroom bits, so
+      column accumulation stays single-word up to 31 limbs / 868 bits),
+      with schoolbook product-scanning below {!Internal.karatsuba_threshold}
+      limbs and subtractive Karatsuba above it, followed by a
+      word-by-word REDC pass that is valid at any width.
+
+      Everything here returns exactly what the 26-bit plane returns;
+      the test suite cross-checks both against {!Bigint.modpow}. *)
+
+  type t
+  (** Context for one odd modulus [> 1] on the 28-bit plane. *)
+
+  val create : Bigint.t -> t
+  (** @raise Invalid_argument unless the modulus is odd and [> 1]. *)
+
+  val modulus : t -> Bigint.t
+
+  val k : t -> int
+  (** Limb count of the context's plane. *)
+
+  type wscratch
+  (** Preallocated working set (ping-pong accumulators, window table,
+      double-width product buffer, Karatsuba arena).  Single-domain. *)
+
+  val scratch : t -> wscratch
+
+  val powm : t -> wscratch -> schedule -> Bigint.t -> Bigint.t
+  (** Fixed-window walk; equals the 26-bit {!powm} bit for bit.
+      @raise Invalid_argument if the scratch is for another width. *)
+
+  val powm_sparse : t -> wscratch -> schedule -> Bigint.t -> Bigint.t
+  val powm_auto : t -> wscratch -> schedule -> Bigint.t -> Bigint.t
+
+  (** {2 Allocation-free RSA-CRT plumbing}
+
+      The signing path works on bare limb arrays so a per-key context
+      can sign into a caller-owned buffer with zero allocation. *)
+
+  val limbs_of_bigint : t -> Bigint.t -> int array
+  (** Pack a non-negative value fitting the plane to the context's [k]
+      28-bit limbs (allocates; meant for per-key precomputes).
+      @raise Invalid_argument out of range. *)
+
+  val load_base_bytes : t -> wscratch -> string -> unit
+  (** Pack a big-endian byte string (at most [2k] limbs wide — the
+      384-bit EMSA block against a 192-bit CRT prime) and convert to
+      Montgomery form without division, leaving the loaded base in the
+      scratch for the [_loaded] walks.
+      @raise Invalid_argument on a wider value. *)
+
+  val powm_loaded : t -> wscratch -> schedule -> dst:int array -> unit
+  (** Windowed walk over the base left by {!load_base_bytes}; writes
+      the plain (out-of-Montgomery-form) [k]-limb result to [dst]. *)
+
+  val powm_sparse_loaded : t -> wscratch -> schedule -> dst:int array -> unit
+  val powm_auto_loaded : t -> wscratch -> schedule -> dst:int array -> unit
+
+  val write_bytes_be : int array -> int -> bytes -> unit
+  (** [write_bytes_be limbs nlimbs out] serialises the value in the
+      first [nlimbs] limbs big-endian, exactly filling [out]
+      (zero-padded on the left; the value must fit). *)
+
+  val to_mont_limbs : t -> wscratch -> int array -> int array
+  (** Montgomery form of a packed [k]-limb value (allocates the
+      result; meant for once-per-key precomputes like [qinv·R mod p]). *)
+
+  val crt_combine :
+    pctx:t ->
+    psc:wscratch ->
+    qinv_m:int array ->
+    qlimbs:int array ->
+    m1:int array ->
+    m2:int array ->
+    out:bytes ->
+    unit
+  (** Garner recombination [m2 + q·(qinv·(m1 − m2) mod p)] entirely on
+      the 28-bit plane, writing the signature big-endian into [out]
+      (whose length fixes the output width).  Requires [p] and [q] of
+      equal bit length (so [q < 2p]) with [m1 < p], [m2 < q]. *)
+
+  (** {2 Test hooks} *)
+
+  module Internal : sig
+    val karatsuba_threshold : int
+    val integrated_max_k : int
+
+    val pack : Bigint.t -> int array
+    (** 28-bit limbs of a non-negative value, little-endian. *)
+
+    val unpack : int array -> Bigint.t
+
+    val mul_limbs : threshold:int -> int array -> int array -> int array
+    (** Full product with an explicit schoolbook/Karatsuba cutover;
+        operands may have different lengths.  The cross-oracle for the
+        QCheck [karatsuba = schoolbook] property. *)
+
+    val sqr_limbs : threshold:int -> int array -> int array
+  end
+end

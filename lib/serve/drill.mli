@@ -53,7 +53,7 @@ val run :
     capacity — under a seeded store/index fault plan, and audits the
     contract.  [requests] (default 600) scales the corpus.
 
-    [cache_capacity] (default 4096) sizes the server's decision cache;
+    [cache_capacity] (default 16384) sizes the server's decision cache;
     when positive the audit also checks the bounded-cache contract:
     entries within capacity, {e zero} evictions over capacity (the
     drill's working set fits by construction), and a nonzero hit

@@ -60,7 +60,7 @@ let default_config =
     max_retries = 3;
     backoff_s = 0.001;
     max_frame_bytes = 1 lsl 20;
-    cache_capacity = 4096;
+    cache_capacity = 16384;
     clock = Unix.gettimeofday;
     (* the loop is single-domain: blocking on a backoff would stall
        every queued request, so the default records the wait without

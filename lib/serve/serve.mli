@@ -89,7 +89,7 @@ type config = {
           (default 1ms) *)
   max_frame_bytes : int;  (** frames longer than this are quarantined *)
   cache_capacity : int;
-      (** capacity of the request-level decision cache (default 4096;
+      (** capacity of the request-level decision cache (default 16384;
           0 disables caching).  [validate], [diff] and [coverage]
           answers are cached in a bounded lib/cache CLOCK keyed by
           (op, canonical parameters) under the snapshot epoch; the

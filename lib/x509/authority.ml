@@ -9,7 +9,17 @@ type t = { certificate : C.t; key : Rsa.private_key }
 let default_not_before = Ts.of_date 2000 1 1
 let default_not_after = Ts.of_date 2030 1 1
 
-let key_id pub = Tangled_hash.Sha1.digest (Rsa.modulus_bytes pub)
+(* memoised on the key record: the Notary's CA pool hashes the same
+   modulus for every one of its hundreds of thousands of leaves *)
+let key_id pub = Rsa.modulus_sha1 pub
+
+(* [lean] issuance trusts the fields the issuer just encoded instead
+   of re-decoding its own DER output; byte-identical certificates
+   either way (the lean-vs-full arena identity test pins it).  The
+   toggle exists for the bench's before/after pairs. *)
+let lean_on = Atomic.make true
+let set_lean b = Atomic.set lean_on b
+let lean_enabled () = Atomic.get lean_on
 
 let sign_tbs ~key ~digest tbs_der = Rsa.sign key ~digest tbs_der
 
@@ -80,8 +90,13 @@ let issue_leaf ?(bits = 512) ?(serial = B.of_int 3) ?(digest = Dk.SHA256)
       ~public_key:key.pub ~extensions
   in
   let signature = sign_tbs ~key:parent.key ~digest tbs_der in
-  (assemble_exn ~tbs_der ~signature_alg:digest ~signature).C.raw |> fun raw ->
-  (match C.decode raw with Ok c -> c | Error m -> invalid_arg m)
+  if lean_enabled () then
+    C.assemble_trusted ~version:3 ~serial ~signature_alg:digest
+      ~issuer:parent.certificate.C.subject ~not_before ~not_after ~subject:dn
+      ~public_key:key.pub ~extensions ~tbs_der ~signature
+  else
+    (assemble_exn ~tbs_der ~signature_alg:digest ~signature).C.raw |> fun raw ->
+    (match C.decode raw with Ok c -> c | Error m -> invalid_arg m)
 
 let renew ?(serial = B.of_int 7) ?(not_before = default_not_before)
     ?(not_after = default_not_after) t =

@@ -78,3 +78,11 @@ val reissue_as :
 (** [reissue_as ~parent cert] mints a certificate with [cert]'s subject,
     validity and DNS names but [parent]'s signature and a fresh key —
     exactly what an intercepting HTTPS proxy does on the fly (§7). *)
+
+val set_lean : bool -> unit
+(** Toggle lean leaf issuance (on by default): {!issue_leaf} builds the
+    certificate record from the fields it just encoded instead of
+    re-decoding its own DER.  Certificates are byte-identical either
+    way; the toggle exists for the bench's before/after pairs. *)
+
+val lean_enabled : unit -> bool

@@ -305,6 +305,24 @@ let parse_tbs tbs =
 
 (* --- assembling and decoding ---------------------------------------- *)
 
+(* outer Certificate: tbs ++ alg ++ signature, spliced as raw DER *)
+let splice_raw ~tbs_der ~signature_alg ~signature =
+  let alg_der = Der.encode (alg_identifier (sig_alg_oid signature_alg)) in
+  let sig_der = Der.encode (Der.Bit_string (0, signature)) in
+  let content = tbs_der ^ alg_der ^ sig_der in
+  let buf = Buffer.create (String.length content + 8) in
+  Buffer.add_char buf '\x30';
+  let len = String.length content in
+  if len < 0x80 then Buffer.add_char buf (Char.chr len)
+  else begin
+    let rec bytes n acc = if n = 0 then acc else bytes (n lsr 8) ((n land 0xff) :: acc) in
+    let bs = bytes len [] in
+    Buffer.add_char buf (Char.chr (0x80 lor List.length bs));
+    List.iter (fun b -> Buffer.add_char buf (Char.chr b)) bs
+  end;
+  Buffer.add_string buf content;
+  Buffer.contents buf
+
 let assemble ~tbs_der ~signature_alg ~signature =
   match Der.decode tbs_der with
   | Error e -> Error ("invalid TBS DER: " ^ Der.error_to_string e)
@@ -314,24 +332,7 @@ let assemble ~tbs_der ~signature_alg ~signature =
       | Some (version, serial, alg, issuer, not_before, not_after, subject, public_key, extensions) ->
           if alg <> signature_alg then Error "signature algorithm mismatch with TBS"
           else begin
-            let raw =
-              (* outer Certificate: tbs ++ alg ++ signature, spliced as raw DER *)
-              let alg_der = Der.encode (alg_identifier (sig_alg_oid signature_alg)) in
-              let sig_der = Der.encode (Der.Bit_string (0, signature)) in
-              let content = tbs_der ^ alg_der ^ sig_der in
-              let buf = Buffer.create (String.length content + 8) in
-              Buffer.add_char buf '\x30';
-              let len = String.length content in
-              if len < 0x80 then Buffer.add_char buf (Char.chr len)
-              else begin
-                let rec bytes n acc = if n = 0 then acc else bytes (n lsr 8) ((n land 0xff) :: acc) in
-                let bs = bytes len [] in
-                Buffer.add_char buf (Char.chr (0x80 lor List.length bs));
-                List.iter (fun b -> Buffer.add_char buf (Char.chr b)) bs
-              end;
-              Buffer.add_string buf content;
-              Buffer.contents buf
-            in
+            let raw = splice_raw ~tbs_der ~signature_alg ~signature in
             Ok
               {
                 version;
@@ -348,6 +349,29 @@ let assemble ~tbs_der ~signature_alg ~signature =
                 raw;
               }
           end)
+
+(* The issuer already holds every field it just encoded into the TBS,
+   so re-parsing its own output is pure overhead on the bulk-issuance
+   path.  This constructor trusts the caller's fields and only splices
+   the outer SEQUENCE; [decode] of the resulting [raw] yields a
+   structurally equal record (the lean-vs-full arena identity test
+   pins this). *)
+let assemble_trusted ~version ~serial ~signature_alg ~issuer ~not_before
+    ~not_after ~subject ~public_key ~extensions ~tbs_der ~signature =
+  {
+    version;
+    serial;
+    signature_alg;
+    issuer;
+    not_before;
+    not_after;
+    subject;
+    public_key;
+    extensions;
+    tbs_der;
+    signature;
+    raw = splice_raw ~tbs_der ~signature_alg ~signature;
+  }
 
 let decode raw =
   match Der.decode raw with

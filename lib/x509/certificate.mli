@@ -65,6 +65,26 @@ val assemble :
 (** Wrap a signed TBS into a full certificate (re-parsing the TBS so
     the model and the bytes cannot diverge). *)
 
+val assemble_trusted :
+  version:int ->
+  serial:B.t ->
+  signature_alg:Tangled_hash.Digest_kind.t ->
+  issuer:Dn.t ->
+  not_before:Tangled_util.Timestamp.t ->
+  not_after:Tangled_util.Timestamp.t ->
+  subject:Dn.t ->
+  public_key:Tangled_crypto.Rsa.public ->
+  extensions:extensions ->
+  tbs_der:string ->
+  signature:string ->
+  t
+(** Like {!assemble} but trusting the caller's fields instead of
+    re-parsing the TBS it just encoded — for issuers on the bulk path
+    whose [tbs_der] came from {!build_tbs} over these exact fields.
+    [decode (assemble_trusted ...).raw] is structurally equal (the
+    lean-vs-full arena identity test pins this); hand-rolled TBS bytes
+    must go through {!assemble}. *)
+
 val decode : string -> (t, string) result
 (** Parse a DER certificate. *)
 

@@ -269,6 +269,161 @@ let test_verify_cache_stable () =
   Alcotest.(check bool) "memo agrees with direct verification" second
     (C.verify_signature cert ~issuer_key:issuer.C.public_key)
 
+(* --- the 28-bit wide plane -------------------------------------------- *)
+
+module Wide = Mont.Wide
+
+(* every wide walk must agree with the legacy oracle on arbitrary
+   inputs (bases reduced first: the wide plane packs k-limb values) *)
+let prop_wide_powm_matches_oracle =
+  QCheck.Test.make ~name:"Wide.powm variants equal legacy modpow" ~count:200
+    arb_triple
+    (fun (b, e, m) ->
+      let b = B.erem b m in
+      let wt = Wide.create m in
+      let sc = Wide.scratch wt in
+      let sched = Mont.schedule e in
+      let want = B.modpow b e m in
+      B.equal want (Wide.powm wt sc sched b)
+      && B.equal want (Wide.powm_sparse wt sc sched b)
+      && B.equal want (Wide.powm_auto wt sc sched b))
+
+(* deterministic width sweep straddling the integrated-REDC bound
+   (31 limbs = 868 bits): above it the kernel switches from the
+   single-accumulator product scan to separate product + row REDC *)
+let test_wide_width_sweep () =
+  let rng = Random.State.make [| 0xC0FFEE |] in
+  let rand_big bits =
+    let nbytes = (bits + 7) / 8 in
+    B.of_bytes_be
+      (String.init nbytes (fun _ -> Char.chr (Random.State.int rng 256)))
+  in
+  let rand_odd bits =
+    let v = B.add (B.shift_left B.one (bits - 1)) (rand_big (bits - 1)) in
+    if B.is_odd v then v else B.add v B.one
+  in
+  List.iter
+    (fun bits ->
+      for trial = 1 to 5 do
+        let m = rand_odd bits in
+        let b = B.erem (rand_big (bits + 40)) m in
+        let e = rand_big (min bits 80) in
+        let want = B.modpow b e m in
+        let wt = Wide.create m in
+        let sc = Wide.scratch wt in
+        let sched = Mont.schedule e in
+        List.iter
+          (fun (name, f) ->
+            let got = f wt sc sched b in
+            if not (B.equal want got) then
+              Alcotest.failf "Wide.%s mismatch at %d bits (trial %d)" name bits
+                trial)
+          [
+            ("powm", Wide.powm);
+            ("powm_sparse", Wide.powm_sparse);
+            ("powm_auto", Wide.powm_auto);
+          ]
+      done)
+    [ 64; 192; 384; 512; 868; 869; 1024; 2048 ]
+
+(* Karatsuba against schoolbook on random, deliberately asymmetric
+   operand lengths with random cutovers: a huge threshold forces pure
+   schoolbook (the oracle), a small one exercises the recursion *)
+let arb_kara =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 80 >>= fun la ->
+      int_range 1 80 >>= fun lb ->
+      int_range 1 40 >>= fun th ->
+      string_size ~gen:char (return (la * 3)) >>= fun ra ->
+      string_size ~gen:char (return (lb * 3)) >>= fun rb ->
+      return (B.of_bytes_be ra, B.of_bytes_be rb, th))
+  in
+  QCheck.make
+    ~print:(fun (a, b, th) ->
+      Printf.sprintf "a=%s b=%s threshold=%d" (B.to_string a) (B.to_string b) th)
+    gen
+
+let prop_karatsuba_matches_schoolbook =
+  QCheck.Test.make ~name:"Karatsuba multiply/square equal schoolbook" ~count:300
+    arb_kara
+    (fun (a, b, th) ->
+      let pa = Wide.Internal.pack a and pb = Wide.Internal.pack b in
+      let sb = Wide.Internal.mul_limbs ~threshold:max_int pa pb in
+      let ka = Wide.Internal.mul_limbs ~threshold:th pa pb in
+      let sb2 = Wide.Internal.sqr_limbs ~threshold:max_int pa in
+      let ka2 = Wide.Internal.sqr_limbs ~threshold:th pa in
+      sb = ka && sb2 = ka2
+      && B.equal (Wide.Internal.unpack sb) (B.mul a b)
+      && B.equal (Wide.Internal.unpack sb2) (B.mul a a))
+
+(* the production cutover itself: operands exactly at threshold-1,
+   threshold, and threshold+1 limbs take different code paths and must
+   agree with the bigint product *)
+let test_karatsuba_threshold_edges () =
+  let th = Wide.Internal.karatsuba_threshold in
+  let rng = Random.State.make [| 0xBEEF |] in
+  let rand_limbs n =
+    B.of_bytes_be
+      (String.init
+         ((n * 28 + 7) / 8)
+         (fun i -> Char.chr (if i = 0 then 1 else Random.State.int rng 256)))
+  in
+  List.iter
+    (fun (la, lb) ->
+      let a = rand_limbs la and b = rand_limbs lb in
+      let pa = Wide.Internal.pack a and pb = Wide.Internal.pack b in
+      let prod = Wide.Internal.unpack (Wide.Internal.mul_limbs ~threshold:th pa pb) in
+      if not (B.equal prod (B.mul a b)) then
+        Alcotest.failf "mul mismatch at %dx%d limbs (threshold %d)" la lb th;
+      let sq = Wide.Internal.unpack (Wide.Internal.sqr_limbs ~threshold:th pa) in
+      if not (B.equal sq (B.mul a a)) then
+        Alcotest.failf "sqr mismatch at %d limbs (threshold %d)" la th)
+    [
+      (th - 1, th - 1);
+      (th, th);
+      (th + 1, th + 1);
+      (th - 1, th + 1);
+      (th + 1, th - 1);
+      (1, th + 1);
+    ]
+
+(* the wide kernel and the per-key precompute are pure speedups: all
+   four toggle combinations sign and verify byte-identically *)
+let test_wide_kernel_byte_identity () =
+  let rng = Prng.create 31337 in
+  Fun.protect
+    ~finally:(fun () ->
+      Rsa.set_precompute true;
+      Rsa.set_wide_kernel true)
+    (fun () ->
+      List.iter
+        (fun bits ->
+          let key = Rsa.generate ~mr_rounds:6 rng ~bits in
+          let digest = if bits < 512 then Dk.SHA1 else Dk.SHA256 in
+          let msg = Printf.sprintf "wide kernel identity at %d bits" bits in
+          let runs =
+            List.map
+              (fun (pre, wide) ->
+                Rsa.set_precompute pre;
+                Rsa.set_wide_kernel wide;
+                let s = Rsa.sign key ~digest msg in
+                let v = Rsa.verify key.Rsa.pub ~digest ~msg ~signature:s in
+                ((pre, wide), s, v))
+              [ (true, true); (true, false); (false, true); (false, false) ]
+          in
+          let (_, s0, v0) = List.hd runs in
+          Alcotest.(check bool) "reference verdict ok" true v0;
+          List.iter
+            (fun ((pre, wide), s, v) ->
+              check Alcotest.string
+                (Printf.sprintf "signature identical at %d bits (pre=%b wide=%b)"
+                   bits pre wide)
+                s0 s;
+              check Alcotest.bool "verdict identical" v0 v)
+            runs)
+        [ 384; 512; 768 ])
+
 let suite =
   [
     qtest prop_mont_matches_oracle;
@@ -287,4 +442,12 @@ let suite =
     Alcotest.test_case "sign/verify precompute byte-identity" `Slow
       test_rsa_precompute_byte_identity;
     Alcotest.test_case "verify cache stable" `Quick test_verify_cache_stable;
+    qtest prop_wide_powm_matches_oracle;
+    Alcotest.test_case "wide width sweep (64-2048 bits)" `Quick
+      test_wide_width_sweep;
+    qtest prop_karatsuba_matches_schoolbook;
+    Alcotest.test_case "karatsuba threshold edges" `Quick
+      test_karatsuba_threshold_edges;
+    Alcotest.test_case "wide kernel sign/verify byte-identity" `Slow
+      test_wide_kernel_byte_identity;
   ]

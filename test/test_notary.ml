@@ -128,6 +128,28 @@ let test_expired_excluded () =
   let v = Notary.validated_by_store n (u.BP.aosp PD.V4_4) in
   Alcotest.(check bool) "bounded by unexpired" true (v <= Notary.unexpired n)
 
+(* lean generation (sampled chain audit, trusted assembly) must be a
+   pure speedup: the arena — DER blob, columns, anchors — is
+   byte-identical to the verify-everything path *)
+let test_lean_full_arena_identity () =
+  let u = universe () in
+  let gen () =
+    let n = Notary.generate ~leaves:2_000 ~jobs:2 ~seed:77 u in
+    Tangled_x509.Arena.digest (Notary.arena n)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Notary.set_lean true;
+      Tangled_x509.Authority.set_lean true)
+    (fun () ->
+      Notary.set_lean true;
+      Tangled_x509.Authority.set_lean true;
+      let lean = gen () in
+      Notary.set_lean false;
+      Tangled_x509.Authority.set_lean false;
+      let full = gen () in
+      check Alcotest.string "arena digest identical" full lean)
+
 let suite =
   [
     ("volumes", `Quick, test_volumes);
@@ -141,4 +163,5 @@ let suite =
     ("counts_for_certs", `Quick, test_counts_for_certs);
     ("Table 4 zero fractions", `Quick, test_zero_fraction_targets);
     ("expired excluded", `Quick, test_expired_excluded);
+    ("lean vs full arena identity", `Slow, test_lean_full_arena_identity);
   ]
