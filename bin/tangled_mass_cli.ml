@@ -1081,6 +1081,291 @@ let scale_cmd =
           $ out_arg $ check_jobs_arg $ max_heap_arg $ max_ratio_arg
           $ fraction_dp_arg)
 
+(* --- ct ---------------------------------------------------------------- *)
+
+let ct_cmd =
+  let module Fleet = Tangled_ct.Fleet in
+  let module Ct_log = Tangled_ct.Log in
+  let module Proof = Tangled_ct.Proof in
+  let module T = Tangled_util.Text_table in
+  let module J = Tangled_util.Json in
+  let n_logs_arg =
+    let doc = "Number of logs in the fleet." in
+    Arg.(value & opt int 3 & info [ "logs" ] ~docv:"N" ~doc)
+  in
+  let prove_arg =
+    let doc =
+      "Emit an inclusion proof for leaf INDEX of LOG (e.g. ct0:17) and verify \
+       it through the pure proof API."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "prove" ] ~docv:"LOG:INDEX" ~doc)
+  in
+  let consistency_arg =
+    let doc =
+      "Emit a consistency proof between tree sizes FIRST and SECOND of LOG \
+       (e.g. ct0:100:2000) and verify it."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "consistency" ] ~docv:"LOG:FIRST:SECOND" ~doc)
+  in
+  let smoke_arg =
+    let doc =
+      "Smoke-check the subsystem: verify one inclusion and one consistency \
+       proof per log through the pure verifier, then rebuild the world with 4 \
+       worker domains and require byte-identical log heads.  Exits 1 on any \
+       failure."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Write the fleet summary (heads, visibility rows) as JSON." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let split_ref spec =
+    match String.split_on_char ':' spec with
+    | [ log; a ] -> (log, int_of_string_opt a, None)
+    | [ log; a; b ] -> (log, int_of_string_opt a, int_of_string_opt b)
+    | _ -> (spec, None, None)
+  in
+  let entry_exn fleet name =
+    match Fleet.find_log fleet name with
+    | Some e -> e
+    | None ->
+        Printf.eprintf "ct: no log named %s\n%!" name;
+        exit 1
+  in
+  let proof_json name kind extra proof =
+    J.Obj
+      ([ ("log", J.String name); ("kind", J.String kind) ]
+      @ extra
+      @ [
+          ( "proof",
+            J.List
+              (List.map
+                 (fun h -> J.String (Tangled_util.Hex.encode h))
+                 proof) );
+        ])
+  in
+  let build_fleet ~jobs ~n_logs seed sessions leaves key_bits =
+    let world = build_world ~jobs seed sessions leaves key_bits in
+    (world, Fleet.build ~n_logs ~seed world.Pipeline.universe
+              world.Pipeline.notary)
+  in
+  let run () common sessions leaves key_bits n_logs prove consistency smoke out =
+    let failures = ref [] in
+    let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+    let world, fleet =
+      build_fleet ~jobs:common.jobs ~n_logs common.seed sessions leaves key_bits
+    in
+    (* fleet + visibility tables (the report's "ct" section, online) *)
+    let log_rows =
+      Array.to_list
+        (Array.map
+           (fun (e : Fleet.entry) ->
+             [
+               Ct_log.name e.Fleet.log;
+               T.fmt_int e.Fleet.accepted_roots;
+               T.fmt_int (Ct_log.size e.Fleet.log);
+               String.sub (Ct_log.head_hex e.Fleet.log) 0 16;
+             ])
+           (Fleet.entries fleet))
+    in
+    print_endline
+      (T.render ~title:"CT log fleet"
+         ~aligns:[ T.Left; T.Right; T.Right; T.Left ]
+         ~header:[ "log"; "accepted roots"; "tree size"; "head (prefix)" ]
+         log_rows);
+    let vis = Fleet.official_visibility fleet in
+    print_endline
+      (T.render ~title:"CT visibility of device-store roots"
+         ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Right ]
+         ~header:[ "store"; "roots"; "accepted"; "logged"; "dark" ]
+         (List.map
+            (fun (r : Fleet.store_row) ->
+              [
+                r.Fleet.store_name;
+                T.fmt_int r.Fleet.roots;
+                T.fmt_int r.Fleet.accepted;
+                T.fmt_int r.Fleet.logged;
+                T.fmt_int r.Fleet.dark;
+              ])
+            vis));
+    (* --prove LOG:INDEX *)
+    (match prove with
+    | None -> ()
+    | Some spec -> (
+        match split_ref spec with
+        | log_name, Some index, None -> (
+            let e = entry_exn fleet log_name in
+            let n = Ct_log.size e.Fleet.log in
+            match Ct_log.inclusion_proof e.Fleet.log ~index ~tree_size:n with
+            | Error err ->
+                Printf.eprintf "ct: %s\n%!" err;
+                exit 1
+            | Ok proof ->
+                let ok =
+                  match Fleet.leaf_der fleet e index with
+                  | Some leaf ->
+                      Proof.verify_inclusion ~leaf ~index ~tree_size:n ~proof
+                        ~root:(Ct_log.head e.Fleet.log)
+                  | None -> false
+                in
+                print_endline
+                  (J.to_string
+                     (proof_json log_name "inclusion"
+                        [
+                          ("index", J.Int index);
+                          ("tree_size", J.Int n);
+                          ("root", J.String (Ct_log.head_hex e.Fleet.log));
+                          ("verified", J.Bool ok);
+                        ]
+                        proof));
+                if not ok then fail "--prove %s: proof did not verify" spec)
+        | _ ->
+            Printf.eprintf "ct: --prove wants LOG:INDEX, got %s\n%!" spec;
+            exit 1));
+    (* --consistency LOG:FIRST:SECOND *)
+    (match consistency with
+    | None -> ()
+    | Some spec -> (
+        match split_ref spec with
+        | log_name, Some first, Some second -> (
+            let e = entry_exn fleet log_name in
+            match
+              ( Ct_log.consistency_proof e.Fleet.log ~first ~second,
+                Ct_log.head_at e.Fleet.log first,
+                Ct_log.head_at e.Fleet.log second )
+            with
+            | Ok proof, Ok r1, Ok r2 ->
+                let ok =
+                  Proof.verify_consistency ~first ~second ~first_root:r1
+                    ~second_root:r2 ~proof
+                in
+                print_endline
+                  (J.to_string
+                     (proof_json log_name "consistency"
+                        [
+                          ("first", J.Int first);
+                          ("second", J.Int second);
+                          ("first_root", J.String (Tangled_util.Hex.encode r1));
+                          ("second_root", J.String (Tangled_util.Hex.encode r2));
+                          ("verified", J.Bool ok);
+                        ]
+                        proof));
+                if not ok then fail "--consistency %s: proof did not verify" spec
+            | Error err, _, _ | _, Error err, _ | _, _, Error err ->
+                Printf.eprintf "ct: %s\n%!" err;
+                exit 1)
+        | _ ->
+            Printf.eprintf
+              "ct: --consistency wants LOG:FIRST:SECOND, got %s\n%!" spec;
+            exit 1));
+    (* --smoke: proof round-trips per log + jobs-1-vs-4 head identity *)
+    if smoke then begin
+      Array.iter
+        (fun (e : Fleet.entry) ->
+          let name = Ct_log.name e.Fleet.log in
+          let n = Ct_log.size e.Fleet.log in
+          if n = 0 then fail "%s: empty log" name
+          else begin
+            let i = n / 2 in
+            (match
+               ( Ct_log.inclusion_proof e.Fleet.log ~index:i ~tree_size:n,
+                 Fleet.leaf_der fleet e i )
+             with
+            | Ok proof, Some leaf ->
+                if
+                  not
+                    (Proof.verify_inclusion ~leaf ~index:i ~tree_size:n ~proof
+                       ~root:(Ct_log.head e.Fleet.log))
+                then fail "%s: inclusion proof for leaf %d did not verify" name i
+            | Error err, _ -> fail "%s: %s" name err
+            | _, None -> fail "%s: leaf %d unreadable" name i);
+            let m = max 1 (n / 2) in
+            match
+              ( Ct_log.consistency_proof e.Fleet.log ~first:m ~second:n,
+                Ct_log.head_at e.Fleet.log m )
+            with
+            | Ok proof, Ok r1 ->
+                if
+                  not
+                    (Proof.verify_consistency ~first:m ~second:n ~first_root:r1
+                       ~second_root:(Ct_log.head e.Fleet.log) ~proof)
+                then fail "%s: consistency %d..%d did not verify" name m n
+            | Error err, _ | _, Error err -> fail "%s: %s" name err
+          end)
+        (Fleet.entries fleet);
+      Logs.app (fun m -> m "rebuilding with 4 worker domains...");
+      let _, fleet4 =
+        build_fleet ~jobs:4 ~n_logs common.seed sessions leaves key_bits
+      in
+      Array.iteri
+        (fun j (e1 : Fleet.entry) ->
+          let e4 = (Fleet.entries fleet4).(j) in
+          let h1 = Ct_log.head_hex e1.Fleet.log
+          and h4 = Ct_log.head_hex e4.Fleet.log in
+          if h1 <> h4 then
+            fail "%s: head differs between jobs 1 and jobs 4 (%s vs %s)"
+              (Ct_log.name e1.Fleet.log) h1 h4)
+        (Fleet.entries fleet);
+      Logs.app (fun m ->
+          m "smoke: %d log(s), proofs verified, jobs-1-vs-4 heads identical"
+            (Array.length (Fleet.entries fleet)))
+    end;
+    (match out with
+    | None -> ()
+    | Some path ->
+        let doc =
+          J.Obj
+            [
+              ("seed", J.Int common.seed);
+              ("logs", J.Int n_logs);
+              ( "heads",
+                J.Obj
+                  (Array.to_list
+                     (Array.map
+                        (fun (e : Fleet.entry) ->
+                          ( Ct_log.name e.Fleet.log,
+                            J.Obj
+                              [
+                                ("tree_size", J.Int (Ct_log.size e.Fleet.log));
+                                ("head", J.String (Ct_log.head_hex e.Fleet.log));
+                              ] ))
+                        (Fleet.entries fleet))) );
+              ( "visibility",
+                J.List
+                  (List.map
+                     (fun (r : Fleet.store_row) ->
+                       J.Obj
+                         [
+                           ("store", J.String r.Fleet.store_name);
+                           ("roots", J.Int r.Fleet.roots);
+                           ("accepted", J.Int r.Fleet.accepted);
+                           ("logged", J.Int r.Fleet.logged);
+                           ("dark", J.Int r.Fleet.dark);
+                         ])
+                     vis) );
+            ]
+        in
+        Tangled_core.Export.write_text path (J.to_string doc ^ "\n");
+        Logs.app (fun m -> m "wrote %s" path));
+    write_trace ~jobs:world.Pipeline.jobs common;
+    match !failures with
+    | [] -> ()
+    | ms ->
+        List.iter (fun m -> Printf.eprintf "ct: %s\n%!" m) (List.rev ms);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "ct"
+       ~doc:
+         "Build the CT log fleet over the Notary corpus, print the visibility \
+          table, emit/verify RFC 6962 proofs, and smoke-check determinism")
+    Term.(const run $ logs_term $ common_term $ sessions_arg $ leaves_arg
+          $ key_bits_arg $ n_logs_arg $ prove_arg $ consistency_arg $ smoke_arg
+          $ out_arg)
+
 (* --- intercept --------------------------------------------------------- *)
 
 let intercept_cmd =
@@ -1097,7 +1382,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "tangled-mass" ~version:"1.0.0" ~doc)
     [ tables_cmd; figures_cmd; report_cmd; analyze_cmd; audit_cmd; export_cmd;
-      ingest_cmd; chaos_cmd; serve_cmd; sensitivity_cmd; scale_cmd; stores_cmd;
-      intercept_cmd; selfcheck_cmd ]
+      ingest_cmd; chaos_cmd; serve_cmd; sensitivity_cmd; scale_cmd; ct_cmd;
+      stores_cmd; intercept_cmd; selfcheck_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,24 @@
+(** The ingest-stats report section: export the world's datasets, run
+    them back through the ingestion layer, and show the reconciliation
+    (control totals, quarantine taxonomy) per dataset.  On clean data
+    every record is accepted and the loop closes exactly. *)
+
+type row = {
+  dataset : string;
+  declared : int option;  (** manifest-declared record count, if any *)
+  seen : int;
+  accepted : int;
+  quarantined : int;
+  replays : int;
+  missing : int;  (** declared minus seen, when a manifest was present *)
+}
+
+type t = { rows : row list; rendered : string }
+
+val compute : Pipeline.t -> t
+(** Round-trip the session log, Notary DB and store dumps through
+    {!Tangled_ingest.Ingest}. *)
+
+val render : t -> string
+
+val csv : t -> string list * string list list

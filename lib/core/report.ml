@@ -4,8 +4,9 @@ let artefact_names =
 
 (* The extension analyses beyond the paper's own artefacts: §5.3 store
    minimization, the §8 scoped-trust counterfactual, the §7 pinning
-   counterfactual, and the export→ingest reconciliation stats. *)
-let extension_names = [ "minimization"; "scoping"; "pinning"; "ingest" ]
+   counterfactual, the export→ingest reconciliation stats, and the CT
+   visibility study. *)
+let extension_names = [ "minimization"; "scoping"; "pinning"; "ingest"; "ct" ]
 
 let render_one world = function
   | "table1" -> Table1.render (Table1.compute world)
@@ -21,6 +22,7 @@ let render_one world = function
   | "scoping" -> Scoping.render (Scoping.compute world)
   | "pinning" -> Pinning_study.render (Pinning_study.compute world)
   | "ingest" -> Ingest_report.render (Ingest_report.compute world)
+  | "ct" -> Ct_report.render (Ct_report.compute world)
   | other -> invalid_arg ("Report.render_one: unknown artefact " ^ other)
 
 let csv_one world = function
@@ -37,6 +39,7 @@ let csv_one world = function
   | "scoping" -> Scoping.csv (Scoping.compute world)
   | "pinning" -> Pinning_study.csv (Pinning_study.compute world)
   | "ingest" -> Ingest_report.csv (Ingest_report.compute world)
+  | "ct" -> Ct_report.csv (Ct_report.compute world)
   | other -> invalid_arg ("Report.csv_one: unknown artefact " ^ other)
 
 let run_all ?csv_dir ?(extensions = true) world =

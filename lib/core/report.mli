@@ -11,8 +11,8 @@ val artefact_names : string list
 (** ["table1"; ...; "figure3"] — the paper's own artefacts. *)
 
 val extension_names : string list
-(** ["minimization"; "scoping"; "pinning"] — the §5.3/§8/§7 extension
-    analyses; also accepted by {!render_one}/{!csv_one}. *)
+(** ["minimization"; "scoping"; "pinning"; "ingest"; "ct"] — the
+    extension analyses; also accepted by {!render_one}/{!csv_one}. *)
 
 val render_one : Pipeline.t -> string -> string
 (** Render a single artefact by id.

@@ -1,0 +1,145 @@
+module Sha256 = Tangled_hash.Sha256
+
+(* One dynamic array of 32-byte node hashes per tree level.  Level 0
+   holds leaf hashes; level [i+1] holds the hash of every complete pair
+   at level [i], so [levels.(i+1).n = levels.(i).n / 2] always. *)
+type dyn = { mutable a : string array; mutable n : int }
+
+type t = {
+  log_name : string;
+  mutable levels : dyn array;
+  mutable size : int;
+}
+
+let dyn_create () = { a = Array.make 16 ""; n = 0 }
+
+let dyn_push d h =
+  if d.n = Array.length d.a then begin
+    let a' = Array.make (2 * d.n) "" in
+    Array.blit d.a 0 a' 0 d.n;
+    d.a <- a'
+  end;
+  d.a.(d.n) <- h;
+  d.n <- d.n + 1
+
+let create ?(name = "ct") () =
+  { log_name = name; levels = [| dyn_create () |]; size = 0 }
+
+let name t = t.log_name
+let size t = t.size
+
+let leaf_hash data =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "\x00";
+  Sha256.feed ctx data;
+  Sha256.finalize ctx
+
+let node_hash l r =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "\x01";
+  Sha256.feed ctx l;
+  Sha256.feed ctx r;
+  Sha256.finalize ctx
+
+let ensure_level t i =
+  if i >= Array.length t.levels then begin
+    let lv = Array.make (i + 1) (dyn_create ()) in
+    Array.blit t.levels 0 lv 0 (Array.length t.levels);
+    for j = Array.length t.levels to i do
+      lv.(j) <- dyn_create ()
+    done;
+    t.levels <- lv
+  end
+
+(* After pushing at level [i], bubble: whenever a level's population
+   turns even its two newest nodes form a fresh complete pair. *)
+let rec bubble t i =
+  let d = t.levels.(i) in
+  if d.n land 1 = 0 && d.n > 0 then begin
+    let h = node_hash d.a.(d.n - 2) d.a.(d.n - 1) in
+    ensure_level t (i + 1);
+    dyn_push t.levels.(i + 1) h;
+    bubble t (i + 1)
+  end
+
+let append t data =
+  let idx = t.size in
+  dyn_push t.levels.(0) (leaf_hash data);
+  bubble t 0;
+  t.size <- idx + 1;
+  idx
+
+let empty_root = Sha256.digest ""
+
+let rec log2_floor n = if n <= 1 then 0 else 1 + log2_floor (n lsr 1)
+
+(* Largest power of two strictly less than n (n >= 2). *)
+let split_point n =
+  let k = ref 1 in
+  while !k * 2 < n do
+    k := !k * 2
+  done;
+  !k
+
+(* Root of the subtree over leaves [lo, lo+n).  When the range is a
+   complete aligned subtree the node is sitting in the frontier;
+   otherwise split at the largest power of two per RFC 6962 MTH. *)
+let rec range_root t lo n =
+  if n = 1 then t.levels.(0).a.(lo)
+  else if n land (n - 1) = 0 && lo land (n - 1) = 0 then begin
+    let j = log2_floor n in
+    t.levels.(j).a.(lo asr j)
+  end
+  else begin
+    let k = split_point n in
+    node_hash (range_root t lo k) (range_root t (lo + k) (n - k))
+  end
+
+let head_at t n =
+  if n < 0 || n > t.size then
+    Error (Printf.sprintf "tree size %d out of range (log holds %d)" n t.size)
+  else if n = 0 then Ok empty_root
+  else Ok (range_root t 0 n)
+
+let head t = if t.size = 0 then empty_root else range_root t 0 t.size
+let head_hex t = Tangled_util.Hex.encode (head t)
+
+(* RFC 6962 PATH(m, D[lo:hi]): audit path bottom-up. *)
+let rec path t lo hi leaf =
+  let n = hi - lo in
+  if n <= 1 then []
+  else begin
+    let k = split_point n in
+    if leaf < lo + k then path t lo (lo + k) leaf @ [ range_root t (lo + k) (n - k) ]
+    else path t (lo + k) hi leaf @ [ range_root t lo k ]
+  end
+
+let inclusion_proof t ~index ~tree_size =
+  if tree_size < 1 || tree_size > t.size then
+    Error
+      (Printf.sprintf "tree size %d out of range (log holds %d)" tree_size
+         t.size)
+  else if index < 0 || index >= tree_size then
+    Error
+      (Printf.sprintf "leaf index %d out of range for tree size %d" index
+         tree_size)
+  else Ok (path t 0 tree_size index)
+
+(* RFC 6962 SUBPROOF(m, D[off:off+n], b). *)
+let rec subproof t ~off m n b =
+  if m = n then if b then [] else [ range_root t off m ]
+  else begin
+    let k = split_point n in
+    if m <= k then subproof t ~off m k b @ [ range_root t (off + k) (n - k) ]
+    else
+      subproof t ~off:(off + k) (m - k) (n - k) false @ [ range_root t off k ]
+  end
+
+let consistency_proof t ~first ~second =
+  if first < 1 || first > second then
+    Error (Printf.sprintf "invalid size pair %d..%d" first second)
+  else if second > t.size then
+    Error
+      (Printf.sprintf "tree size %d out of range (log holds %d)" second t.size)
+  else if first = second then Ok []
+  else Ok (subproof t ~off:0 first second true)

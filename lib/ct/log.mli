@@ -1,0 +1,48 @@
+(** Append-only RFC 6962 Merkle tree log.
+
+    The log keeps a {e compaction frontier}: one dynamic array of node
+    hashes per tree level, holding every complete subtree root built so
+    far.  Appending a leaf touches O(log n) amortized nodes — no full
+    rebuilds — and inclusion/consistency proofs are assembled from the
+    stored nodes without rehashing leaves.
+
+    Leaf and interior hashes are domain-separated per RFC 6962
+    ([0x00] / [0x01] prefixes); those hash functions are deliberately
+    {e not} exported — verifiers live in {!Proof} and share no state
+    with any log. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+(** Fresh empty log. [name] defaults to ["ct"]. *)
+
+val name : t -> string
+
+val size : t -> int
+(** Number of leaves appended so far. *)
+
+val append : t -> string -> int
+(** [append t data] appends one leaf entry (raw bytes) and returns its
+    leaf index.  O(log n) amortized. *)
+
+val head : t -> string
+(** Merkle tree head (32 raw bytes) over the current size.  The empty
+    tree hashes to SHA-256 of the empty string, per RFC 6962. *)
+
+val head_hex : t -> string
+
+val head_at : t -> int -> (string, string) result
+(** [head_at t n] is the tree head as it was when the log held exactly
+    [n] leaves ([0 <= n <= size t]). *)
+
+val inclusion_proof :
+  t -> index:int -> tree_size:int -> (string list, string) result
+(** Audit path for leaf [index] in the tree of the first [tree_size]
+    leaves, bottom-up, each element 32 raw bytes.  Errors if
+    [tree_size] exceeds the log size or [index >= tree_size]. *)
+
+val consistency_proof :
+  t -> first:int -> second:int -> (string list, string) result
+(** Proof that the tree of size [first] is a prefix of the tree of size
+    [second] ([1 <= first <= second <= size t]).  [first = second]
+    yields the empty proof. *)

@@ -1,0 +1,91 @@
+module Sha256 = Tangled_hash.Sha256
+
+let empty_root = Sha256.digest ""
+
+let leaf_hash data =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "\x00";
+  Sha256.feed ctx data;
+  Sha256.finalize ctx
+
+let node_hash l r =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "\x01";
+  Sha256.feed ctx l;
+  Sha256.feed ctx r;
+  Sha256.finalize ctx
+
+(* RFC 9162 §2.1.3.2. *)
+let verify_inclusion ~leaf ~index ~tree_size ~proof ~root =
+  if index < 0 || tree_size < 1 || index >= tree_size then false
+  else begin
+    let fn = ref index and sn = ref (tree_size - 1) in
+    let r = ref (leaf_hash leaf) in
+    let ok = ref true in
+    List.iter
+      (fun p ->
+        if !ok then begin
+          if !sn = 0 then ok := false
+          else begin
+            if !fn land 1 = 1 || !fn = !sn then begin
+              r := node_hash p !r;
+              if !fn land 1 = 0 then
+                while not (!fn land 1 = 1 || !fn = 0) do
+                  fn := !fn lsr 1;
+                  sn := !sn lsr 1
+                done
+            end
+            else r := node_hash !r p;
+            fn := !fn lsr 1;
+            sn := !sn lsr 1
+          end
+        end)
+      proof;
+    !ok && !sn = 0 && String.equal !r root
+  end
+
+(* RFC 9162 §2.1.4.2. *)
+let verify_consistency ~first ~second ~first_root ~second_root ~proof =
+  if first < 1 || first > second then false
+  else if first = second then
+    proof = [] && String.equal first_root second_root
+  else begin
+    (* When [first] is an exact power of two, the first tree's head is
+       itself the first component of the path. *)
+    let proof =
+      if first land (first - 1) = 0 then first_root :: proof else proof
+    in
+    match proof with
+    | [] -> false
+    | c0 :: rest ->
+      let fn = ref (first - 1) and sn = ref (second - 1) in
+      while !fn land 1 = 1 do
+        fn := !fn lsr 1;
+        sn := !sn lsr 1
+      done;
+      let fr = ref c0 and sr = ref c0 in
+      let ok = ref true in
+      List.iter
+        (fun c ->
+          if !ok then begin
+            if !sn = 0 then ok := false
+            else begin
+              if !fn land 1 = 1 || !fn = !sn then begin
+                fr := node_hash c !fr;
+                sr := node_hash c !sr;
+                if !fn land 1 = 0 then
+                  while not (!fn land 1 = 1 || !fn = 0) do
+                    fn := !fn lsr 1;
+                    sn := !sn lsr 1
+                  done
+              end
+              else sr := node_hash !sr c;
+              fn := !fn lsr 1;
+              sn := !sn lsr 1
+            end
+          end)
+        rest;
+      !ok && !sn = 0
+      && String.equal !fr first_root
+      && String.equal !sr second_root
+  end

@@ -1,0 +1,34 @@
+(** Pure RFC 6962 proof verification.
+
+    Everything here is a function of its arguments alone — verifiers
+    hold no log handle and share no state with {!Log}.  The algorithms
+    are the iterative checks of RFC 9162 §2.1.3.2 / §2.1.4.2,
+    implemented independently of the tree construction in {!Log} so the
+    two sides cross-check each other. *)
+
+val empty_root : string
+(** Head of the empty tree: SHA-256 of the empty string. *)
+
+val leaf_hash : string -> string
+(** Domain-separated leaf hash: SHA-256 (0x00 || data). *)
+
+val verify_inclusion :
+  leaf:string ->
+  index:int ->
+  tree_size:int ->
+  proof:string list ->
+  root:string ->
+  bool
+(** [verify_inclusion ~leaf ~index ~tree_size ~proof ~root] checks that
+    the raw leaf bytes sit at [index] in the tree of [tree_size] leaves
+    whose head is [root], given the bottom-up audit [proof]. *)
+
+val verify_consistency :
+  first:int ->
+  second:int ->
+  first_root:string ->
+  second_root:string ->
+  proof:string list ->
+  bool
+(** Checks that the tree of size [first] with head [first_root] is a
+    prefix of the tree of size [second] with head [second_root]. *)

@@ -15,8 +15,14 @@ module Fault = Tangled_fault.Fault
 module Ingest = Tangled_ingest.Ingest
 module Obs = Tangled_obs.Obs
 module Cache = Tangled_cache.Cache
+module Ct_log = Tangled_ct.Log
+module Ct_proof = Tangled_ct.Proof
+module Fleet = Tangled_ct.Fleet
 
-let protocol_version = "tangled-serve/1"
+(* v2 = v1 + the ct-* read ops.  Every v1 frame is still decoded and
+   answered exactly as before; see the README serve section for the
+   negotiation rule. *)
+let protocol_version = "tangled-serve/2"
 
 (* --- observability ------------------------------------------------------ *)
 
@@ -31,7 +37,8 @@ let c_retries = Obs.counter "serve.retries"
 
 (* one latency histogram per request class, registered up front so the
    trace always carries the full set *)
-let classes = [ "validate"; "diff"; "coverage"; "stores"; "health"; "admin"; "malformed" ]
+let classes =
+  [ "validate"; "diff"; "coverage"; "stores"; "health"; "admin"; "malformed"; "ct" ]
 let latency_of_class =
   let tbl = Hashtbl.create 8 in
   List.iter (fun c -> Hashtbl.replace tbl c (Obs.histogram ("serve.latency." ^ c))) classes;
@@ -47,6 +54,7 @@ type config = {
   backoff_s : float;
   max_frame_bytes : int;
   cache_capacity : int;
+  ct_logs : int;
   clock : unit -> float;
   sleep : float -> unit;
   fault_hook : seq:int -> attempt:int -> Fault.kind option;
@@ -61,6 +69,7 @@ let default_config =
     backoff_s = 0.001;
     max_frame_bytes = 1 lsl 20;
     cache_capacity = 16384;
+    ct_logs = 3;
     clock = Unix.gettimeofday;
     (* the loop is single-domain: blocking on a backoff would stall
        every queued request, so the default records the wait without
@@ -115,6 +124,11 @@ type t = {
           a rejected reload retains nothing, immediately, rather than
           waiting on the GC to collect a half-built boxed corpus. *)
   store_names : Interner.t;  (** store name -> corpus column id *)
+  fleet : Fleet.t option;
+      (** the CT log fleet (v2's ct-* ops), built once at [create] from
+          the world's seed — [None] when [ct_logs] is 0.  Logs are
+          append-only and no serve op mutates them, so every ct-* op is
+          a pure read against a fixed structure. *)
   cache : J.t Cache.t option;
       (** request-level decision cache (lib/cache CLOCK), keyed by
           (op, canonical request parameters) and epoch-stamped with the
@@ -183,6 +197,13 @@ let create ?(config = default_config) world =
     world;
     corpus;
     store_names;
+    fleet =
+      (if config.ct_logs > 0 then
+         Some
+           (Fleet.build ~n_logs:config.ct_logs
+              ~seed:world.Pipeline.config.Pipeline.seed
+              world.Pipeline.universe world.Pipeline.notary)
+       else None);
     cache =
       (if config.cache_capacity > 0 then
          Some
@@ -213,6 +234,7 @@ let create ?(config = default_config) world =
 
 let draining t = t.draining
 let quarantine t = List.rev t.quarantine_rev
+let ct_fleet t = t.fleet
 
 let cache_stats t =
   Option.map
@@ -249,6 +271,9 @@ type op =
   | Health
   | Reload of { payload : string }
   | Drain
+  | Ct_inclusion of { log : string; index : int; tree_size : int option }
+  | Ct_consistency of { log : string; first : int; second : int }
+  | Ct_visibility of { store : string }
 
 let class_of_op = function
   | Validate _ -> "validate"
@@ -257,6 +282,7 @@ let class_of_op = function
   | Stores -> "stores"
   | Health -> "health"
   | Reload _ | Drain -> "admin"
+  | Ct_inclusion _ | Ct_consistency _ | Ct_visibility _ -> "ct"
 
 type frame = { id : J.t; op : op; deadline_s : float option }
 
@@ -279,6 +305,18 @@ let str_list_field name json =
       go [] items
   | Some _ -> Error (Ingest.Type_mismatch name)
   | None -> Error (Ingest.Missing_field name)
+
+let int_field name json =
+  match J.member name json with
+  | Some (J.Int n) -> Ok n
+  | Some _ -> Error (Ingest.Type_mismatch name)
+  | None -> Error (Ingest.Missing_field name)
+
+let opt_int_field name json =
+  match J.member name json with
+  | None -> Ok None
+  | Some (J.Int n) -> Ok (Some n)
+  | Some _ -> Error (Ingest.Type_mismatch name)
 
 (* Total: any byte sequence is either a frame or a typed taxonomy
    reason — the serve analogue of the ingest record decoder, sharing
@@ -337,6 +375,19 @@ let decode_frame ~max_frame_bytes line : (frame, Ingest.reason) result =
               let* payload = str_field "payload" json in
               Ok (Reload { payload })
           | "drain" -> Ok Drain
+          | "ct-inclusion" ->
+              let* log = str_field "log" json in
+              let* index = int_field "index" json in
+              let* tree_size = opt_int_field "tree_size" json in
+              Ok (Ct_inclusion { log; index; tree_size })
+          | "ct-consistency" ->
+              let* log = str_field "log" json in
+              let* first = int_field "first" json in
+              let* second = int_field "second" json in
+              Ok (Ct_consistency { log; first; second })
+          | "ct-visibility" ->
+              let* store = str_field "store" json in
+              Ok (Ct_visibility { store })
           | other -> Error (Ingest.Bad_value ("unknown op " ^ other))
         in
         Ok { id; op; deadline_s }
@@ -476,6 +527,109 @@ let exec_coverage t deadline name : (J.t, string * string) result =
                J.Float (float_of_int count /. float_of_int (max 1 unexpired)) );
            ])
 
+(* --- the ct-* ops (protocol v2) ----------------------------------------- *)
+
+let hex_list hashes = J.List (List.map (fun h -> J.String (Hex.encode h)) hashes)
+
+let find_ct_log t name =
+  match t.fleet with
+  | None -> Error ("unknown-log", "ct logs are disabled on this server")
+  | Some fleet -> (
+      match Fleet.find_log fleet name with
+      | Some e -> Ok e
+      | None ->
+          Error
+            ( "unknown-log",
+              Printf.sprintf "no log named %s (fleet: ct0..ct%d)" name
+                (Fleet.n_logs fleet - 1) ))
+
+let exec_ct_inclusion t deadline log_name index tree_size :
+    (J.t, string * string) result =
+  let* e = find_ct_log t log_name in
+  check_deadline t deadline;
+  let log = e.Fleet.log in
+  let n = match tree_size with Some n -> n | None -> Ct_log.size log in
+  match (Ct_log.inclusion_proof log ~index ~tree_size:n, Ct_log.head_at log n) with
+  | Error detail, _ | _, Error detail -> Error ("out-of-range", detail)
+  | Ok proof, Ok root ->
+      Ok
+        (J.Obj
+           [
+             ("log", J.String log_name);
+             ("index", J.Int index);
+             ("tree_size", J.Int n);
+             ("root", J.String (Hex.encode root));
+             ("proof", hex_list proof);
+           ])
+
+let exec_ct_consistency t deadline log_name first second :
+    (J.t, string * string) result =
+  let* e = find_ct_log t log_name in
+  check_deadline t deadline;
+  let log = e.Fleet.log in
+  match
+    ( Ct_log.consistency_proof log ~first ~second,
+      Ct_log.head_at log first,
+      Ct_log.head_at log second )
+  with
+  | Error detail, _, _ | _, Error detail, _ | _, _, Error detail ->
+      Error ("out-of-range", detail)
+  | Ok proof, Ok first_root, Ok second_root ->
+      Ok
+        (J.Obj
+           [
+             ("log", J.String log_name);
+             ("first", J.Int first);
+             ("second", J.Int second);
+             ("first_root", J.String (Hex.encode first_root));
+             ("second_root", J.String (Hex.encode second_root));
+             ("proof", hex_list proof);
+           ])
+
+let exec_ct_visibility t deadline store_name : (J.t, string * string) result =
+  match t.fleet with
+  | None -> Error ("unknown-log", "ct logs are disabled on this server")
+  | Some fleet -> (
+      match resolve_store t store_name with
+      | None -> Error ("unknown-store", store_name)
+      | Some store ->
+          check_deadline t deadline;
+          let r = Fleet.store_visibility fleet store_name store in
+          Ok
+            (J.Obj
+               [
+                 ("store", J.String store_name);
+                 ("roots", J.Int r.Fleet.roots);
+                 ("accepted", J.Int r.Fleet.accepted);
+                 ("logged", J.Int r.Fleet.logged);
+                 ("dark", J.Int r.Fleet.dark);
+                 ( "dark_names",
+                   J.List (List.map (fun n -> J.String n) r.Fleet.dark_names) );
+               ]))
+
+(* per-log tree size and head, embedded in [stores] and [health] *)
+let ct_json t =
+  match t.fleet with
+  | None -> J.Obj [ ("enabled", J.Bool false) ]
+  | Some fleet ->
+      J.Obj
+        [
+          ("enabled", J.Bool true);
+          ( "logs",
+            J.List
+              (Array.to_list
+                 (Array.map
+                    (fun (e : Fleet.entry) ->
+                      J.Obj
+                        [
+                          ("log", J.String (Ct_log.name e.Fleet.log));
+                          ("tree_size", J.Int (Ct_log.size e.Fleet.log));
+                          ("head", J.String (Ct_log.head_hex e.Fleet.log));
+                          ("accepted_roots", J.Int e.Fleet.accepted_roots);
+                        ])
+                    (Fleet.entries fleet))) );
+        ]
+
 (* decision-cache introspection, embedded in [stores] and [health]
    responses.  hits/misses/evictions are the process-global Obs
    counters behind the cache's name; entries/capacity/epoch are this
@@ -511,6 +665,7 @@ let exec_stores t : (J.t, string * string) result =
          ( "corpus_bytes",
            J.Int (m.Arena.blob_bytes - t.snapshot.base.Arena.m_bytes) );
          ("cache", cache_json t);
+         ("ct", ct_json t);
        ])
 
 let exec_health t : (J.t, string * string) result =
@@ -529,6 +684,7 @@ let exec_health t : (J.t, string * string) result =
          ("quarantined", J.Int s.quarantined);
          ("retries", J.Int s.retries);
          ("cache", cache_json t);
+         ("ct", ct_json t);
        ])
 
 (* A reload goes through the same quarantining ingest path as any
@@ -604,6 +760,11 @@ let exec_uncached t deadline = function
       t.draining <- true;
       Obs.event "serve.draining";
       Ok (J.Obj [ ("draining", J.Bool true) ])
+  | Ct_inclusion { log; index; tree_size } ->
+      exec_ct_inclusion t deadline log index tree_size
+  | Ct_consistency { log; first; second } ->
+      exec_ct_consistency t deadline log first second
+  | Ct_visibility { store } -> exec_ct_visibility t deadline store
 
 (* Cacheable ops are the pure reads whose answer is a function of
    (snapshot, request parameters) alone: validate, diff, coverage.
@@ -617,6 +778,22 @@ let cache_key_of_op = function
   | Diff { store; baseline } ->
       Some (String.concat "\x00" [ "diff"; store; baseline ])
   | Coverage { root } -> Some (String.concat "\x00" [ "coverage"; root ])
+  (* the ct ops are pure reads against the append-only fleet; their
+     keys still carry the snapshot epoch (via the cache's epoch stamp)
+     like every other cached decision *)
+  | Ct_inclusion { log; index; tree_size } ->
+      Some
+        (String.concat "\x00"
+           [
+             "ct-inclusion"; log; string_of_int index;
+             (match tree_size with Some n -> string_of_int n | None -> "head");
+           ])
+  | Ct_consistency { log; first; second } ->
+      Some
+        (String.concat "\x00"
+           [ "ct-consistency"; log; string_of_int first; string_of_int second ])
+  | Ct_visibility { store } ->
+      Some (String.concat "\x00" [ "ct-visibility"; store ])
   | Stores | Health | Reload _ | Drain -> None
 
 let exec_op t deadline op =

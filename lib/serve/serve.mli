@@ -8,7 +8,7 @@
     robustness-first: no input, fault or overload condition may crash
     the loop or corrupt an answer.
 
-    {b Protocol} ([tangled-serve/1]).  Requests arrive as JSONL frames
+    {b Protocol} ([tangled-serve/2]).  Requests arrive as JSONL frames
     (one JSON object per line) on stdin, a pipe or any byte stream;
     responses leave as JSONL in request order.  Every frame carries an
     [id] (echoed verbatim) and an [op]:
@@ -25,7 +25,26 @@
     - [health]: liveness, epoch, queue and control-total counters;
     - [reload]: ["payload"] (a store-dump JSONL document) — attempt a
       snapshot update through the quarantining ingest layer;
-    - [drain]: stop admitting, finish in-flight work, then shut down.
+    - [drain]: stop admitting, finish in-flight work, then shut down;
+    - [ct-inclusion] (v2): ["log"] (a fleet log name, ["ct0"]...),
+      ["index"], optional ["tree_size"] (defaults to the log's current
+      size) — an RFC 6962 inclusion proof, hex node hashes bottom-up,
+      plus the root it verifies against;
+    - [ct-consistency] (v2): ["log"], ["first"], ["second"] — a
+      consistency proof between the two tree sizes, with both roots;
+    - [ct-visibility] (v2): ["store"] (as in [validate]) — the
+      CT-visible vs dark breakdown of that store's roots against the
+      log fleet.
+
+    {b Version negotiation.}  v2 is a strict superset of v1: every v1
+    frame is decoded and answered byte-for-byte as before, so v1
+    clients need not change.  A client probes with [health] — the
+    [protocol] member names the server's version — or simply sends a
+    ct-* op: a v1 server answers it with the typed [bad-value]
+    "unknown op" error in-band, never a dropped connection.  The ct-*
+    ops answer typed [unknown-log] / [out-of-range] errors for bad
+    parameters, and their proofs are cached in the same epoch-keyed
+    decision cache as every other pure read.
 
     {b Robustness machinery.}
 
@@ -71,7 +90,7 @@ module Fault := Tangled_fault.Fault
 module Ingest := Tangled_ingest.Ingest
 
 val protocol_version : string
-(** ["tangled-serve/1"]. *)
+(** ["tangled-serve/2"]. *)
 
 (** {1 Configuration} *)
 
@@ -99,6 +118,10 @@ type config = {
           cached; errors and timeouts always re-execute.  Cache
           statistics ride the [stores] and [health] responses and the
           [serve.decisions] Obs counters (volatile trace member). *)
+  ct_logs : int;
+      (** logs in the CT fleet built at {!create} (default 3; 0
+          disables the ct-* ops — they then answer [unknown-log]).
+          [stores]/[health] report each log's tree size and head. *)
   clock : unit -> float;
       (** monotonic-enough seconds; tests inject a fake clock to force
           deadlines deterministically *)
@@ -153,6 +176,11 @@ val draining : t -> bool
 val quarantine : t -> Ingest.quarantined list
 (** Quarantined frames in arrival order; [line] is the 1-based frame
     ordinal in the stream. *)
+
+val ct_fleet : t -> Tangled_ct.Fleet.t option
+(** The server's CT log fleet ([None] when [ct_logs] is 0) — tests
+    re-verify served proofs against it through the pure
+    {!Tangled_ct.Proof} API. *)
 
 val cache_stats : t -> Tangled_cache.Cache.stats option
 (** Decision-cache statistics ([None] when caching is disabled):

@@ -31,6 +31,7 @@ let () =
       ("engine", Test_engine.suite);
       ("determinism", Test_determinism.suite);
       ("serve", Test_serve.suite);
+      ("ct", Test_ct.suite);
       (* last: obs tests reset the process-wide instrumentation state *)
       ("obs", Test_obs.suite);
     ]

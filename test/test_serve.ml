@@ -542,6 +542,244 @@ let test_fault_classification () =
         (Fault.severity_to_string (Fault.classify kind)))
     expect
 
+(* --- unit: protocol v2 (the ct-* ops) ----------------------------------- *)
+
+let result_member line =
+  match J.parse line with
+  | Ok json -> (
+      match J.member "result" json with
+      | Some r -> r
+      | None -> Alcotest.fail "response lacks a result")
+  | Error e -> Alcotest.fail e
+
+let result_int result field =
+  match J.member field result with
+  | Some (J.Int v) -> v
+  | _ -> Alcotest.failf "result lacks int %s" field
+
+let result_str result field =
+  match J.member field result with
+  | Some (J.String s) -> s
+  | _ -> Alcotest.failf "result lacks string %s" field
+
+let result_hex_list result field =
+  match J.member field result with
+  | Some (J.List items) ->
+      List.map
+        (function
+          | J.String s -> (
+              match Tangled_util.Hex.decode_opt s with
+              | Some raw -> raw
+              | None -> Alcotest.failf "%s element is not hex" field)
+          | _ -> Alcotest.failf "%s element is not a string" field)
+        items
+  | _ -> Alcotest.failf "result lacks list %s" field
+
+let test_ct_inclusion_roundtrip () =
+  (* a served proof must verify through the pure Proof API against the
+     leaf bytes re-read from the server's own fleet *)
+  let module Ct = Tangled_ct.Log in
+  let module Proof = Tangled_ct.Proof in
+  let module Fleet = Tangled_ct.Fleet in
+  let t = server () in
+  let fleet =
+    match Serve.ct_fleet t with
+    | Some f -> f
+    | None -> Alcotest.fail "default server has no fleet"
+  in
+  Array.iter
+    (fun (e : Fleet.entry) ->
+      let log_name = Ct.name e.Fleet.log in
+      let n = Ct.size e.Fleet.log in
+      let i = n / 2 in
+      match
+        Serve.serve_burst t
+          [
+            frame
+              [ ("id", J.String ("p-" ^ log_name));
+                ("op", J.String "ct-inclusion"); ("log", J.String log_name);
+                ("index", J.Int i) ];
+          ]
+      with
+      | [ r ] ->
+          check (Alcotest.option Alcotest.string) "inclusion ok" (Some "ok")
+            (status_of r);
+          let result = result_member r in
+          check Alcotest.int "tree_size is the log size" n
+            (result_int result "tree_size");
+          let proof = result_hex_list result "proof" in
+          let root =
+            match Tangled_util.Hex.decode_opt (result_str result "root") with
+            | Some raw -> raw
+            | None -> Alcotest.fail "root is not hex"
+          in
+          let leaf =
+            match Fleet.leaf_der fleet e i with
+            | Some d -> d
+            | None -> Alcotest.fail "leaf_der out of range"
+          in
+          check Alcotest.bool
+            (Printf.sprintf "%s proof verifies" log_name)
+            true
+            (Proof.verify_inclusion ~leaf ~index:i ~tree_size:n ~proof ~root)
+      | _ -> Alcotest.fail "expected one response")
+    (Fleet.entries fleet)
+
+let test_ct_consistency_roundtrip () =
+  let module Ct = Tangled_ct.Log in
+  let module Proof = Tangled_ct.Proof in
+  let module Fleet = Tangled_ct.Fleet in
+  let t = server () in
+  let fleet =
+    match Serve.ct_fleet t with Some f -> f | None -> Alcotest.fail "no fleet"
+  in
+  let e = (Fleet.entries fleet).(0) in
+  let n = Ct.size e.Fleet.log in
+  let m = max 1 (n / 2) in
+  match
+    Serve.serve_burst t
+      [
+        frame
+          [ ("id", J.Int 1); ("op", J.String "ct-consistency");
+            ("log", J.String "ct0"); ("first", J.Int m); ("second", J.Int n) ];
+      ]
+  with
+  | [ r ] ->
+      check (Alcotest.option Alcotest.string) "consistency ok" (Some "ok")
+        (status_of r);
+      let result = result_member r in
+      let proof = result_hex_list result "proof" in
+      let root_of field =
+        match Tangled_util.Hex.decode_opt (result_str result field) with
+        | Some raw -> raw
+        | None -> Alcotest.failf "%s is not hex" field
+      in
+      check Alcotest.bool "served consistency verifies" true
+        (Proof.verify_consistency ~first:m ~second:n
+           ~first_root:(root_of "first_root") ~second_root:(root_of "second_root")
+           ~proof)
+  | _ -> Alcotest.fail "expected one response"
+
+let test_ct_typed_errors () =
+  let t = server () in
+  let expect_label label fields =
+    match Serve.serve_burst t [ frame fields ] with
+    | [ r ] ->
+        check (Alcotest.option Alcotest.string) label (Some label) (error_label r)
+    | _ -> Alcotest.fail "expected one response"
+  in
+  expect_label "unknown-log"
+    [ ("id", J.Int 1); ("op", J.String "ct-inclusion");
+      ("log", J.String "ct99"); ("index", J.Int 0) ];
+  expect_label "out-of-range"
+    [ ("id", J.Int 2); ("op", J.String "ct-inclusion");
+      ("log", J.String "ct0"); ("index", J.Int (-1)) ];
+  expect_label "out-of-range"
+    [ ("id", J.Int 3); ("op", J.String "ct-inclusion");
+      ("log", J.String "ct0"); ("index", J.Int 0);
+      ("tree_size", J.Int 100_000_000) ];
+  expect_label "out-of-range"
+    [ ("id", J.Int 4); ("op", J.String "ct-consistency");
+      ("log", J.String "ct0"); ("first", J.Int 0); ("second", J.Int 1) ];
+  expect_label "unknown-store"
+    [ ("id", J.Int 5); ("op", J.String "ct-visibility");
+      ("store", J.String "waterfox") ];
+  (* a malformed ct frame lands in the ingest taxonomy like any other *)
+  (match
+     Serve.serve_burst t
+       [ frame [ ("id", J.Int 6); ("op", J.String "ct-inclusion");
+                 ("log", J.String "ct0"); ("index", J.String "zero") ] ]
+   with
+  | [ r ] ->
+      check (Alcotest.option Alcotest.string) "type mismatch quarantined"
+        (Some "type-mismatch") (error_label r)
+  | _ -> Alcotest.fail "expected one response");
+  (* with the fleet disabled every ct op is a typed unknown-log *)
+  let t0 = server ~config:{ Serve.default_config with Serve.ct_logs = 0 } () in
+  (match
+     Serve.serve_burst t0
+       [ frame [ ("id", J.Int 7); ("op", J.String "ct-visibility");
+                 ("store", J.String "mozilla") ] ]
+   with
+  | [ r ] ->
+      check (Alcotest.option Alcotest.string) "disabled fleet is typed"
+        (Some "unknown-log") (error_label r)
+  | _ -> Alcotest.fail "expected one response");
+  let s = Serve.summary t in
+  check Alcotest.bool "reconciled" true (Serve.reconciled s)
+
+let test_ct_visibility_and_health () =
+  let t = server () in
+  (* ct-visibility answers the report's row for a store *)
+  (match
+     Serve.serve_burst t
+       [ frame [ ("id", J.Int 1); ("op", J.String "ct-visibility");
+                 ("store", J.String "aosp44") ] ]
+   with
+  | [ r ] ->
+      check (Alcotest.option Alcotest.string) "visibility ok" (Some "ok")
+        (status_of r);
+      let result = result_member r in
+      let roots = result_int result "roots" in
+      let logged = result_int result "logged" in
+      let dark = result_int result "dark" in
+      check Alcotest.int "logged + dark = roots" roots (logged + dark);
+      check Alcotest.bool "store non-empty" true (roots > 0)
+  | _ -> Alcotest.fail "expected one response");
+  (* health and stores carry per-log tree size and head hash *)
+  List.iter
+    (fun op ->
+      match
+        Serve.serve_burst t [ frame [ ("id", J.Int 2); ("op", J.String op) ] ]
+      with
+      | [ r ] -> (
+          let result = result_member r in
+          match J.member "ct" result with
+          | Some ct -> (
+              match J.member "logs" ct with
+              | Some (J.List logs) ->
+                  check Alcotest.int (op ^ " lists every log") 3
+                    (List.length logs);
+                  List.iter
+                    (fun l ->
+                      let size =
+                        match J.member "tree_size" l with
+                        | Some (J.Int n) -> n
+                        | _ -> Alcotest.fail "log entry lacks tree_size"
+                      in
+                      let head =
+                        match J.member "head" l with
+                        | Some (J.String h) -> h
+                        | _ -> Alcotest.fail "log entry lacks head"
+                      in
+                      check Alcotest.bool "tree non-empty" true (size > 0);
+                      check Alcotest.int "head is hex sha256" 64
+                        (String.length head))
+                    logs
+              | _ -> Alcotest.failf "%s ct member lacks logs" op)
+          | None -> Alcotest.failf "%s response lacks ct member" op)
+      | _ -> Alcotest.fail "expected one response")
+    [ "health"; "stores" ]
+
+let test_ct_proofs_cached () =
+  (* the second identical ct-inclusion answers from the decision cache *)
+  let t = server () in
+  let req id =
+    frame
+      [ ("id", J.Int id); ("op", J.String "ct-inclusion");
+        ("log", J.String "ct0"); ("index", J.Int 1) ]
+  in
+  let before = cache_int (stores_response t) "hits" in
+  (match Serve.serve_burst t [ req 1; req 2 ] with
+  | [ r1; r2 ] ->
+      check (Alcotest.option Alcotest.string) "first ok" (Some "ok")
+        (status_of r1);
+      check (Alcotest.option Alcotest.string) "second ok" (Some "ok")
+        (status_of r2)
+  | _ -> Alcotest.fail "expected two responses");
+  let after = cache_int (stores_response t) "hits" in
+  check Alcotest.bool "proof served from cache" true (after > before)
+
 (* --- the composed drill at a pinned seed ------------------------------- *)
 
 let test_drill_pinned_seed () =
@@ -582,6 +820,16 @@ let suite =
       test_fault_classification;
     Alcotest.test_case "chaos drill at pinned seed" `Slow
       test_drill_pinned_seed;
+    Alcotest.test_case "v2: served inclusion proofs verify" `Quick
+      test_ct_inclusion_roundtrip;
+    Alcotest.test_case "v2: served consistency proofs verify" `Quick
+      test_ct_consistency_roundtrip;
+    Alcotest.test_case "v2: ct ops answer typed errors" `Quick
+      test_ct_typed_errors;
+    Alcotest.test_case "v2: visibility rows and per-log health" `Quick
+      test_ct_visibility_and_health;
+    Alcotest.test_case "v2: proofs ride the decision cache" `Quick
+      test_ct_proofs_cached;
     qtest prop_serve_total;
     qtest prop_malformed_quarantined;
   ]
